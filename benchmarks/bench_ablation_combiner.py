@@ -1,0 +1,62 @@
+"""Ablation — combiners compose with partial synchronization.
+
+§VI ("Other Optimizations"): "Though it might seem our approach might
+interfere with the use of combiners, combiners are applied to the
+output of global map operations, and hence local reduce (part of the
+map) has no bearing on it."  This bench runs the engine's WordCount
+with and without a combiner on the simulated cluster, and an iterative
+KV PageRank job, showing (a) identical outputs and (b) reduced shuffle
+volume — the combiner works unchanged alongside local reduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import wordcount
+from repro.apps.pagerank import PageRankKVSpec, pagerank_reference
+from repro.cluster import SimCluster
+from repro.core import DriverConfig, run_iterative_kv
+from repro.engine import MapReduceRuntime
+from repro.graph import multilevel_partition, preferential_attachment
+from repro.util import ascii_table
+
+
+def test_ablation_combiner(once):
+    docs = [" ".join(f"w{i % 50}" for i in range(400)) for _ in range(32)]
+
+    def run():
+        out = {}
+        for use_combiner in (True, False):
+            rt = MapReduceRuntime("serial", cluster=SimCluster())
+            res = wordcount(docs, runtime=rt, splits=16,
+                            use_combiner=use_combiner)
+            out[use_combiner] = (
+                res.as_dict(),
+                res.counters.get("job.shuffle.bytes"),
+                res.sim_time_total,
+            )
+        # iterative partial-sync job still correct on the same engine
+        g = preferential_attachment(250, num_conn=3, locality_prob=0.92,
+                                    community_mean=30, seed=3)
+        part = multilevel_partition(g, 4, seed=0)
+        kv = run_iterative_kv(PageRankKVSpec(g, part), DriverConfig(mode="eager"))
+        ranks = np.array([kv.state[u][0] for u in range(g.num_nodes)])
+        err = float(np.abs(ranks - pagerank_reference(g)).max())
+        return out, err
+
+    (results, pagerank_err) = once(run)
+
+    rows = [["on" if k else "off", f"{b:,}", f"{t:.1f}"]
+            for k, (_, b, t) in results.items()]
+    print()
+    print(ascii_table(["combiner", "shuffle bytes", "sim time (s)"], rows,
+                      title="Ablation: combiner with partial synchronization"))
+    print(f"eager KV PageRank on the same engine: max err vs oracle "
+          f"{pagerank_err:.2e}")
+
+    with_c, without = results[True], results[False]
+    assert with_c[0] == without[0]          # identical output
+    assert with_c[1] < without[1] / 2        # big shuffle reduction
+    assert with_c[2] <= without[2]           # never slower
+    assert pagerank_err < 1e-3               # partial sync unaffected

@@ -1,0 +1,58 @@
+"""Extension — online state store between iterations (§VIII future work).
+
+    "Currently, the output from a reduction is written to the
+    (distributed) file system (DFS) and must be accessed from the DFS by
+    the next set of maps.  This involves significant overhead.  Using
+    online data structures (for example, Bigtable) provides credible
+    alternatives; however, issues of fault tolerance must be resolved."
+
+Compares General PageRank (many global iterations — the configuration
+that pays the most state round trips) across: the DFS store, the online
+store without checkpoints (fast, unrecoverable), and the online store
+with periodic DFS checkpoints (the resolved-fault-tolerance variant).
+"""
+
+from __future__ import annotations
+
+from repro.apps.pagerank import PageRankBlockSpec
+from repro.bench import get_graph, get_partition, graph_scale, make_cluster
+from repro.core import DriverConfig, run_iterative_block
+from repro.util import ascii_table
+
+VARIANTS = (
+    ("DFS (Hadoop baseline)", "dfs", 0),
+    ("online, no checkpoints", "online", 0),
+    ("online + checkpoint every 5", "online", 5),
+)
+
+
+def test_extension_online_state_store(once):
+    scale = graph_scale()
+    g = get_graph("A", scale)
+    part = get_partition("A", scale, max(2, int(round(100 * scale))))
+
+    def run():
+        out = {}
+        for name, store, ckpt in VARIANTS:
+            cfg = DriverConfig(mode="general", state_store=store,
+                               checkpoint_every=ckpt)
+            res = run_iterative_block(PageRankBlockSpec(g, part), cfg,
+                                      cluster=make_cluster())
+            out[name] = (res.global_iters, res.sim_time)
+        return out
+
+    results = once(run)
+    print()
+    print(ascii_table(
+        ["state store", "global iters", "sim time (s)"],
+        [[n, it, f"{t:.0f}"] for n, (it, t) in results.items()],
+        title="Extension: inter-iteration state store (General PageRank)"))
+
+    it_dfs, t_dfs = results["DFS (Hadoop baseline)"]
+    it_fast, t_fast = results["online, no checkpoints"]
+    it_ckpt, t_ckpt = results["online + checkpoint every 5"]
+    # identical algorithm either way
+    assert it_dfs == it_fast == it_ckpt
+    # online store saves time; checkpoints give back part of the saving
+    assert t_fast < t_dfs
+    assert t_fast < t_ckpt < t_dfs

@@ -1,0 +1,34 @@
+"""Figure 2 — PageRank: iterations to converge vs #partitions, Graph A.
+
+Paper's shape: the General implementation's global iteration count is
+flat across the partition sweep (every iteration does the same work
+regardless of partitioning); the Eager implementation needs far fewer
+global iterations at few partitions and climbs toward General as
+partitions shrink toward single nodes (not strictly monotonically —
+"partitioning into different number of partitions results in varying
+number of inter-component edges", §V-B.4).
+"""
+
+from __future__ import annotations
+
+from repro.bench import pagerank_sweep, report_sweep
+
+
+def test_fig2_pagerank_iterations_graph_a(once):
+    result = once(lambda: pagerank_sweep("A"))
+    print()
+    print(report_sweep(result, value="iterations",
+                       title="Figure 2: PageRank iterations vs #partitions (Graph A)"))
+
+    xs, gen_iters = result.series("general", value="iterations")
+    _, eag_iters = result.series("eager", value="iterations")
+
+    # General: flat (identical work every iteration, any partitioning).
+    assert len(set(gen_iters)) == 1, f"general not flat: {gen_iters}"
+    # Eager: below general everywhere, and markedly below at the left end.
+    assert all(e <= g for e, g in zip(eag_iters, gen_iters))
+    assert eag_iters[0] < gen_iters[0] / 2.5, (
+        f"eager {eag_iters[0]} vs general {gen_iters[0]} at {xs[0]} partitions")
+    # Eager rises toward general across the sweep (allowing local
+    # non-monotonicity, compare sweep ends).
+    assert eag_iters[-1] > eag_iters[0]

@@ -1,0 +1,25 @@
+"""Figure 5 — PageRank: time to converge vs #partitions, Graph B.
+
+Same as Figure 4 on Graph B (100K nodes, same ~3M edge budget).
+"""
+
+from __future__ import annotations
+
+from repro.bench import pagerank_sweep, report_sweep, speedup_summary
+
+
+def test_fig5_pagerank_time_graph_b(once):
+    result = once(lambda: pagerank_sweep("B"))
+    print()
+    print(report_sweep(result, value="sim_time",
+                       title="Figure 5: PageRank time (simulated s) vs #partitions (Graph B)"))
+    summary = speedup_summary(result)
+    print(f"speedup (General/Eager): mean {summary['mean']:.2f}x "
+          f"max {summary['max']:.2f}x min {summary['min']:.2f}x")
+
+    _, gen_t = result.series("general", value="sim_time")
+    _, eag_t = result.series("eager", value="sim_time")
+
+    assert all(e < g for e, g in zip(eag_t, gen_t))
+    assert gen_t[0] / eag_t[0] > 2.0
+    assert summary["mean"] > 1.5

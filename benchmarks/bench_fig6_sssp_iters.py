@@ -1,0 +1,28 @@
+"""Figure 6 — SSSP: iterations to converge vs #partitions, Graph A.
+
+Random Uniform[1,10) edge weights on Graph A (§V-C.2).  Paper's shape:
+General (synchronous Bellman-Ford rounds) is flat across the partition
+sweep; Eager needs far fewer global iterations at few partitions
+because "edges across partitions are rare and ... bulk of the work [is]
+performed in the local iterations", rising (not strictly monotonically)
+with the partition count.
+"""
+
+from __future__ import annotations
+
+from repro.bench import report_sweep, sssp_sweep
+
+
+def test_fig6_sssp_iterations(once):
+    result = once(lambda: sssp_sweep())
+    print()
+    print(report_sweep(result, value="iterations",
+                       title="Figure 6: SSSP iterations vs #partitions (Graph A)"))
+
+    xs, gen_iters = result.series("general", value="iterations")
+    _, eag_iters = result.series("eager", value="iterations")
+
+    assert len(set(gen_iters)) == 1, f"general not flat: {gen_iters}"
+    assert all(e <= g for e, g in zip(eag_iters, gen_iters))
+    assert eag_iters[0] < gen_iters[0] / 2
+    assert eag_iters[-1] >= eag_iters[0]

@@ -1,0 +1,29 @@
+"""Figure 7 — SSSP: time to converge vs #partitions, Graph A.
+
+Paper's shape: "as observed in PageRank, though the running time
+depends on the number of global iterations, it is not entirely
+determined by it ... we observe significant performance improvements
+amounting to 8x speedup over the general implementation" (§V-C.2).
+"""
+
+from __future__ import annotations
+
+from repro.bench import report_sweep, speedup_summary, sssp_sweep
+
+
+def test_fig7_sssp_time(once):
+    result = once(lambda: sssp_sweep())
+    print()
+    print(report_sweep(result, value="sim_time",
+                       title="Figure 7: SSSP time (simulated s) vs #partitions (Graph A)"))
+    summary = speedup_summary(result)
+    print(f"speedup (General/Eager): mean {summary['mean']:.2f}x "
+          f"max {summary['max']:.2f}x min {summary['min']:.2f}x "
+          f"(paper reports ~8x on its testbed)")
+
+    _, gen_t = result.series("general", value="sim_time")
+    _, eag_t = result.series("eager", value="sim_time")
+
+    assert all(e < g for e, g in zip(eag_t, gen_t))
+    assert gen_t[0] / eag_t[0] > 2.0
+    assert summary["mean"] > 1.5

@@ -1,0 +1,29 @@
+"""Figure 8 — K-Means: iterations to converge vs threshold delta.
+
+Census-like data, 52 partitions (the paper's fixed setting).  Paper's
+shape: "it takes more iterations to converge for smaller threshold
+values.  However, Eager K-Means converges in less than one-third of the
+global iterations taken by general K-Means" (§V-D).
+"""
+
+from __future__ import annotations
+
+from repro.bench import kmeans_sweep, report_sweep
+
+
+def test_fig8_kmeans_iterations(once):
+    result = once(lambda: kmeans_sweep())
+    print()
+    print(report_sweep(result, value="iterations", x_label="threshold",
+                       title="Figure 8: K-Means iterations vs threshold (52 partitions)"))
+
+    xs, gen_iters = result.series("general", value="iterations")
+    _, eag_iters = result.series("eager", value="iterations")
+
+    # Smaller thresholds need at least as many iterations (both modes).
+    assert all(a <= b for a, b in zip(gen_iters, gen_iters[1:])), gen_iters
+    assert all(a <= b for a, b in zip(eag_iters, eag_iters[1:])), eag_iters
+    # Eager beats general at every threshold; at the loose end by ~3x
+    # (the paper's "less than one-third").
+    assert all(e < g for e, g in zip(eag_iters, gen_iters))
+    assert eag_iters[0] <= gen_iters[0] / 2.5

@@ -1,0 +1,38 @@
+"""Figure 9 — K-Means: time to converge vs threshold delta.
+
+Paper's shape: "the time to converge is proportional to the number of
+iterations.  It takes longer to converge for smaller threshold values.
+Partial synchronizations lead to a performance improvement of about
+3.5x on average compared to general K-Means" (§V-D).
+"""
+
+from __future__ import annotations
+
+from repro.bench import kmeans_sweep, report_sweep, speedup_summary
+
+
+def test_fig9_kmeans_time(once):
+    result = once(lambda: kmeans_sweep())
+    print()
+    print(report_sweep(result, value="sim_time", x_label="threshold",
+                       title="Figure 9: K-Means time (simulated s) vs threshold"))
+    summary = speedup_summary(result)
+    print(f"speedup (General/Eager): mean {summary['mean']:.2f}x "
+          f"max {summary['max']:.2f}x min {summary['min']:.2f}x "
+          f"(paper reports ~3.5x average)")
+
+    xs, gen_t = result.series("general", value="sim_time")
+    _, eag_t = result.series("eager", value="sim_time")
+
+    # Time grows as the threshold tightens; eager wins everywhere.
+    assert all(a <= b * 1.02 for a, b in zip(gen_t, gen_t[1:])), gen_t
+    assert all(e < g for e, g in zip(eag_t, gen_t))
+    # Roughly the paper's factor (band, not exact): >2x average.
+    assert summary["mean"] > 2.0
+
+    # time ~ iterations (the paper's "proportional" observation)
+    _, gen_iters = result.series("general", value="iterations")
+    for t, it in zip(gen_t, gen_iters):
+        per_iter = t / it
+        first = gen_t[0] / gen_iters[0]
+        assert 0.5 * first <= per_iter <= 2.0 * first

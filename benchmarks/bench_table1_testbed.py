@@ -1,0 +1,46 @@
+"""Table I — measurement testbed and software.
+
+The paper's testbed: 8 Amazon EC2 extra-large instances (8 x 64-bit EC2
+compute units, 15 GB RAM, 4 x 420 GB storage) running Hadoop 0.20.1 with
+4 GB heap per slave.  Our substitute is the simulated cluster; this
+bench prints the equivalent configuration table and sanity-checks the
+cost-model constants the figures depend on.
+"""
+
+from __future__ import annotations
+
+from repro.bench import make_cluster
+from repro.cluster import EC2_DEFAULTS
+from repro.util import ascii_table
+
+
+def test_table1_testbed(once):
+    def build():
+        return make_cluster()
+
+    cluster = once(build)
+
+    rows = [
+        ("Nodes (EC2 XL instances)", len(cluster.nodes)),
+        ("Map slots per node", cluster.nodes[0].map_slots),
+        ("Reduce slots per node", cluster.nodes[0].reduce_slots),
+        ("Total map slots", cluster.total_map_slots),
+        ("Job startup + teardown (s)", EC2_DEFAULTS.job_startup_seconds),
+        ("Per-task dispatch (s)", EC2_DEFAULTS.task_dispatch_seconds),
+        ("Barrier (s)", EC2_DEFAULTS.barrier_seconds),
+        ("Map record op (us)", EC2_DEFAULTS.map_op_seconds * 1e6),
+        ("Shuffle bandwidth (MB/s)", EC2_DEFAULTS.shuffle_bandwidth_bps / 1e6),
+        ("DFS replication", EC2_DEFAULTS.dfs_replication),
+    ]
+    print()
+    print(ascii_table(["Resource / constant", "Value"], rows,
+                      title="Table I: simulated testbed (EC2-like substitute)"))
+
+    # Table I's shape: 8 nodes, and a cost model where one global
+    # synchronization (startup+barrier) costs far more than the per-task
+    # and per-record work it coordinates — the premise of the paper.
+    assert len(cluster.nodes) == 8
+    assert (EC2_DEFAULTS.job_startup_seconds
+            > 10 * EC2_DEFAULTS.task_dispatch_seconds)
+    assert (EC2_DEFAULTS.job_startup_seconds
+            > 1e5 * EC2_DEFAULTS.map_op_seconds)

@@ -1,0 +1,48 @@
+"""Table II — PageRank input graph properties.
+
+Graph A: 280K nodes, ~3M edges.  Graph B: 100K nodes, ~3M edges.  Both
+preferential-attachment with damping 0.85; the paper verifies power-law
+conformity by fitting the in-link distribution ("the best-fit for
+inlinks ... yields the power-law exponent", §V-B.3).  This bench builds
+both graphs (scaled), prints their property rows, and asserts the
+hubs-and-spokes profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import get_graph, graph_scale
+from repro.graph import hub_spoke_ratio, summarize_graph
+from repro.util import ascii_table
+
+
+def test_table2_input_graphs(once):
+    scale = graph_scale()
+
+    def build():
+        return {w: summarize_graph(get_graph(w, scale)) for w in ("A", "B")}
+
+    summaries = once(build)
+
+    headers = ["Property", "Graph A", "Graph B"]
+    a, b = summaries["A"], summaries["B"]
+    rows = [[name, dict(a.rows())[name], dict(b.rows())[name]]
+            for name, _ in a.rows()]
+    rows.append(["Damping factor (used by Figs 2-5)", 0.85, 0.85])
+    rows.append(["Scale vs paper", scale, scale])
+    print()
+    print(ascii_table(headers, rows, title="Table II: input graph properties"))
+
+    # Table II shape: A has more nodes than B at the same edge budget
+    # (B denser); both graphs heavy-tailed in in-degree.
+    assert a.num_nodes > b.num_nodes
+    assert b.mean_degree > a.mean_degree
+    for which, s in summaries.items():
+        g = get_graph(which, scale)
+        assert 1.5 < s.powerlaw_alpha < 6.0, which
+        ratio = hub_spoke_ratio(g.in_degree())
+        assert ratio > 0.02, f"graph {which} lacks hubs (top-1% mass {ratio:.3f})"
+    # edge budget: paper has ~3M at full scale, proportional here
+    expected_a = 3_000_000 * scale
+    assert 0.5 * expected_a <= a.num_edges <= 2.0 * expected_a

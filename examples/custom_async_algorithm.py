@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Writing your own asynchronous algorithm on the §IV API.
+
+The paper argues its extensions apply to "broad classes of iterative
+asynchronous algorithms" (§V-E, §VI).  This example implements one from
+scratch on the record-at-a-time API — **connected components by
+min-label propagation** — showing exactly which four functions you
+write (``lmap``, ``lreduce``, ``greduce`` + termination) and how the
+framework generates ``gmap`` per Figure 1, runs it on the real
+MapReduce engine, and pays global synchronizations only at local
+fixpoints.
+
+Run:  python examples/custom_async_algorithm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import components_reference
+from repro.cluster import SimCluster
+from repro.core import AsyncMapReduceSpec, DriverConfig, run_iterative_kv
+from repro.engine import MapReduceRuntime
+from repro.graph import multilevel_partition, preferential_attachment
+
+
+class MinLabelComponents(AsyncMapReduceSpec):
+    """Connected components: every node repeatedly adopts the minimum
+    label in its (undirected) neighbourhood.
+
+    Hashtable record per node: ``(label, ext_floor, internal_nbrs,
+    external_nbrs)`` — the frozen ``ext_floor`` is the best label offered
+    by remote neighbours at the last global synchronization.
+    """
+
+    def __init__(self, graph, partition):
+        self.graph = graph
+        self.partition = partition
+        ptr, nbr, _ = graph.undirected_csr()
+        assign = partition.assign
+        self._internal = {}
+        self._external = {}
+        for u in range(graph.num_nodes):
+            nbrs = nbr[ptr[u]: ptr[u + 1]]
+            same = assign[nbrs] == assign[u]
+            self._internal[u] = nbrs[same].tolist()
+            self._external[u] = nbrs[~same].tolist()
+
+    # -- the four user functions (§IV) ---------------------------------
+    def lmap(self, key, value, ctx):
+        label, ext, internal, external = value
+        ctx.emit_local_intermediate(key, ("rec", value))
+        for v in internal:
+            ctx.emit_local_intermediate(v, ("lbl", label))
+
+    def lreduce(self, key, values, ctx):
+        rec, best = None, None
+        for tag, payload in values:
+            if tag == "rec":
+                rec = payload
+            elif best is None or payload < best:
+                best = payload
+        if rec is None:
+            return
+        label, ext, internal, external = rec
+        new_label = min(x for x in (label, best, ext) if x is not None)
+        ctx.emit_local(key, (new_label, ext, internal, external))
+
+    def greduce(self, key, values, ctx):
+        label = None
+        ext = self.graph.num_nodes  # +inf in label space
+        for tag, payload in values:
+            if tag == "label":
+                label = payload
+            else:
+                ext = min(ext, payload)
+        ctx.emit(key, (min(label, ext), ext))
+
+    # -- plumbing --------------------------------------------------------
+    def initial_state(self):
+        n = self.graph.num_nodes
+        return {u: (u, n) for u in range(n)}
+
+    def num_partitions(self):
+        return self.partition.k
+
+    def partition_input(self, part_id, state):
+        return [
+            (int(u), (state[int(u)][0], state[int(u)][1],
+                      self._internal[int(u)], self._external[int(u)]))
+            for u in self.partition.parts()[part_id]
+        ]
+
+    def gmap_emit(self, table, part_id):
+        out = []
+        for u, (label, ext, internal, external) in table.items():
+            out.append((u, ("label", label)))
+            for v in external:
+                out.append((v, ("lbl", label)))
+        return out
+
+    def state_from_output(self, output, prev_state):
+        new_state = dict(prev_state)
+        new_state.update(output)
+        return new_state
+
+    def local_converged(self, prev_table, curr_table):
+        return all(curr_table[u][0] == prev_table[u][0] for u in curr_table)
+
+    def global_converged(self, prev_state, curr_state):
+        changed = sum(curr_state[u][0] != prev_state[u][0] for u in curr_state)
+        return changed == 0, float(changed)
+
+
+def main() -> None:
+    graph = preferential_attachment(400, num_conn=2, locality_prob=0.9,
+                                    community_mean=40, seed=1)
+    partition = multilevel_partition(graph, 4, seed=0)
+    spec = MinLabelComponents(graph, partition)
+
+    for mode in ("general", "eager"):
+        rt = MapReduceRuntime("serial", cluster=SimCluster())
+        res = run_iterative_kv(spec, DriverConfig(mode=mode), runtime=rt)
+        labels = np.array([res.state[u][0] for u in range(graph.num_nodes)])
+        ok = np.array_equal(labels, components_reference(graph))
+        print(f"{mode:8s}: {res.global_iters:3d} global iterations, "
+              f"{res.sim_time:8,.0f} simulated s, "
+              f"{len(np.unique(labels))} components, correct={ok}")
+
+    print("\nThe eager run resolves whole components inside partitions "
+          "locally and needs global rounds only to merge labels across "
+          "the cut — the same tradeoff as the paper's three benchmarks, "
+          "written in ~80 lines of user code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Tour of the §VIII future-work extensions, implemented.
+
+The paper closes with three proposals; this example runs all three on
+one PageRank workload:
+
+1. **Hierarchy of synchronizations** — rack-level sync rounds between
+   the node-local and global levels.
+2. **Optimal granularity for maps** — automatic partition-count
+   selection by probing (sampling-based, per the paper's citation [5]).
+3. **System-level enhancements** — a Bigtable-like online store for the
+   inter-iteration state instead of the DFS, with the fault-tolerance
+   caveat handled by periodic checkpoints.
+
+Run:  python examples/extensions_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.pagerank import PageRankBlockSpec
+from repro.cluster import SimCluster
+from repro.core import (
+    DriverConfig,
+    HierarchyConfig,
+    autotune_partitions,
+    make_racks,
+    run_iterative_block,
+    run_iterative_hierarchical,
+)
+from repro.graph import make_paper_graph, multilevel_partition
+from repro.util import ascii_table
+
+
+def main() -> None:
+    graph = make_paper_graph("A", scale=0.01, seed=0)
+    print(f"Graph A (scaled): {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+
+    # ------------------------------------------------------------------
+    # 1. Autotune the map granularity (§VIII "Optimal granularity").
+    # ------------------------------------------------------------------
+    def factory(k: int) -> PageRankBlockSpec:
+        return PageRankBlockSpec(graph, multilevel_partition(graph, k, seed=0))
+
+    report = autotune_partitions(factory, [2, 4, 8, 16, 32], probe_iters=3)
+    rows = [[p.k, f"{p.seconds_per_round:.1f}", f"{p.contraction:.2f}",
+             f"{p.predicted_seconds:,.0f}"] for p in report.ranking()]
+    print(ascii_table(["k", "s/round (probe)", "contraction", "predicted total (s)"],
+                      rows, title=f"1. Granularity autotuner -> best k = {report.best_k} "
+                      f"(probe cost {report.probe_seconds:,.0f} s)"))
+
+    k = report.best_k
+    partition = multilevel_partition(graph, k, seed=0)
+
+    # ------------------------------------------------------------------
+    # 2. Flat eager vs hierarchical (rack-level) synchronization.
+    # ------------------------------------------------------------------
+    flat = run_iterative_block(PageRankBlockSpec(graph, partition),
+                               DriverConfig(mode="eager"), cluster=SimCluster())
+    racks = make_racks(k, max(2, k // 4))
+    hier = run_iterative_hierarchical(
+        PageRankBlockSpec(graph, partition), DriverConfig(mode="eager"),
+        racks, hierarchy=HierarchyConfig(inner_rounds=3), cluster=SimCluster())
+    print()
+    print(ascii_table(
+        ["scheme", "global iters", "sim time (s)"],
+        [["flat eager (2 levels)", flat.global_iters, f"{flat.sim_time:,.0f}"],
+         [f"hierarchical ({len(racks)} racks, 3 inner rounds)",
+          hier.global_iters, f"{hier.sim_time:,.0f}"]],
+        title="2. Hierarchy of synchronizations"))
+
+    # ------------------------------------------------------------------
+    # 3. DFS vs online state store between iterations.
+    # ------------------------------------------------------------------
+    rows = []
+    for name, store, ckpt in (("DFS (baseline)", "dfs", 0),
+                              ("online store", "online", 0),
+                              ("online + checkpoints", "online", 5)):
+        cfg = DriverConfig(mode="eager", state_store=store,
+                           checkpoint_every=ckpt)
+        res = run_iterative_block(PageRankBlockSpec(graph, partition), cfg,
+                                  cluster=SimCluster())
+        rows.append([name, f"{res.sim_time:,.0f}"])
+    print()
+    print(ascii_table(["state store", "sim time (s)"], rows,
+                      title="3. Inter-iteration state store"))
+
+
+if __name__ == "__main__":
+    main()

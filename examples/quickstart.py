@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: the partial-synchronization API in five minutes.
+
+Builds a small power-law web graph, partitions it once (the off-line
+locality-enhancing step), and runs PageRank both ways:
+
+* **General** — the traditional iterative MapReduce baseline: one global
+  map/shuffle/reduce barrier per iteration.
+* **Eager**  — the paper's contribution: each global map runs local
+  map/reduce iterations to *local* convergence before paying a global
+  synchronization.
+
+Both converge to the same ranks; Eager needs far fewer global
+synchronizations, which is where all the time goes on a cloud cluster.
+Also demonstrates the plain MapReduce engine with WordCount.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import pagerank, pagerank_reference, wordcount
+from repro.cluster import SimCluster
+from repro.graph import make_paper_graph, multilevel_partition
+from repro.util import ascii_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The MapReduce engine itself: WordCount.
+    # ------------------------------------------------------------------
+    docs = [
+        "partial synchronization beats global synchronization",
+        "global synchronization is expensive in the cloud",
+    ]
+    counts = wordcount(docs).as_dict()
+    print("WordCount on the MapReduce engine:")
+    print("  ", dict(sorted(counts.items())), "\n")
+
+    # ------------------------------------------------------------------
+    # 2. A Table II-style input graph + one-time partitioning.
+    # ------------------------------------------------------------------
+    graph = make_paper_graph("A", scale=0.01, seed=0)  # 2800-node Graph A
+    partition = multilevel_partition(graph, 8, seed=0)
+    print(f"Graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+          f"8 partitions, cut fraction {partition.cut_fraction():.3f}\n")
+
+    # ------------------------------------------------------------------
+    # 3. General vs Eager PageRank on the simulated EC2 cluster.
+    # ------------------------------------------------------------------
+    rows = []
+    results = {}
+    for mode in ("general", "eager"):
+        res = pagerank(graph, partition, mode=mode, cluster=SimCluster())
+        results[mode] = res
+        rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
+                     "yes" if res.converged else "no"])
+    print(ascii_table(
+        ["mode", "global iterations", "simulated time (s)", "converged"],
+        rows, title="PageRank: General vs Eager"))
+
+    speedup = results["general"].sim_time / results["eager"].sim_time
+    err = np.abs(results["eager"].ranks - pagerank_reference(graph)).max()
+    print(f"\nEager speedup: {speedup:.1f}x  |  max rank error vs dense "
+          f"power-iteration oracle: {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

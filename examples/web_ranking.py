@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Web ranking scenario: PageRank over a crawled web graph.
+
+Reproduces the paper's core PageRank experiment end to end at a small
+scale: generate both Table II graphs, sweep the number of partitions,
+and print the Figure 2/4-style series (iterations and simulated time
+for Eager vs General), including the partition-quality numbers that
+explain the trend.
+
+Run:  python examples/web_ranking.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import pagerank
+from repro.cluster import SimCluster
+from repro.graph import make_paper_graph, multilevel_partition, partition_quality
+from repro.util import ascii_table
+
+SCALE = 0.01           # 2800-node Graph A / 1000-node Graph B
+PARTITIONS = (2, 4, 8, 16, 32, 64)
+
+
+def sweep(which: str) -> None:
+    graph = make_paper_graph(which, scale=SCALE, seed=0)
+    print(f"\nGraph {which}: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    rows = []
+    for k in PARTITIONS:
+        part = multilevel_partition(graph, k, seed=0)
+        q = partition_quality(part)
+        gen = pagerank(graph, part, mode="general", cluster=SimCluster())
+        eag = pagerank(graph, part, mode="eager", cluster=SimCluster())
+        rows.append([
+            k, f"{q.cut_fraction:.3f}",
+            gen.global_iters, eag.global_iters,
+            f"{gen.sim_time:,.0f}", f"{eag.sim_time:,.0f}",
+            f"{gen.sim_time / eag.sim_time:.1f}x",
+        ])
+    print(ascii_table(
+        ["#partitions", "cut", "general iters", "eager iters",
+         "general time (s)", "eager time (s)", "speedup"],
+        rows, title=f"PageRank partition sweep, Graph {which} (cf. Figs 2-5)"))
+
+
+def main() -> None:
+    for which in ("A", "B"):
+        sweep(which)
+    print("\nReading the table: General's iteration count is flat; Eager's "
+          "is small when partitions are few/local and climbs as the cut "
+          "grows — time follows the global synchronization count.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Asynchronous Algorithms in MapReduce".
+
+Kambatla, Rapolu, Jagannathan, Grama (IEEE CLUSTER 2010): partial
+synchronizations and eager scheduling for iterative MapReduce
+applications, evaluated on PageRank, Single-Source Shortest Path and
+K-Means.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the two-level (local/global) MapReduce
+    API (``lmap``/``lreduce``/``gmap``/``greduce``), partial
+    synchronization, eager scheduling, convergence criteria and the
+    iterative driver.
+``repro.engine``
+    A complete MapReduce runtime (jobs, tasks, shuffle, combiners,
+    counters, fault tolerance via deterministic replay, serial/thread/
+    process executors) — the Hadoop substitute.
+``repro.cluster``
+    The simulated 8-node EC2 testbed: cost model, slots and list
+    scheduling, network/DFS charges, execution traces.
+``repro.graph``
+    CSR digraphs, preferential-attachment generators (Table II),
+    multilevel/BFS/hash partitioners (the Metis substitute), power-law
+    fitting.
+``repro.apps``
+    PageRank, SSSP, K-Means (General + Eager), connected components,
+    wordcount.
+``repro.data``
+    Synthetic census stand-in and point-cloud generators.
+``repro.bench``
+    Sweeps and reports regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro.graph import make_paper_graph, multilevel_partition
+>>> from repro.apps import pagerank
+>>> from repro.cluster import SimCluster
+>>> g = make_paper_graph("A", scale=0.01, seed=0)
+>>> part = multilevel_partition(g, 8, seed=0)
+>>> eager = pagerank(g, part, mode="eager", cluster=SimCluster())
+>>> general = pagerank(g, part, mode="general", cluster=SimCluster())
+>>> eager.global_iters < general.global_iters
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

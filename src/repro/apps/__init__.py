@@ -1,0 +1,99 @@
+"""Applications: the paper's three benchmarks plus extensions.
+
+* :mod:`~repro.apps.pagerank` — PageRank (§V-B), General + Eager.
+* :mod:`~repro.apps.sssp` — Single-Source Shortest Path (§V-C).
+* :mod:`~repro.apps.kmeans` — K-Means clustering (§V-D) with the
+  Yom-Tov & Slonim repartitioning and oscillation detection.
+* :mod:`~repro.apps.components` — connected components (§V-E / §VI
+  "broader applicability").
+* :mod:`~repro.apps.jacobi` — asynchronous Jacobi linear solver (§VI:
+  "asynchronous mat-vecs form the core of iterative linear system
+  solvers").
+* :mod:`~repro.apps.apsp` — landmark all-pairs shortest paths (§V-C:
+  "All-Pairs Shortest Path has a related structure").
+* :mod:`~repro.apps.wordcount` — engine sanity application.
+"""
+
+from repro.apps.components import (
+    ComponentsBlockSpec,
+    ComponentsResult,
+    components_reference,
+    connected_components,
+)
+from repro.apps.kmeans import (
+    KMeansBlockSpec,
+    KMeansKVSpec,
+    KMeansResult,
+    assign_points,
+    kmeans,
+    kmeans_reference,
+    sse,
+)
+from repro.apps.apsp import (
+    LandmarkApspResult,
+    estimate_pair_distance,
+    landmark_apsp,
+)
+from repro.apps.jacobi import (
+    JacobiBlockSpec,
+    JacobiResult,
+    SparseSystem,
+    jacobi_solve,
+    make_diagonally_dominant_system,
+)
+from repro.apps.pagerank import (
+    PageRankBlockSpec,
+    PageRankKVSpec,
+    PageRankResult,
+    pagerank,
+    pagerank_reference,
+)
+from repro.apps.sssp import (
+    SsspBlockSpec,
+    SsspKVSpec,
+    SsspResult,
+    sssp,
+    sssp_reference,
+)
+from repro.apps.wordcount import (
+    wordcount,
+    wordcount_job,
+    wordcount_map,
+    wordcount_reduce,
+)
+
+__all__ = [
+    "pagerank",
+    "pagerank_reference",
+    "PageRankBlockSpec",
+    "PageRankKVSpec",
+    "PageRankResult",
+    "sssp",
+    "sssp_reference",
+    "SsspBlockSpec",
+    "SsspKVSpec",
+    "SsspResult",
+    "kmeans",
+    "kmeans_reference",
+    "KMeansBlockSpec",
+    "KMeansKVSpec",
+    "KMeansResult",
+    "assign_points",
+    "sse",
+    "connected_components",
+    "components_reference",
+    "ComponentsBlockSpec",
+    "ComponentsResult",
+    "landmark_apsp",
+    "estimate_pair_distance",
+    "LandmarkApspResult",
+    "jacobi_solve",
+    "JacobiBlockSpec",
+    "JacobiResult",
+    "SparseSystem",
+    "make_diagonally_dominant_system",
+    "wordcount",
+    "wordcount_job",
+    "wordcount_map",
+    "wordcount_reduce",
+]

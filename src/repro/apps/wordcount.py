@@ -1,0 +1,62 @@
+"""WordCount: the canonical MapReduce sanity application.
+
+Not part of the paper's evaluation, but the standard exercise of the
+engine substrate (map -> combine -> shuffle -> reduce), used by the
+engine tests, the cross-executor equivalence properties, and the
+quickstart example.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.engine import Job, JobConf, JobResult, MapReduceRuntime
+
+__all__ = ["wordcount_map", "wordcount_reduce", "wordcount_job", "wordcount"]
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+def wordcount_map(key, value, ctx) -> None:
+    """Tokenise one document line and emit (word, 1) pairs."""
+    for word in _WORD_RE.findall(str(value).lower()):
+        ctx.emit(word, 1)
+
+
+def wordcount_reduce(key, values, ctx) -> None:
+    """Sum the counts for one word."""
+    ctx.emit(key, sum(values))
+
+
+def wordcount_job(*, num_reducers: int = 4, use_combiner: bool = True) -> Job:
+    """Build the WordCount job (the reduce doubles as the combiner —
+    counting is associative and commutative)."""
+    return Job(
+        map_fn=wordcount_map,
+        reduce_fn=wordcount_reduce,
+        combine_fn=wordcount_reduce if use_combiner else None,
+        conf=JobConf(num_reducers=num_reducers, name="wordcount"),
+    )
+
+
+def wordcount(documents: Sequence[str], *, runtime: "MapReduceRuntime | None" = None,
+              splits: int = 4, num_reducers: int = 4,
+              use_combiner: bool = True) -> JobResult:
+    """Count words across ``documents`` with the MapReduce engine.
+
+    Documents are sliced into ``splits`` input splits (one map task
+    each); returns the full :class:`JobResult` (use ``.as_dict()`` for
+    the counts).
+    """
+    if splits < 1:
+        raise ValueError("splits must be >= 1")
+    rt = runtime if runtime is not None else MapReduceRuntime("serial")
+    docs = list(documents)
+    chunk = max(1, (len(docs) + splits - 1) // splits)
+    parts = [
+        [(i + j, docs[i + j]) for j in range(min(chunk, len(docs) - i))]
+        for i in range(0, max(len(docs), 1), chunk)
+    ]
+    job = wordcount_job(num_reducers=num_reducers, use_combiner=use_combiner)
+    return rt.run(job, parts)

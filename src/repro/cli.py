@@ -1,0 +1,221 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro pagerank --graph A --scale 0.01 -k 8 --mode eager
+    python -m repro sssp     --graph A --scale 0.01 -k 8 --source 0
+    python -m repro kmeans   --rows 20000 --clusters 8 --threshold 0.01
+    python -m repro sweep    --figure 2            # any of 2..9
+    python -m repro autotune --graph A --scale 0.01 --candidates 2,8,32
+
+Every subcommand prints an ASCII report (the same tables the benchmark
+suite produces) and exits non-zero on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Asynchronous Algorithms in MapReduce' "
+                    "(Kambatla et al., CLUSTER 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--graph", choices=["A", "B"], default="A",
+                       help="Table II input graph")
+        p.add_argument("--scale", type=float, default=0.01,
+                       help="fraction of the paper's node count")
+        p.add_argument("-k", "--partitions", type=int, default=8,
+                       help="number of partitions")
+        p.add_argument("--partitioner", default="multilevel",
+                       help="partitioner: multilevel/bfs/chunk/hash/random")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_pr = sub.add_parser("pagerank", help="PageRank (Figs 2-5 workload)")
+    add_graph_args(p_pr)
+    p_pr.add_argument("--mode", choices=["general", "eager", "both"],
+                      default="both")
+    p_pr.add_argument("--damping", type=float, default=0.85)
+    p_pr.add_argument("--tol", type=float, default=1e-5)
+
+    p_sp = sub.add_parser("sssp", help="Shortest path (Figs 6-7 workload)")
+    add_graph_args(p_sp)
+    p_sp.add_argument("--mode", choices=["general", "eager", "both"],
+                      default="both")
+    p_sp.add_argument("--source", type=int, default=0)
+
+    p_km = sub.add_parser("kmeans", help="K-Means (Figs 8-9 workload)")
+    p_km.add_argument("--rows", type=int, default=20_000)
+    p_km.add_argument("--clusters", type=int, default=8)
+    p_km.add_argument("--threshold", type=float, default=0.01)
+    p_km.add_argument("-k", "--partitions", type=int, default=52)
+    p_km.add_argument("--mode", choices=["general", "eager", "both"],
+                      default="both")
+    p_km.add_argument("--seed", type=int, default=0)
+
+    p_sw = sub.add_parser("sweep", help="regenerate one figure's sweep")
+    p_sw.add_argument("--figure", type=int, required=True,
+                      choices=[2, 3, 4, 5, 6, 7, 8, 9])
+    p_sw.add_argument("--scale", type=float, default=None,
+                      help="override REPRO_SCALE for this run")
+
+    p_at = sub.add_parser("autotune",
+                          help="pick the partition count (§VIII granularity)")
+    add_graph_args(p_at)
+    p_at.add_argument("--candidates", default="2,4,8,16,32",
+                      help="comma-separated partition counts to probe")
+    p_at.add_argument("--probe-iters", type=int, default=3)
+
+    return parser
+
+
+def _load_graph(args, *, weighted: bool = False):
+    from repro.graph import attach_random_weights, make_paper_graph, partition_graph
+
+    g = make_paper_graph(args.graph, scale=args.scale, seed=args.seed)
+    if weighted:
+        g = attach_random_weights(g, seed=args.seed + 1)
+    part = partition_graph(g, args.partitions, method=args.partitioner,
+                           seed=args.seed)
+    return g, part
+
+
+def _modes(arg: str) -> "list[str]":
+    return ["general", "eager"] if arg == "both" else [arg]
+
+
+def _report(title: str, rows: "list[list]") -> None:
+    from repro.util import ascii_table
+
+    print(ascii_table(["mode", "global iters", "simulated time (s)",
+                       "converged"], rows, title=title))
+
+
+def _cmd_pagerank(args) -> int:
+    from repro.apps import pagerank
+    from repro.cluster import SimCluster
+
+    g, part = _load_graph(args)
+    rows = []
+    for mode in _modes(args.mode):
+        res = pagerank(g, part, mode=mode, damping=args.damping, tol=args.tol,
+                       cluster=SimCluster())
+        rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
+                     "yes" if res.converged else "no"])
+    _report(f"PageRank on Graph {args.graph} "
+            f"({g.num_nodes} nodes, {args.partitions} partitions)", rows)
+    return 0
+
+
+def _cmd_sssp(args) -> int:
+    from repro.apps import sssp
+    from repro.cluster import SimCluster
+
+    g, part = _load_graph(args, weighted=True)
+    rows = []
+    for mode in _modes(args.mode):
+        res = sssp(g, part, source=args.source, mode=mode, cluster=SimCluster())
+        rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
+                     "yes" if res.converged else "no"])
+    _report(f"SSSP on Graph {args.graph} from source {args.source}", rows)
+    return 0
+
+
+def _cmd_kmeans(args) -> int:
+    from repro.apps import kmeans, sse
+    from repro.cluster import SimCluster
+    from repro.data import census_sample
+
+    pts = census_sample(args.rows, seed=args.seed)
+    rows = []
+    for mode in _modes(args.mode):
+        res = kmeans(pts, args.clusters, mode=mode, threshold=args.threshold,
+                     num_partitions=args.partitions, cluster=SimCluster(),
+                     seed=args.seed)
+        rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
+                     "yes" if res.converged else "no"])
+        print(f"  {mode} SSE: {sse(pts, res.centroids):,.0f}")
+    _report(f"K-Means on census sample ({args.rows} x 68, "
+            f"k={args.clusters}, delta={args.threshold})", rows)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench import (kmeans_sweep, pagerank_sweep, report_sweep,
+                             sssp_sweep)
+
+    fig = args.figure
+    if fig in (2, 4):
+        result = pagerank_sweep("A", scale=args.scale)
+    elif fig in (3, 5):
+        result = pagerank_sweep("B", scale=args.scale)
+    elif fig in (6, 7):
+        result = sssp_sweep(scale=args.scale)
+    else:
+        result = kmeans_sweep()
+    value = "iterations" if fig in (2, 3, 6, 8) else "sim_time"
+    x_label = "threshold" if fig in (8, 9) else "#partitions"
+    print(report_sweep(result, value=value, x_label=x_label,
+                       title=f"Figure {fig}"))
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from repro.apps.pagerank import PageRankBlockSpec
+    from repro.core import autotune_partitions
+    from repro.graph import make_paper_graph, partition_graph
+    from repro.util import ascii_table
+
+    g = make_paper_graph(args.graph, scale=args.scale, seed=args.seed)
+    candidates = [int(c) for c in args.candidates.split(",") if c.strip()]
+
+    def factory(k: int):
+        part = partition_graph(g, k, method=args.partitioner, seed=args.seed)
+        return PageRankBlockSpec(g, part)
+
+    report = autotune_partitions(factory, candidates,
+                                 probe_iters=args.probe_iters)
+    rows = [[p.k, p.probe_iters, f"{p.seconds_per_round:.1f}",
+             f"{p.contraction:.2f}", p.predicted_rounds,
+             f"{p.predicted_seconds:,.0f}"]
+            for p in report.ranking()]
+    print(ascii_table(
+        ["k", "probe iters", "s/round", "contraction", "pred. rounds",
+         "pred. total (s)"],
+        rows, title=f"Autotune (Graph {args.graph}): best k = {report.best_k}"))
+    print(f"probe cost: {report.probe_seconds:,.0f} simulated s")
+    return 0
+
+
+_COMMANDS = {
+    "pagerank": _cmd_pagerank,
+    "sssp": _cmd_sssp,
+    "kmeans": _cmd_kmeans,
+    "sweep": _cmd_sweep,
+    "autotune": _cmd_autotune,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

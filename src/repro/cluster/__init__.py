@@ -1,0 +1,52 @@
+"""Simulated distributed environment (the paper's EC2 testbed substitute).
+
+This package provides the measurement substrate: an explicit
+:class:`~repro.cluster.costmodel.CostModel` with EC2-like and HPC-like
+presets, :class:`~repro.cluster.node.SimNode` machines with map/reduce
+slots, greedy list scheduling with a full event
+:class:`~repro.cluster.trace.Trace`, and a replicated
+:class:`~repro.cluster.dfs.SimDFS`.  All "time to converge" numbers in the
+figure benchmarks are simulated seconds produced here from *measured*
+operation counts, byte counts, and task counts.
+"""
+
+from repro.cluster.cluster import PhaseResult, SimCluster
+from repro.cluster.costmodel import (
+    CostModel,
+    EC2_DEFAULTS,
+    HPC_DEFAULTS,
+    ZERO_COST,
+    scaled_model,
+)
+from repro.cluster.dfs import SimDFS, estimate_nbytes
+from repro.cluster.kvstore import OnlineStoreModel, SimKVStore
+from repro.cluster.node import SimNode, ec2_nodes
+from repro.cluster.report import (
+    PhaseShare,
+    format_breakdown,
+    overhead_fraction,
+    phase_breakdown,
+)
+from repro.cluster.trace import Event, Trace
+
+__all__ = [
+    "SimCluster",
+    "PhaseResult",
+    "CostModel",
+    "EC2_DEFAULTS",
+    "HPC_DEFAULTS",
+    "ZERO_COST",
+    "scaled_model",
+    "SimDFS",
+    "estimate_nbytes",
+    "SimKVStore",
+    "OnlineStoreModel",
+    "SimNode",
+    "PhaseShare",
+    "phase_breakdown",
+    "format_breakdown",
+    "overhead_fraction",
+    "ec2_nodes",
+    "Event",
+    "Trace",
+]

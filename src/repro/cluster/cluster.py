@@ -1,0 +1,225 @@
+"""The simulated cluster: slots, list scheduling, and phase accounting.
+
+:class:`SimCluster` turns a bag of task costs (seconds of compute, as
+measured by the engine or the iterative driver) into a *makespan* by
+greedy list scheduling onto the nodes' slots — longest task first onto
+the earliest-available slot, which is the classic LPT heuristic and a
+good stand-in for Hadoop's heartbeat-driven greedy assignment.  Each
+scheduled task becomes a trace event, so utilization and per-phase
+breakdowns are available afterwards.
+
+The simulated *clock* advances phase by phase; a global synchronization
+(shuffle + barrier + DFS round trip) advances it by the cost-model
+charges.  This is where the paper's central asymmetry lives: local
+synchronizations inside a gmap never touch the cluster clock beyond
+their compute time, while global synchronizations pay the full
+job-startup + shuffle + barrier toll.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.costmodel import CostModel, EC2_DEFAULTS
+from repro.cluster.dfs import SimDFS
+from repro.cluster.node import SimNode, ec2_nodes
+from repro.cluster.trace import Event, Trace
+
+__all__ = ["PhaseResult", "SimCluster"]
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of scheduling one phase onto the cluster."""
+
+    phase: str
+    makespan: float
+    total_work: float
+    num_tasks: int
+
+    def __post_init__(self) -> None:
+        if self.makespan < 0 or self.total_work < 0:
+            raise ValueError("negative time in PhaseResult")
+
+
+class SimCluster:
+    """A simulated Hadoop cluster with explicit time accounting.
+
+    Parameters
+    ----------
+    nodes:
+        Machines; defaults to the Table I testbed (8 EC2 XL instances).
+    cost_model:
+        Constants for overhead charges; defaults to EC2-like values.
+
+    Attributes
+    ----------
+    clock:
+        Current simulated time in seconds.  Phases advance it.
+    trace:
+        Full event log of everything scheduled so far.
+    dfs:
+        The cluster's simulated distributed filesystem.
+    """
+
+    def __init__(self, nodes: Sequence[SimNode] | None = None,
+                 cost_model: CostModel = EC2_DEFAULTS,
+                 online_model: "OnlineStoreModel | None" = None) -> None:
+        from repro.cluster.kvstore import OnlineStoreModel
+
+        self.nodes: list[SimNode] = list(nodes) if nodes is not None else ec2_nodes()
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        self.cost_model = cost_model
+        self.online_model = (online_model if online_model is not None
+                             else OnlineStoreModel())
+        self.clock: float = 0.0
+        self.trace = Trace()
+        self.dfs = SimDFS(cost_model)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_map_slots(self) -> int:
+        return sum(n.map_slots for n in self.nodes)
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return sum(n.reduce_slots for n in self.nodes)
+
+    def reset(self) -> None:
+        """Zero the clock and clear the trace (DFS contents retained)."""
+        self.clock = 0.0
+        self.trace = Trace()
+
+    # ------------------------------------------------------------------
+    # Phase scheduling
+    # ------------------------------------------------------------------
+    def run_map_phase(self, task_costs: Sequence[float], *,
+                      label: str = "map") -> PhaseResult:
+        """Schedule map tasks (compute seconds each) onto map slots."""
+        return self._run_phase(task_costs, kind="map", label=label)
+
+    def run_reduce_phase(self, task_costs: Sequence[float], *,
+                         label: str = "reduce") -> PhaseResult:
+        """Schedule reduce tasks onto reduce slots."""
+        return self._run_phase(task_costs, kind="reduce", label=label)
+
+    def _slots(self, kind: str) -> list[tuple[int, int, float]]:
+        """(node_id, slot_index, speed) for every slot of the given kind."""
+        out: list[tuple[int, int, float]] = []
+        for node in self.nodes:
+            count = node.map_slots if kind == "map" else node.reduce_slots
+            for s in range(count):
+                out.append((node.node_id, s, node.speed))
+        return out
+
+    def _run_phase(self, task_costs: Sequence[float], *, kind: str,
+                   label: str) -> PhaseResult:
+        costs = [float(c) for c in task_costs]
+        if any(c < 0 for c in costs):
+            raise ValueError("task costs must be >= 0")
+        slots = self._slots(kind)
+        if not slots:
+            raise ValueError(f"cluster has no {kind} slots")
+        dispatch = self.cost_model.task_dispatch_seconds
+        start_clock = self.clock
+        if not costs:
+            return PhaseResult(phase=label, makespan=0.0, total_work=0.0, num_tasks=0)
+
+        # LPT greedy: longest task first, onto the slot that can finish it
+        # earliest (accounts for heterogeneous node speeds).
+        order = sorted(range(len(costs)), key=lambda i: -costs[i])
+        # Heap of (available_time, node_id, slot_idx, speed).
+        heap: list[tuple[float, int, int, float]] = [
+            (start_clock, nid, sidx, speed) for nid, sidx, speed in slots
+        ]
+        heapq.heapify(heap)
+        end_max = start_clock
+        for i in order:
+            avail, nid, sidx, speed = heapq.heappop(heap)
+            dur = dispatch + costs[i] / speed
+            end = avail + dur
+            self.trace.add(Event(phase=label, label=f"{label}:{i}", node_id=nid,
+                                 slot=sidx, start=avail, end=end))
+            end_max = max(end_max, end)
+            heapq.heappush(heap, (end, nid, sidx, speed))
+        makespan = end_max - start_clock
+        self.clock = end_max
+        return PhaseResult(phase=label, makespan=makespan,
+                           total_work=sum(costs), num_tasks=len(costs))
+
+    # ------------------------------------------------------------------
+    # Global synchronization accounting
+    # ------------------------------------------------------------------
+    def charge_job_startup(self, *, label: str = "job-startup") -> float:
+        """Charge one MapReduce job submission/teardown; returns seconds."""
+        t = self.cost_model.job_startup_seconds
+        self._charge(label, t)
+        return t
+
+    def charge_shuffle(self, nbytes: float, *, label: str = "shuffle") -> float:
+        """Charge moving ``nbytes`` of intermediate data; returns seconds."""
+        t = self.cost_model.shuffle_seconds(nbytes)
+        self._charge(label, t)
+        return t
+
+    def charge_barrier(self, *, label: str = "barrier") -> float:
+        """Charge one global synchronization barrier; returns seconds."""
+        t = self.cost_model.barrier_seconds
+        self._charge(label, t)
+        return t
+
+    def charge_dfs_roundtrip(self, nbytes: float, *, label: str = "dfs") -> float:
+        """Charge writing results to the DFS and reading them back (§VIII)."""
+        t = (self.cost_model.dfs_write_seconds(nbytes)
+             + self.cost_model.dfs_read_seconds(nbytes))
+        self._charge(label, t)
+        return t
+
+    def charge_state_roundtrip(self, nbytes: float, *, store: str = "dfs",
+                               label: str = "state") -> float:
+        """Charge one inter-iteration state round trip.
+
+        ``store="dfs"`` is Hadoop's behaviour (reduce output written to
+        the replicated DFS, re-read by the next maps); ``store="online"``
+        uses the Bigtable-like online store of §VIII's future-work
+        discussion (see :mod:`repro.cluster.kvstore`).
+        """
+        if store == "dfs":
+            return self.charge_dfs_roundtrip(nbytes, label=label)
+        if store == "online":
+            t = self.online_model.roundtrip_seconds(nbytes)
+            self._charge(label, t)
+            return t
+        raise ValueError(f"store must be 'dfs' or 'online', got {store!r}")
+
+    def charge_fixed(self, label: str, seconds: float) -> float:
+        """Charge an arbitrary labelled serial cost (e.g. a checkpoint)."""
+        self._charge(label, seconds)
+        return seconds
+
+    def _charge(self, label: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        if seconds == 0:
+            return
+        self.trace.add(Event(phase=label, label=label, node_id=-1, slot=0,
+                             start=self.clock, end=self.clock + seconds))
+        self.clock += seconds
+
+    # ------------------------------------------------------------------
+    def lower_bound_makespan(self, task_costs: Sequence[float],
+                             kind: str = "map") -> float:
+        """Trivial scheduling lower bound: max(longest task, work/slots).
+
+        Tests assert ``phase makespan >= lower bound`` (dispatch excluded).
+        """
+        costs = [float(c) for c in task_costs]
+        if not costs:
+            return 0.0
+        slots = self._slots(kind)
+        speed_sum = sum(s for _, _, s in slots)
+        max_speed = max(s for _, _, s in slots)
+        return max(max(costs) / max_speed, sum(costs) / speed_sum)

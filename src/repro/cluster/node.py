@@ -1,0 +1,57 @@
+"""Simulated cluster nodes.
+
+A :class:`SimNode` models one machine of the testbed: a number of map and
+reduce *slots* (Hadoop's unit of task concurrency) and a relative CPU
+speed.  Heterogeneous speeds let the scheduler tests exercise speculative
+execution (a slow node creates stragglers, as on real EC2 where the paper
+notes "real-life transient failures", §VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimNode", "ec2_nodes"]
+
+
+@dataclass(frozen=True)
+class SimNode:
+    """One simulated machine."""
+
+    node_id: int
+    #: Concurrent map tasks this node can run (Hadoop map slots).
+    map_slots: int = 4
+    #: Concurrent reduce tasks.
+    reduce_slots: int = 2
+    #: Relative CPU speed; task compute time is divided by this.
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.map_slots < 1:
+            raise ValueError("map_slots must be >= 1")
+        if self.reduce_slots < 0:
+            raise ValueError("reduce_slots must be >= 0")
+        if self.speed <= 0:
+            raise ValueError("speed must be > 0")
+
+
+def ec2_nodes(count: int = 8, *, map_slots: int = 4, reduce_slots: int = 2,
+              speeds: "list[float] | None" = None) -> list[SimNode]:
+    """Build the Table I testbed: ``count`` identical extra-large instances.
+
+    ``speeds`` (one per node) overrides homogeneity, e.g. to model a
+    straggler node for the speculative-execution tests.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if speeds is not None and len(speeds) != count:
+        raise ValueError(f"speeds must have {count} entries, got {len(speeds)}")
+    return [
+        SimNode(
+            node_id=i,
+            map_slots=map_slots,
+            reduce_slots=reduce_slots,
+            speed=1.0 if speeds is None else speeds[i],
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,106 @@
+"""Execution-trace reports: where does simulated time go?
+
+The paper's argument rests on the global synchronization dominating
+iterative jobs' runtime ("the dominant overhead ... is associated with
+the global synchronizations between the map and reduce phases", §II).
+:func:`phase_breakdown` turns a cluster's trace into the table that
+makes this visible: per-phase busy/serial time, share of the makespan,
+and slot utilization — the evidence the bench reports print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import SimCluster
+from repro.util import ascii_table
+
+__all__ = ["PhaseShare", "phase_breakdown", "format_breakdown",
+           "overhead_fraction"]
+
+#: Phase-name fragments classified as synchronization overhead (the
+#: paper's "global synchronization" cost) rather than useful compute.
+_OVERHEAD_MARKERS = ("startup", "shuffle", "barrier", "dfs", "state",
+                     "checkpoint", "racks")
+_COMPUTE_MARKERS = ("map", "reduce")
+
+
+@dataclass(frozen=True)
+class PhaseShare:
+    """One row of the breakdown."""
+
+    phase: str
+    seconds: float
+    share: float
+    kind: str  # "compute" | "overhead" | "other"
+
+
+def _classify(phase: str) -> str:
+    lowered = phase.lower()
+    # overhead markers win over compute markers ("iter3:map" is compute,
+    # "iter3:shuffle" overhead, "hiter2:racks" overhead).
+    for marker in _OVERHEAD_MARKERS:
+        if marker in lowered:
+            return "overhead"
+    for marker in _COMPUTE_MARKERS:
+        if marker in lowered:
+            return "compute"
+    return "other"
+
+
+def _merge_label(phase: str) -> str:
+    """Collapse per-iteration labels (``iter7:map`` -> ``map``)."""
+    if ":" in phase:
+        return phase.split(":", 1)[1]
+    return phase
+
+
+def phase_breakdown(cluster: SimCluster) -> "list[PhaseShare]":
+    """Aggregate the cluster trace into per-phase shares of the clock.
+
+    Serial charges (startup/shuffle/barrier/DFS) contribute their full
+    duration; scheduled task phases contribute their *busy* time divided
+    by the total slot count is not meaningful across phases, so task
+    phases are reported by their wall (event-span) contribution too —
+    we use summed durations for serial events and busy time for slots,
+    normalised by the cluster clock.
+    """
+    totals: "dict[str, float]" = {}
+    for event in cluster.trace.events:
+        label = _merge_label(event.phase)
+        if event.node_id < 0:
+            # serial charge: duration is wall time
+            totals[label] = totals.get(label, 0.0) + event.duration
+        else:
+            # slot-scheduled work: average busy time per slot approximates
+            # its wall-clock contribution
+            slots = max(cluster.total_map_slots, 1)
+            totals[label] = totals.get(label, 0.0) + event.duration / slots
+    clock = max(cluster.clock, 1e-12)
+    rows = [
+        PhaseShare(phase=name, seconds=seconds, share=seconds / clock,
+                   kind=_classify(name))
+        for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+    return rows
+
+
+def overhead_fraction(cluster: SimCluster) -> float:
+    """Fraction of accounted time spent in synchronization overhead."""
+    rows = phase_breakdown(cluster)
+    total = sum(r.seconds for r in rows)
+    if total == 0:
+        return 0.0
+    return sum(r.seconds for r in rows if r.kind == "overhead") / total
+
+
+def format_breakdown(cluster: SimCluster, *, title: str = "Phase breakdown") -> str:
+    """Render the breakdown as an ASCII table."""
+    rows = phase_breakdown(cluster)
+    table_rows = [
+        [r.phase, f"{r.seconds:,.1f}", f"{100 * r.share:.1f}%", r.kind]
+        for r in rows
+    ]
+    table_rows.append(["(total clock)", f"{cluster.clock:,.1f}", "100%", ""])
+    return ascii_table(["phase", "seconds", "share of clock", "kind"],
+                       table_rows, title=title)

@@ -1,0 +1,77 @@
+"""The paper's contribution: partial synchronization + eager scheduling.
+
+Public surface:
+
+* :class:`~repro.core.api.AsyncMapReduceSpec` — the §IV API
+  (``lmap``/``lreduce``/``greduce`` + generated ``gmap``) running on the
+  real MapReduce engine via :func:`~repro.core.driver.run_iterative_kv`.
+* :class:`~repro.core.api.BlockSpec` — the vectorised per-partition
+  variant driven by :func:`~repro.core.driver.run_iterative_block`.
+* :class:`~repro.core.config.DriverConfig` with the two canonical
+  configurations :data:`~repro.core.config.GENERAL` (baseline) and
+  :data:`~repro.core.config.EAGER` (partial sync + eager scheduling).
+* Convergence criteria (inf-norm, unchanged, centroid-shift with
+  oscillation detection) in :mod:`repro.core.convergence`.
+"""
+
+from repro.core.api import AsyncMapReduceSpec, BlockSpec, LocalSolveReport
+from repro.core.config import DriverConfig, EAGER, GENERAL
+from repro.core.convergence import (
+    CentroidShiftCriterion,
+    Criterion,
+    InfNormCriterion,
+    L2NormCriterion,
+    UnchangedCriterion,
+    combine_any,
+)
+from repro.core.autotune import AutotuneReport, ProbeResult, autotune_partitions
+from repro.core.driver import (
+    IterativeResult,
+    RoundRecord,
+    run_iterative_block,
+    run_iterative_kv,
+)
+from repro.core.hierarchy import (
+    HierarchyConfig,
+    make_racks,
+    run_iterative_hierarchical,
+)
+from repro.core.emitter import (
+    GlobalReduceContext,
+    LocalMapContext,
+    LocalReduceContext,
+)
+from repro.core.gmap import GmapFunction, GreduceFunction
+from repro.core.localmr import LocalRunResult, run_local_mapreduce
+
+__all__ = [
+    "AsyncMapReduceSpec",
+    "BlockSpec",
+    "LocalSolveReport",
+    "DriverConfig",
+    "GENERAL",
+    "EAGER",
+    "Criterion",
+    "InfNormCriterion",
+    "L2NormCriterion",
+    "UnchangedCriterion",
+    "CentroidShiftCriterion",
+    "combine_any",
+    "IterativeResult",
+    "RoundRecord",
+    "run_iterative_kv",
+    "run_iterative_block",
+    "run_iterative_hierarchical",
+    "HierarchyConfig",
+    "make_racks",
+    "autotune_partitions",
+    "AutotuneReport",
+    "ProbeResult",
+    "LocalMapContext",
+    "LocalReduceContext",
+    "GlobalReduceContext",
+    "GmapFunction",
+    "GreduceFunction",
+    "LocalRunResult",
+    "run_local_mapreduce",
+]

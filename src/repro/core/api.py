@@ -1,0 +1,197 @@
+"""The partial-synchronization programming API (§IV of the paper).
+
+Two spec flavours implement the same two-level (local/global) scheme:
+
+* :class:`AsyncMapReduceSpec` — the faithful record-at-a-time API with
+  the paper's four user functions (``lmap``, ``lreduce``, ``greduce``
+  and the generated ``gmap``) and the EmitLocal* data flow.  It runs on
+  the real MapReduce engine and is what the correctness tests and small
+  examples use.
+
+* :class:`BlockSpec` — the vectorised per-partition variant.  The paper
+  notes that "local map and local reduce operations can use a thread
+  pool to extract further parallelism" (§IV); on a NumPy substrate the
+  corresponding optimisation is to vectorise the whole local iteration
+  over the partition.  A BlockSpec reports per-iteration operation
+  counts and shuffle bytes so the simulated cluster charges exactly the
+  same quantities the record-at-a-time path would, while the benchmark
+  sweeps stay laptop-fast.
+
+Both flavours share :class:`LocalSolveReport` (what a gmap hands to the
+global synchronization) and the convergence protocol from
+:mod:`repro.core.convergence`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.emitter import (
+    GlobalReduceContext,
+    LocalMapContext,
+    LocalReduceContext,
+)
+
+__all__ = ["AsyncMapReduceSpec", "BlockSpec", "LocalSolveReport"]
+
+
+@dataclass
+class LocalSolveReport:
+    """What one gmap (partition-local solve) reports to the global sync."""
+
+    partition: int
+    #: Application-defined update payload consumed by the global combine.
+    updates: Any
+    #: Number of local map/reduce iterations performed.
+    local_iters: int
+    #: Operation count of each local iteration (len == local_iters).
+    per_iter_ops: list = field(default_factory=list)
+    #: Bytes this partition ships through the global shuffle.
+    shuffle_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.local_iters < 0:
+            raise ValueError("local_iters must be >= 0")
+        if len(self.per_iter_ops) != self.local_iters:
+            raise ValueError(
+                f"per_iter_ops has {len(self.per_iter_ops)} entries, "
+                f"expected {self.local_iters}"
+            )
+        if self.shuffle_bytes < 0:
+            raise ValueError("shuffle_bytes must be >= 0")
+
+    @property
+    def total_ops(self) -> float:
+        return float(sum(self.per_iter_ops))
+
+
+class AsyncMapReduceSpec(abc.ABC):
+    """Record-at-a-time partial-synchronization spec (the paper's API).
+
+    Subclasses provide the four user functions of §IV plus the iteration
+    plumbing.  The framework generates ``gmap`` from ``lmap`` +
+    ``lreduce`` exactly as Figure 1 prescribes (see
+    :mod:`repro.core.localmr` and :mod:`repro.core.gmap`).
+    """
+
+    # -- the four user functions (§IV) ---------------------------------
+    @abc.abstractmethod
+    def lmap(self, key: Any, value: Any, ctx: LocalMapContext) -> None:
+        """Local map: called per hashtable entry; emits via
+        ``ctx.emit_local_intermediate``."""
+
+    @abc.abstractmethod
+    def lreduce(self, key: Any, values: list, ctx: LocalReduceContext) -> None:
+        """Local reduce over one locally-grouped key; emits via
+        ``ctx.emit_local``."""
+
+    @abc.abstractmethod
+    def greduce(self, key: Any, values: list, ctx: GlobalReduceContext) -> None:
+        """Global reduce over one globally-grouped key; emits via
+        ``ctx.emit``."""
+
+    # -- iteration plumbing ---------------------------------------------
+    @abc.abstractmethod
+    def initial_state(self) -> Any:
+        """Global state before the first iteration."""
+
+    @abc.abstractmethod
+    def num_partitions(self) -> int:
+        """Number of partitions (= global map tasks per iteration)."""
+
+    @abc.abstractmethod
+    def partition_input(self, part_id: int, state: Any) -> list:
+        """Build the gmap input ``xs`` (key-value list) for a partition.
+
+        This is the "functions to convert data into the formats required
+        by the local map and local reduce functions" of §IV.
+        """
+
+    @abc.abstractmethod
+    def state_from_output(self, output: list, prev_state: Any) -> Any:
+        """Fold the global reduce's Emit() pairs into the next state."""
+
+    @abc.abstractmethod
+    def local_converged(self, prev_table: dict, curr_table: dict) -> bool:
+        """Local termination function (§IV: "functions for termination
+        of global and local MapReduce iterations")."""
+
+    @abc.abstractmethod
+    def global_converged(self, prev_state: Any, curr_state: Any) -> "tuple[bool, float]":
+        """Global termination; returns (converged, residual)."""
+
+    # -- optional hooks --------------------------------------------------
+    def gmap_emit(self, table: dict, part_id: int) -> list:
+        """Pairs the gmap emits to the global reduce at local convergence.
+
+        Defaults to the hashtable contents (Figure 1's "for each value in
+        lreduce-output { EmitIntermediate(key, value) }"); applications
+        with cross-partition data flow (e.g. PageRank contributions over
+        cut edges) override this to add boundary traffic.
+        """
+        return list(table.items())
+
+    def on_global_iteration(self, iteration: int, state: Any) -> Any:
+        """Hook called before each global iteration; may return a new
+        state (e.g. K-Means' periodic repartitioning, §V-D).  Returning
+        ``None`` keeps the state unchanged."""
+        return None
+
+    def before_local_iteration(self, table: dict) -> None:
+        """Hook called before every local iteration with the hashtable.
+
+        The record-at-a-time model gives ``lmap`` only its own record;
+        jobs that need shared per-iteration data (K-Means' current
+        centroids — Hadoop would use the distributed cache / job
+        configuration) pull it from the table here.  Default: no-op.
+        """
+
+
+class BlockSpec(abc.ABC):
+    """Vectorised per-partition spec (thread-pool/NumPy variant of §IV)."""
+
+    #: True when each partition's updates touch a disjoint slice of the
+    #: global state (node-partitioned graph algorithms), so
+    #: ``global_combine`` over a *subset* of reports is meaningful.  The
+    #: hierarchical driver (§VIII's "hierarchy of synchronizations")
+    #: requires this; K-Means (whose combine averages across partitions)
+    #: leaves it False.
+    partition_scoped_state: bool = False
+
+    @abc.abstractmethod
+    def num_partitions(self) -> int:
+        """Number of partitions (global map tasks per iteration)."""
+
+    @abc.abstractmethod
+    def init_state(self) -> Any:
+        """Global state before the first iteration."""
+
+    @abc.abstractmethod
+    def local_solve(self, part_id: int, state: Any, *,
+                    max_local_iters: int) -> LocalSolveReport:
+        """Run local iterations for one partition against frozen remote
+        state; must stop at local convergence or ``max_local_iters``."""
+
+    @abc.abstractmethod
+    def global_combine(self, state: Any,
+                       reports: Sequence[LocalSolveReport]) -> "tuple[Any, float, int]":
+        """The global reduce: fold all partitions' updates into the next
+        state.  Returns ``(new_state, reduce_ops, extra_shuffle_bytes)``.
+        """
+
+    @abc.abstractmethod
+    def global_converged(self, prev_state: Any, curr_state: Any) -> "tuple[bool, float]":
+        """Global termination; returns (converged, residual)."""
+
+    def state_nbytes(self, state: Any) -> int:
+        """Size of the state written to/read from the DFS between
+        iterations (§VIII's inter-iteration round trip)."""
+        from repro.cluster.dfs import estimate_nbytes
+
+        return estimate_nbytes(state)
+
+    def on_global_iteration(self, iteration: int, state: Any) -> Any:
+        """Pre-iteration hook (see :meth:`AsyncMapReduceSpec.on_global_iteration`)."""
+        return None

@@ -1,0 +1,64 @@
+"""Construction of ``gmap``/``greduce`` engine functions from a spec.
+
+§IV: "A global map takes a partition as input, and involves invocation of
+local map and local reduce functions iteratively on the partition."  The
+factories here wrap an :class:`~repro.core.api.AsyncMapReduceSpec` into
+the plain ``map_fn``/``reduce_fn`` callables the MapReduce engine
+executes, so one *global iteration* of the two-level scheme is exactly
+one engine job.  Both wrappers are picklable (plain classes holding the
+spec) so the process-pool executor can run gmaps in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.api import AsyncMapReduceSpec
+from repro.core.emitter import GlobalReduceContext
+from repro.core.localmr import run_local_mapreduce
+
+__all__ = ["GmapFunction", "GreduceFunction", "LOCAL_ITER_COUNTER", "LOCAL_OPS_COUNTER"]
+
+#: Engine counter: total local iterations performed inside gmaps.
+LOCAL_ITER_COUNTER = "core.local.iterations"
+#: Engine counter: total local operations performed inside gmaps.
+LOCAL_OPS_COUNTER = "core.local.ops"
+
+
+class GmapFunction:
+    """Engine ``map_fn`` running Figure 1's local loop over a partition.
+
+    The engine hands it ``(part_id, xs)`` records; it runs the local
+    MapReduce to local convergence (or to 1 iteration for the general
+    baseline) and emits the spec's boundary/output pairs for the global
+    reduce.
+    """
+
+    def __init__(self, spec: AsyncMapReduceSpec, max_local_iters: int) -> None:
+        if max_local_iters < 1:
+            raise ValueError("max_local_iters must be >= 1")
+        self.spec = spec
+        self.max_local_iters = max_local_iters
+
+    def __call__(self, part_id: Any, xs: "list[tuple[Any, Any]]", ctx: Any) -> None:
+        result = run_local_mapreduce(self.spec, xs,
+                                     max_local_iters=self.max_local_iters)
+        ctx.incr(LOCAL_ITER_COUNTER, result.local_iters)
+        ctx.incr(LOCAL_OPS_COUNTER, int(result.total_ops))
+        ctx.add_ops(result.total_ops)
+        for k, v in self.spec.gmap_emit(result.table, part_id):
+            ctx.emit(k, v)
+
+
+class GreduceFunction:
+    """Engine ``reduce_fn`` delegating to the spec's ``greduce``."""
+
+    def __init__(self, spec: AsyncMapReduceSpec) -> None:
+        self.spec = spec
+
+    def __call__(self, key: Any, values: list, ctx: Any) -> None:
+        gctx = GlobalReduceContext()
+        self.spec.greduce(key, values, gctx)
+        ctx.add_ops(gctx.ops)
+        for k, v in gctx.output:
+            ctx.emit(k, v)

@@ -1,0 +1,49 @@
+"""A complete MapReduce runtime (the Hadoop substitute).
+
+Jobs are user ``map``/``reduce``/``combine`` functions over key-value
+records; the runtime executes map tasks (one per input split), a
+grouping/sorting shuffle, and reduce tasks, with Hadoop-style counters,
+hash partitioning, retry-on-failure via deterministic replay, and three
+interchangeable executors (serial / threads / processes).  Attaching a
+:class:`~repro.cluster.SimCluster` makes every job charge the cost model
+for startup, phase makespans, shuffle bytes, barrier, and the DFS round
+trip — producing the simulated-time axis of the paper's figures.
+"""
+
+from repro.engine.counters import Counters
+from repro.engine.faults import FaultPlan, SimulatedTaskFailure
+from repro.engine.job import Job, JobConf
+from repro.engine.partitioner import HashPartitioner, RangePartitioner, stable_hash
+from repro.engine.runtime import JobFailedError, JobResult, MapReduceRuntime
+from repro.engine.scheduler import (
+    ScheduleOutcome,
+    fifo_schedule,
+    locality_schedule,
+    speculative_schedule,
+)
+from repro.engine.shuffle import shuffle, shuffle_bytes
+from repro.engine.task import TaskContext, TaskResult, run_map_task, run_reduce_task
+
+__all__ = [
+    "Job",
+    "JobConf",
+    "JobResult",
+    "JobFailedError",
+    "MapReduceRuntime",
+    "Counters",
+    "FaultPlan",
+    "SimulatedTaskFailure",
+    "HashPartitioner",
+    "RangePartitioner",
+    "stable_hash",
+    "shuffle",
+    "shuffle_bytes",
+    "TaskContext",
+    "TaskResult",
+    "run_map_task",
+    "run_reduce_task",
+    "ScheduleOutcome",
+    "fifo_schedule",
+    "locality_schedule",
+    "speculative_schedule",
+]

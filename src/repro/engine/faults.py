@@ -1,0 +1,98 @@
+"""Failure injection and the deterministic-replay recovery contract.
+
+MapReduce's fault tolerance "is achieved through deterministic-replay,
+i.e., re-scheduling failed computations on another running node" (§II).
+To test that our runtime honours the contract (same final output with or
+without failures), this module injects controlled task failures:
+
+* :class:`FaultPlan.scripted` — fail exact ``(phase, task, attempt)``
+  combinations, for precise unit tests.
+* :class:`FaultPlan.random` — fail each attempt with probability ``p``
+  from a counter-based deterministic hash, modelling the "real-life
+  transient failures" of a production cloud (§VI) while staying fully
+  reproducible and picklable (safe to ship to process-pool workers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.partitioner import stable_hash
+
+__all__ = ["SimulatedTaskFailure", "FaultPlan"]
+
+
+class SimulatedTaskFailure(RuntimeError):
+    """Raised inside a task runner to simulate a machine/task failure."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Decides whether a given task attempt fails.
+
+    Use the class methods to construct; an empty plan never fails.
+    """
+
+    #: Scripted failures: (phase, task_index) -> number of failing attempts.
+    scripted: "dict[tuple[str, int], int]" = field(default_factory=dict)
+    #: Random failure probability per attempt.
+    probability: float = 0.0
+    #: Seed folded into the decision hash for the random mode.
+    seed: int = 0
+    #: Attempts >= this index never fail (guarantees eventual success).
+    always_succeed_from: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        for (phase, idx), n in self.scripted.items():
+            if phase not in ("map", "reduce"):
+                raise ValueError(f"unknown phase {phase!r}")
+            if idx < 0 or n < 0:
+                raise ValueError("scripted entries must be non-negative")
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A plan with no failures."""
+        return cls()
+
+    @classmethod
+    def script(cls, failures: "dict[tuple[str, int], int]") -> "FaultPlan":
+        """Fail the first N attempts of specific tasks.
+
+        ``failures[("map", 3)] = 2`` makes map task 3 fail on attempts
+        0 and 1 and succeed from attempt 2.
+        """
+        return cls(scripted=dict(failures))
+
+    @classmethod
+    def random(cls, probability: float, *, seed: int = 0,
+               max_failures_per_task: int = 2) -> "FaultPlan":
+        """Fail each attempt independently with ``probability``.
+
+        ``max_failures_per_task`` bounds consecutive failures so a job
+        with ``max_attempts`` > that bound always completes — matching a
+        cloud where failures are transient rather than permanent.
+        """
+        return cls(probability=probability, seed=seed,
+                   always_succeed_from=max_failures_per_task)
+
+    def maybe_fail(self, phase: str, task_index: int, attempt: int) -> None:
+        """Raise :class:`SimulatedTaskFailure` if this attempt should fail."""
+        if attempt >= self.always_succeed_from:
+            return
+        n = self.scripted.get((phase, task_index))
+        if n is not None and attempt < n:
+            raise SimulatedTaskFailure(
+                f"scripted failure: {phase} task {task_index} attempt {attempt}"
+            )
+        if self.probability > 0.0:
+            h = stable_hash((self.seed, phase, task_index, attempt))
+            if (h % 10_000_000) / 10_000_000.0 < self.probability:
+                raise SimulatedTaskFailure(
+                    f"random failure: {phase} task {task_index} attempt {attempt}"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.scripted and self.probability == 0.0

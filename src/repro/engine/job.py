@@ -1,0 +1,68 @@
+"""Job definition: user functions plus configuration.
+
+A :class:`Job` bundles the programmer-supplied ``map``/``reduce`` (and
+optional ``combine``) functions with a :class:`JobConf`.  The function
+signatures follow the paper's description of the traditional MapReduce
+API (§II):
+
+* ``map_fn(key, value, ctx)`` — called once per input record; emits
+  intermediate pairs with ``ctx.emit(k, v)``.
+* ``reduce_fn(key, values, ctx)`` — called once per distinct key with
+  the full list of values; emits output pairs with ``ctx.emit(k, v)``.
+* ``combine_fn(key, values, ctx)`` — optional map-side pre-aggregation
+  ("a combiner is often used to aggregate over keys from map tasks
+  executing on the same node", §II); must be semantically idempotent
+  with respect to the reduce for correctness, which the property tests
+  verify for the bundled applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.engine.partitioner import HashPartitioner, Partitioner
+
+__all__ = ["JobConf", "Job"]
+
+MapFn = Callable[[Any, Any, Any], None]
+ReduceFn = Callable[[Any, list, Any], None]
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """Static configuration of one MapReduce job."""
+
+    #: Number of reduce tasks (R).  Map task count follows the input splits.
+    num_reducers: int = 8
+    #: Maximum attempts per task before the job fails (Hadoop default 4).
+    max_attempts: int = 4
+    #: Sort keys within each reduce partition (deterministic output order).
+    sort_keys: bool = True
+    #: Human-readable job name for traces and errors.
+    name: str = "job"
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+@dataclass
+class Job:
+    """User functions + configuration, ready for a runtime to execute."""
+
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    combine_fn: "ReduceFn | None" = None
+    conf: JobConf = field(default_factory=JobConf)
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+
+    def __post_init__(self) -> None:
+        if not callable(self.map_fn):
+            raise TypeError("map_fn must be callable")
+        if not callable(self.reduce_fn):
+            raise TypeError("reduce_fn must be callable")
+        if self.combine_fn is not None and not callable(self.combine_fn):
+            raise TypeError("combine_fn must be callable or None")

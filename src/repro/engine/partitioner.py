@@ -1,0 +1,105 @@
+"""Key -> reducer partitioners.
+
+The partitioner decides which reduce task receives a key.  Hash
+partitioning (Hadoop's default) must be *stable across processes*, so we
+avoid Python's randomised ``hash`` for strings and use a deterministic
+FNV-1a, keeping the cross-executor equivalence guarantee (serial ==
+threads == processes) testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+__all__ = ["stable_hash", "HashPartitioner", "RangePartitioner", "Partitioner"]
+
+Partitioner = Callable[[Any, int], int]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv1a(data: bytes) -> int:
+    h = _FNV_OFFSET
+    for b in data:
+        h ^= b
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def stable_hash(key: Hashable) -> int:
+    """A deterministic, process-stable hash for common key types.
+
+    Supports ints, floats, strings, bytes, bools, None and (nested)
+    tuples of these.  Unknown types raise ``TypeError`` rather than
+    silently using the per-process randomised ``hash``.
+    """
+    if key is None:
+        return _fnv1a(b"\x00none")
+    if isinstance(key, bool):
+        return _fnv1a(b"\x01" + bytes([key]))
+    if isinstance(key, int):
+        return _fnv1a(b"\x02" + key.to_bytes(16, "little", signed=True))
+    if isinstance(key, float):
+        import struct
+
+        return _fnv1a(b"\x03" + struct.pack("<d", key))
+    if isinstance(key, str):
+        return _fnv1a(b"\x04" + key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return _fnv1a(b"\x05" + key)
+    if isinstance(key, tuple):
+        acc = _FNV_OFFSET
+        for item in key:
+            acc ^= stable_hash(item)
+            acc = (acc * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        return acc
+    # numpy scalars quack like python numbers
+    try:
+        import numpy as np
+
+        if isinstance(key, np.integer):
+            return stable_hash(int(key))
+        if isinstance(key, np.floating):
+            return stable_hash(float(key))
+        if isinstance(key, np.str_):
+            return stable_hash(str(key))
+    except ImportError:  # pragma: no cover
+        pass
+    raise TypeError(f"no stable hash for key of type {type(key).__name__}")
+
+
+class HashPartitioner:
+    """Hadoop-default partitioner: ``stable_hash(key) mod num_reducers``."""
+
+    def __call__(self, key: Any, num_reducers: int) -> int:
+        if num_reducers <= 0:
+            raise ValueError("num_reducers must be > 0")
+        return stable_hash(key) % num_reducers
+
+
+class RangePartitioner:
+    """Partition orderable keys by split points (for sorted output).
+
+    Parameters
+    ----------
+    split_points:
+        Sorted sequence of ``num_reducers - 1`` boundaries; a key goes to
+        the first range whose boundary exceeds it.
+    """
+
+    def __init__(self, split_points: "list[Any]") -> None:
+        self.split_points = list(split_points)
+        for a, b in zip(self.split_points, self.split_points[1:]):
+            if not a <= b:
+                raise ValueError("split_points must be sorted")
+
+    def __call__(self, key: Any, num_reducers: int) -> int:
+        if num_reducers != len(self.split_points) + 1:
+            raise ValueError(
+                f"RangePartitioner with {len(self.split_points)} split points "
+                f"requires {len(self.split_points) + 1} reducers, got {num_reducers}"
+            )
+        import bisect
+
+        return bisect.bisect_right(self.split_points, key)

@@ -1,0 +1,223 @@
+"""The MapReduce runtime: executors, retries, and time accounting.
+
+``MapReduceRuntime.run(job, splits)`` executes the full map -> shuffle ->
+reduce pipeline and returns a :class:`JobResult` with outputs, merged
+counters, and (when a :class:`~repro.cluster.SimCluster` is attached) the
+simulated-time breakdown of the run.
+
+Three executors share identical semantics:
+
+* ``"serial"`` — in-process, single-threaded; the reference.
+* ``"threads"`` — a thread pool; map tasks that release the GIL (NumPy
+  kernels) genuinely overlap.
+* ``"processes"`` — a process pool; requires picklable user functions.
+
+Failed task attempts (see :mod:`repro.engine.faults`) are retried up to
+``JobConf.max_attempts`` times by deterministic replay; because tasks are
+pure functions of their input split, a replay produces identical output,
+and the cross-executor/fault-equivalence property tests assert exactly
+that.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster import SimCluster
+from repro.engine.counters import Counters, SHUFFLE_BYTES, TASK_RETRIES
+from repro.engine.faults import FaultPlan, SimulatedTaskFailure
+from repro.engine.job import Job
+from repro.engine.shuffle import shuffle, shuffle_bytes
+from repro.engine.task import TaskResult, run_map_task, run_reduce_task
+
+__all__ = ["JobResult", "MapReduceRuntime", "JobFailedError"]
+
+_EXECUTORS = ("serial", "threads", "processes")
+
+
+class JobFailedError(RuntimeError):
+    """A task exhausted its attempts; the job cannot complete."""
+
+
+@dataclass
+class JobResult:
+    """Everything a completed job hands back."""
+
+    #: Final output pairs, concatenated over reducers (key-sorted per
+    #: reducer when the job requests sorting).
+    output: list
+    counters: Counters = field(default_factory=Counters)
+    #: Simulated seconds, split by phase (empty without a cluster).
+    sim_times: dict = field(default_factory=dict)
+
+    @property
+    def sim_time_total(self) -> float:
+        return float(sum(self.sim_times.values()))
+
+    def as_dict(self) -> dict:
+        """Output pairs as a dict (duplicate keys: last write wins)."""
+        return dict(self.output)
+
+
+class MapReduceRuntime:
+    """Executes jobs with a chosen executor and optional cluster accounting.
+
+    Parameters
+    ----------
+    executor:
+        One of ``"serial"``, ``"threads"``, ``"processes"``.
+    workers:
+        Pool size for the parallel executors (default: CPU count).
+    cluster:
+        Optional :class:`SimCluster`; when present, every job charges
+        job startup, map/reduce phase makespans (from measured op
+        counts), shuffle bytes, the barrier, and the DFS round trip.
+    fault_plan:
+        Failure injection plan applied to every job this runtime runs.
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        *,
+        workers: "int | None" = None,
+        cluster: "SimCluster | None" = None,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.executor = executor
+        self.workers = workers
+        self.cluster = cluster
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.none()
+
+    # ------------------------------------------------------------------
+    def run(self, job: Job, splits: "Sequence[Sequence[tuple[Any, Any]]]") -> JobResult:
+        """Run ``job`` over ``splits`` (one map task per split)."""
+        splits = [list(s) for s in splits]
+        counters = Counters()
+
+        map_results = self._run_tasks(
+            phase="map",
+            count=len(splits),
+            make_args=lambda i, attempt: (
+                i, attempt, splits[i], job.map_fn, job.combine_fn,
+                job.partitioner, job.conf.num_reducers, self.fault_plan,
+            ),
+            runner=run_map_task,
+            max_attempts=job.conf.max_attempts,
+            counters=counters,
+        )
+        for res in map_results:
+            counters.merge(res.counters)
+
+        buckets = [res.data for res in map_results]
+        sbytes = shuffle_bytes(buckets)
+        counters.incr(SHUFFLE_BYTES, sbytes)
+        grouped = shuffle(buckets, job.conf.num_reducers,
+                          sort_keys=job.conf.sort_keys)
+
+        reduce_results = self._run_tasks(
+            phase="reduce",
+            count=job.conf.num_reducers,
+            make_args=lambda i, attempt: (
+                i, attempt, grouped[i], job.reduce_fn, self.fault_plan,
+            ),
+            runner=run_reduce_task,
+            max_attempts=job.conf.max_attempts,
+            counters=counters,
+        )
+        output: list = []
+        for res in reduce_results:
+            counters.merge(res.counters)
+            output.extend(res.data)
+
+        sim_times = self._account(job, map_results, reduce_results, sbytes, output)
+        return JobResult(output=output, counters=counters, sim_times=sim_times)
+
+    # ------------------------------------------------------------------
+    def _run_tasks(self, *, phase: str, count: int, make_args, runner,
+                   max_attempts: int, counters: Counters) -> "list[TaskResult]":
+        """Run ``count`` tasks with retry-on-failure; preserves task order."""
+        results: "list[TaskResult | None]" = [None] * count
+        pending = list(range(count))
+        attempt = 0
+        while pending:
+            if attempt >= max_attempts:
+                raise JobFailedError(
+                    f"{phase} tasks {pending} failed {max_attempts} attempts"
+                )
+            failed: list[int] = []
+            outcomes = self._execute_batch(
+                [(i, make_args(i, attempt)) for i in pending], runner
+            )
+            for i, outcome in outcomes:
+                if isinstance(outcome, SimulatedTaskFailure):
+                    failed.append(i)
+                    counters.incr(TASK_RETRIES)
+                elif isinstance(outcome, BaseException):
+                    raise outcome
+                else:
+                    results[i] = outcome
+            pending = failed
+            attempt += 1
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _execute_batch(self, indexed_args: "list[tuple[int, tuple]]", runner):
+        """Execute one batch of task attempts under the configured executor."""
+        if self.executor == "serial":
+            out = []
+            for i, args in indexed_args:
+                try:
+                    out.append((i, runner(*args)))
+                except SimulatedTaskFailure as exc:
+                    out.append((i, exc))
+            return out
+        pool_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if self.executor == "threads"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        out = []
+        with pool_cls(max_workers=self.workers) as pool:
+            futures = {pool.submit(runner, *args): i for i, args in indexed_args}
+            for fut in concurrent.futures.as_completed(futures):
+                i = futures[fut]
+                try:
+                    out.append((i, fut.result()))
+                except SimulatedTaskFailure as exc:
+                    out.append((i, exc))
+        return out
+
+    # ------------------------------------------------------------------
+    def _account(self, job: Job, map_results: "list[TaskResult]",
+                 reduce_results: "list[TaskResult]", sbytes: int,
+                 output: list) -> dict:
+        """Charge the simulated cluster for this job; returns the breakdown."""
+        if self.cluster is None:
+            return {}
+        cm = self.cluster.cost_model
+        times: dict[str, float] = {}
+        times["startup"] = self.cluster.charge_job_startup(
+            label=f"{job.conf.name}:startup")
+        map_phase = self.cluster.run_map_phase(
+            [cm.map_compute_seconds(r.ops) for r in map_results],
+            label=f"{job.conf.name}:map")
+        times["map"] = map_phase.makespan
+        times["shuffle"] = self.cluster.charge_shuffle(
+            sbytes, label=f"{job.conf.name}:shuffle")
+        reduce_phase = self.cluster.run_reduce_phase(
+            [cm.reduce_compute_seconds(r.ops) for r in reduce_results],
+            label=f"{job.conf.name}:reduce")
+        times["reduce"] = reduce_phase.makespan
+        times["barrier"] = self.cluster.charge_barrier(
+            label=f"{job.conf.name}:barrier")
+        out_bytes = shuffle_bytes([[output]])
+        times["dfs"] = self.cluster.charge_dfs_roundtrip(
+            out_bytes, label=f"{job.conf.name}:dfs")
+        return times

@@ -1,0 +1,75 @@
+"""Shuffle: route map outputs to reducers, group by key, sort.
+
+Between the phases sits the global synchronization the paper is about:
+"The reduce phase must wait for all the map tasks to complete, since it
+requires all the values corresponding to each key" (§II).  The shuffle
+here is that barrier: it consumes *every* map task's buckets before any
+reduce group is formed.
+
+Determinism: within a group, values arrive ordered by (map task index,
+emission order), and groups are key-sorted when the job asks for it —
+so job output is a pure function of the input, which the deterministic-
+replay fault tolerance and the cross-executor equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.cluster.dfs import estimate_nbytes
+
+__all__ = ["shuffle", "shuffle_bytes"]
+
+
+def shuffle(
+    map_buckets: "Sequence[Sequence[Sequence[tuple[Any, Any]]]]",
+    num_reducers: int,
+    *,
+    sort_keys: bool = True,
+) -> "list[list[tuple[Any, list]]]":
+    """Merge per-map buckets into per-reducer grouped inputs.
+
+    Parameters
+    ----------
+    map_buckets:
+        ``map_buckets[m][r]`` is the list of (k, v) pairs map task ``m``
+        assigned to reducer ``r``.
+    num_reducers:
+        Number of reduce partitions R.
+    sort_keys:
+        Sort each reducer's groups by key.  Keys must be mutually
+        orderable in that case (they are for all bundled apps).
+
+    Returns
+    -------
+    list
+        ``groups[r]`` is a list of ``(key, values)`` with all values for
+        that key across all map tasks, in deterministic order.
+    """
+    if num_reducers < 1:
+        raise ValueError("num_reducers must be >= 1")
+    out: list[list[tuple[Any, list]]] = []
+    for r in range(num_reducers):
+        table: dict[Any, list] = {}
+        for m_bucket in map_buckets:
+            if len(m_bucket) != num_reducers:
+                raise ValueError(
+                    f"map task produced {len(m_bucket)} buckets, expected {num_reducers}"
+                )
+            for k, v in m_bucket[r]:
+                table.setdefault(k, []).append(v)
+        keys = sorted(table) if sort_keys else list(table)
+        out.append([(k, table[k]) for k in keys])
+    return out
+
+
+def shuffle_bytes(
+    map_buckets: "Sequence[Sequence[Sequence[tuple[Any, Any]]]]",
+) -> int:
+    """Total estimated bytes of intermediate data crossing the shuffle."""
+    total = 0
+    for m_bucket in map_buckets:
+        for bucket in m_bucket:
+            for k, v in bucket:
+                total += estimate_nbytes(k) + estimate_nbytes(v)
+    return total

@@ -1,0 +1,170 @@
+"""Task-level execution: contexts, attempts, and the task runners.
+
+A *task* is the unit of scheduling and of failure: one map task per input
+split, one reduce task per reduce partition.  Task runners are plain
+picklable functions so the process-pool executor can ship them to
+workers; they return a :class:`TaskResult` carrying the emitted data,
+counters and the operation count the cost model charges for.
+
+Failure injection happens *inside* the runner (so it behaves identically
+under every executor) via a :class:`~repro.engine.faults.FaultPlan`
+consulted with the task's id and attempt number.  Recovery is Hadoop's
+deterministic replay: the runtime simply re-executes the same runner with
+the same inputs and a bumped attempt number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.counters import (
+    COMBINE_INPUT_RECORDS,
+    COMBINE_OUTPUT_RECORDS,
+    Counters,
+    MAP_INPUT_RECORDS,
+    MAP_OPS,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    REDUCE_INPUT_RECORDS,
+    REDUCE_OPS,
+    REDUCE_OUTPUT_RECORDS,
+)
+from repro.engine.faults import FaultPlan, SimulatedTaskFailure
+
+__all__ = ["TaskContext", "TaskResult", "run_map_task", "run_reduce_task"]
+
+
+class TaskContext:
+    """The ``ctx`` object handed to user map/reduce/combine functions.
+
+    Provides ``emit`` for output, counter increments, and an operation
+    counter that feeds the cost model.  One context lives for the whole
+    task; per-record bookkeeping is done by the runner.
+    """
+
+    __slots__ = ("task_id", "attempt", "counters", "_out", "_ops")
+
+    def __init__(self, task_id: str, attempt: int) -> None:
+        self.task_id = task_id
+        self.attempt = attempt
+        self.counters = Counters()
+        self._out: list[tuple[Any, Any]] = []
+        self._ops: float = 0.0
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit one output pair (the paper's ``Emit``/``EmitIntermediate``)."""
+        self._out.append((key, value))
+        self._ops += 1.0
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment an application counter."""
+        self.counters.incr(name, amount)
+
+    def add_ops(self, n: float) -> None:
+        """Account ``n`` extra operations toward this task's compute cost.
+
+        Vectorised map functions (which process many records per call)
+        use this so the cost model still sees the true operation count.
+        """
+        if n < 0:
+            raise ValueError("ops must be >= 0")
+        self._ops += n
+
+    @property
+    def output(self) -> list[tuple[Any, Any]]:
+        return self._out
+
+    @property
+    def ops(self) -> float:
+        return self._ops
+
+
+@dataclass
+class TaskResult:
+    """What a completed task attempt hands back to the runtime."""
+
+    task_id: str
+    attempt: int
+    #: For map tasks: buckets[r] = list of (k, v) for reducer r.
+    #: For reduce tasks: the emitted output pairs.
+    data: Any
+    counters: Counters = field(default_factory=Counters)
+    ops: float = 0.0
+
+
+def run_map_task(
+    task_index: int,
+    attempt: int,
+    split: "list[tuple[Any, Any]]",
+    map_fn: Any,
+    combine_fn: Any,
+    partitioner: Any,
+    num_reducers: int,
+    fault_plan: "FaultPlan | None" = None,
+) -> TaskResult:
+    """Execute one map task attempt over its input split.
+
+    Applies ``map_fn`` to every record, optionally combines, then
+    partitions the intermediate pairs into per-reducer buckets.
+    """
+    task_id = f"m{task_index}"
+    if fault_plan is not None:
+        fault_plan.maybe_fail("map", task_index, attempt)
+    ctx = TaskContext(task_id, attempt)
+    for key, value in split:
+        ctx.counters.incr(MAP_INPUT_RECORDS)
+        ctx.add_ops(1.0)
+        map_fn(key, value, ctx)
+    ctx.counters.incr(MAP_OUTPUT_RECORDS, len(ctx.output))
+
+    pairs = ctx.output
+    if combine_fn is not None:
+        pairs = _apply_combiner(pairs, combine_fn, ctx)
+
+    buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(num_reducers)]
+    for k, v in pairs:
+        buckets[partitioner(k, num_reducers)].append((k, v))
+    ctx.counters.incr(MAP_OPS, int(ctx.ops))
+    return TaskResult(task_id=task_id, attempt=attempt, data=buckets,
+                      counters=ctx.counters, ops=ctx.ops)
+
+
+def _apply_combiner(pairs: "list[tuple[Any, Any]]", combine_fn: Any,
+                    outer_ctx: TaskContext) -> "list[tuple[Any, Any]]":
+    """Group this task's pairs by key and run the combiner per group."""
+    groups: dict[Any, list] = {}
+    for k, v in pairs:
+        groups.setdefault(k, []).append(v)
+    cctx = TaskContext(outer_ctx.task_id + ".combine", outer_ctx.attempt)
+    for k, vs in groups.items():
+        cctx.counters.incr(COMBINE_INPUT_RECORDS, len(vs))
+        cctx.add_ops(float(len(vs)))
+        combine_fn(k, vs, cctx)
+    cctx.counters.incr(COMBINE_OUTPUT_RECORDS, len(cctx.output))
+    outer_ctx.counters.merge(cctx.counters)
+    outer_ctx.add_ops(cctx.ops)
+    return cctx.output
+
+
+def run_reduce_task(
+    task_index: int,
+    attempt: int,
+    groups: "list[tuple[Any, list]]",
+    reduce_fn: Any,
+    fault_plan: "FaultPlan | None" = None,
+) -> TaskResult:
+    """Execute one reduce task attempt over its grouped input."""
+    task_id = f"r{task_index}"
+    if fault_plan is not None:
+        fault_plan.maybe_fail("reduce", task_index, attempt)
+    ctx = TaskContext(task_id, attempt)
+    for key, values in groups:
+        ctx.counters.incr(REDUCE_INPUT_GROUPS)
+        ctx.counters.incr(REDUCE_INPUT_RECORDS, len(values))
+        ctx.add_ops(float(len(values)))
+        reduce_fn(key, values, ctx)
+    ctx.counters.incr(REDUCE_OUTPUT_RECORDS, len(ctx.output))
+    ctx.counters.incr(REDUCE_OPS, int(ctx.ops))
+    return TaskResult(task_id=task_id, attempt=attempt, data=ctx.output,
+                      counters=ctx.counters, ops=ctx.ops)

@@ -1,0 +1,102 @@
+"""Adjacency-list text I/O.
+
+The paper's jobs consume "a graph represented as adjacency lists as
+input" (§V-B).  We support the conventional whitespace format::
+
+    <src> <dst1>[:w1] <dst2>[:w2] ...
+
+one line per source node (sources with no out-edges may be omitted or
+listed with no destinations).  Weights default to 1.0 when the ``:w``
+suffix is absent.  Comment lines start with ``#``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import IO
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["write_adjacency", "read_adjacency", "dumps_adjacency", "loads_adjacency"]
+
+
+def write_adjacency(graph: DiGraph, path: "str | Path | IO[str]") -> None:
+    """Write ``graph`` in adjacency-list text format."""
+    if hasattr(path, "write"):
+        _write(graph, path)  # type: ignore[arg-type]
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            _write(graph, fh)
+
+
+def _write(graph: DiGraph, fh: IO[str]) -> None:
+    fh.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+    for u in range(graph.num_nodes):
+        nbrs = graph.successors(u)
+        ws = graph.out_weights(u)
+        if len(nbrs) == 0:
+            fh.write(f"{u}\n")
+            continue
+        cells = " ".join(
+            f"{int(v)}" if w == 1.0 else f"{int(v)}:{float(w)!r}"
+            for v, w in zip(nbrs, ws)
+        )
+        fh.write(f"{u} {cells}\n")
+
+
+def read_adjacency(path: "str | Path | IO[str]") -> DiGraph:
+    """Read a graph written by :func:`write_adjacency` (or compatible)."""
+    if hasattr(path, "read"):
+        return _read(path)  # type: ignore[arg-type]
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read(fh)
+
+
+def _read(fh: IO[str]) -> DiGraph:
+    num_nodes = -1
+    src: list[int] = []
+    dst: list[int] = []
+    w: list[float] = []
+    max_node = -1
+    for lineno, line in enumerate(fh, 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            # Honour the size header when present so isolated trailing
+            # nodes survive a round trip.
+            for tok in line[1:].split():
+                if tok.startswith("nodes="):
+                    num_nodes = int(tok[len("nodes="):])
+            continue
+        toks = line.split()
+        try:
+            u = int(toks[0])
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad source node {toks[0]!r}") from exc
+        max_node = max(max_node, u)
+        for cell in toks[1:]:
+            if ":" in cell:
+                v_s, w_s = cell.split(":", 1)
+                v, wt = int(v_s), float(w_s)
+            else:
+                v, wt = int(cell), 1.0
+            src.append(u)
+            dst.append(v)
+            w.append(wt)
+            max_node = max(max_node, v)
+    n = num_nodes if num_nodes >= 0 else max_node + 1
+    return DiGraph(n, src, dst, w)
+
+
+def dumps_adjacency(graph: DiGraph) -> str:
+    """Serialise to an adjacency-list string."""
+    buf = io.StringIO()
+    _write(graph, buf)
+    return buf.getvalue()
+
+
+def loads_adjacency(text: str) -> DiGraph:
+    """Parse a graph from an adjacency-list string."""
+    return _read(io.StringIO(text))

@@ -1,0 +1,533 @@
+"""Graph partitioning: the locality-enhancing step of the paper.
+
+The paper partitions its input graphs *once, off-line* with Metis ("A good
+partitioning algorithm that minimizes edge-cuts has the desired effect of
+reducing global synchronizations", §V-B.3) and hands each partition to a
+global map task.  Metis is not available here, so this module implements
+the same recipe from scratch:
+
+* :func:`multilevel_partition` — a Metis-style multilevel k-way
+  partitioner: heavy-edge-matching coarsening, greedy region-growing
+  initial bisection, greedy boundary (Kernighan–Lin / Fiduccia–Mattheyses
+  flavoured) refinement at every level, and recursive bisection for k-way.
+* :func:`bfs_partition` — cheap locality-aware baseline (grow contiguous
+  chunks breadth-first), analogous to the crawler-induced locality the
+  paper mentions.
+* :func:`hash_partition` / :func:`random_partition` — locality-oblivious
+  baselines used by the partitioner-quality ablation.
+
+All partitioners return a :class:`Partition`, which also provides the
+derived quantities the Eager formulations need: boundary nodes, cut
+edges, per-part node arrays, and balance statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.util import as_rng, check_positive
+
+__all__ = [
+    "Partition",
+    "hash_partition",
+    "random_partition",
+    "chunk_partition",
+    "bfs_partition",
+    "multilevel_partition",
+    "partition_graph",
+    "PARTITIONERS",
+]
+
+
+@dataclass
+class Partition:
+    """A k-way node partition of a :class:`DiGraph` plus derived structure.
+
+    Attributes
+    ----------
+    graph:
+        The partitioned graph.
+    assign:
+        ``(n,)`` int array mapping node -> part id in ``[0, k)``.
+    k:
+        Number of parts.  Empty parts are permitted (they can arise when
+        ``k`` approaches ``n``), matching the paper's sweep up to 6400
+        partitions.
+    """
+
+    graph: DiGraph
+    assign: np.ndarray
+    k: int
+    _parts: list[np.ndarray] | None = field(default=None, repr=False)
+    _cut_mask: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.assign = np.asarray(self.assign, dtype=np.int64)
+        if self.assign.shape != (self.graph.num_nodes,):
+            raise ValueError(
+                f"assign must have shape ({self.graph.num_nodes},), "
+                f"got {self.assign.shape}"
+            )
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.graph.num_nodes and (
+            self.assign.min() < 0 or self.assign.max() >= self.k
+        ):
+            raise ValueError("assign contains part ids outside [0, k)")
+
+    # -- structure ------------------------------------------------------
+    def parts(self) -> list[np.ndarray]:
+        """List of ``k`` sorted node arrays, one per part (cached)."""
+        if self._parts is None:
+            order = np.argsort(self.assign, kind="stable")
+            sorted_assign = self.assign[order]
+            boundaries = np.searchsorted(sorted_assign, np.arange(self.k + 1))
+            self._parts = [
+                np.sort(order[boundaries[i]: boundaries[i + 1]])
+                for i in range(self.k)
+            ]
+        return self._parts
+
+    def part_sizes(self) -> np.ndarray:
+        """``(k,)`` array of node counts per part."""
+        return np.bincount(self.assign, minlength=self.k)
+
+    def cut_edge_mask(self) -> np.ndarray:
+        """Boolean mask (aligned with edge arrays) of inter-part edges."""
+        if self._cut_mask is None:
+            src, dst, _ = self.graph.edge_arrays()
+            self._cut_mask = self.assign[src] != self.assign[dst]
+        return self._cut_mask
+
+    def edge_cut(self) -> int:
+        """Number of directed edges crossing parts."""
+        return int(self.cut_edge_mask().sum())
+
+    def cut_fraction(self) -> float:
+        """Fraction of edges crossing parts (0 when the graph has no edges)."""
+        m = self.graph.num_edges
+        return self.edge_cut() / m if m else 0.0
+
+    def boundary_nodes(self) -> np.ndarray:
+        """Sorted array of nodes incident to at least one cut edge.
+
+        These are the paper's "boundary nodes (nodes that have edges
+        leading to other partitions) [which] require a global reduction"
+        (§II); everything else is an internal node whose rank can be
+        resolved by local iterations alone.
+        """
+        src, dst, _ = self.graph.edge_arrays()
+        mask = self.cut_edge_mask()
+        return np.unique(np.concatenate([src[mask], dst[mask]]))
+
+    def internal_nodes(self) -> np.ndarray:
+        """Sorted array of nodes with no cut edge."""
+        b = np.zeros(self.graph.num_nodes, dtype=bool)
+        b[self.boundary_nodes()] = True
+        return np.flatnonzero(~b)
+
+    def balance(self) -> float:
+        """Max part size divided by ideal size (1.0 = perfectly balanced).
+
+        Ignores empty parts implied by ``k > n``; the ideal size is
+        ``n / min(k, n)`` so the statistic stays meaningful across the
+        paper's full partition sweep.
+        """
+        n = self.graph.num_nodes
+        if n == 0:
+            return 1.0
+        ideal = n / min(self.k, n)
+        return float(self.part_sizes().max() / ideal)
+
+    def nonempty_parts(self) -> int:
+        """Number of parts that actually contain nodes."""
+        return int((self.part_sizes() > 0).sum())
+
+    def validate(self) -> None:
+        """Raise ``AssertionError`` if the partition is not a valid cover."""
+        sizes = self.part_sizes()
+        assert sizes.sum() == self.graph.num_nodes, "parts must cover all nodes"
+        assert len(np.concatenate(self.parts())) == self.graph.num_nodes if self.k else True
+
+
+# ----------------------------------------------------------------------
+# Locality-oblivious baselines
+# ----------------------------------------------------------------------
+
+def hash_partition(graph: DiGraph, k: int) -> Partition:
+    """Assign node ``u`` to part ``u mod k`` (Hadoop's default placement)."""
+    check_positive("k", k)
+    return Partition(graph, np.arange(graph.num_nodes) % k, k)
+
+
+def random_partition(graph: DiGraph, k: int, *,
+                     seed: "int | np.random.Generator | None" = None) -> Partition:
+    """Uniform random balanced assignment (shuffled round-robin)."""
+    check_positive("k", k)
+    rng = as_rng(seed)
+    assign = np.arange(graph.num_nodes) % k
+    rng.shuffle(assign)
+    return Partition(graph, assign, k)
+
+
+def chunk_partition(graph: DiGraph, k: int) -> Partition:
+    """Split node ids into ``k`` contiguous equal ranges.
+
+    Node ids are insertion (crawl) order for the generated inputs, so
+    contiguous ranges inherit the crawler-induced locality the paper
+    describes — this is the "partitioning you get for free" baseline,
+    cheaper but coarser than the multilevel min-cut partitioner.
+    """
+    check_positive("k", k)
+    n = graph.num_nodes
+    bounds = np.linspace(0, n, k + 1).astype(np.int64)
+    assign = np.zeros(n, dtype=np.int64)
+    for p in range(k):
+        assign[bounds[p]: bounds[p + 1]] = p
+    return Partition(graph, assign, k)
+
+
+# ----------------------------------------------------------------------
+# BFS partitioner — cheap contiguity
+# ----------------------------------------------------------------------
+
+def bfs_partition(graph: DiGraph, k: int, *,
+                  seed: "int | np.random.Generator | None" = None) -> Partition:
+    """Grow ``k`` contiguous chunks breadth-first over the undirected graph.
+
+    Nodes are visited in BFS order from successive unvisited seeds and
+    sliced into ``k`` nearly equal consecutive chunks, so each part is a
+    union of BFS-contiguous regions.  This mimics the crawl-order locality
+    the paper notes real web graphs arrive with (§V-B.3).
+    """
+    check_positive("k", k)
+    n = graph.num_nodes
+    if n == 0:
+        return Partition(graph, np.zeros(0, dtype=np.int64), k)
+    ptr, nbr, _ = graph.undirected_csr()
+    rng = as_rng(seed)
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    seeds = rng.permutation(n)
+    from collections import deque
+
+    queue: deque[int] = deque()
+    for s in seeds:
+        if visited[s]:
+            continue
+        visited[s] = True
+        queue.append(int(s))
+        while queue:
+            u = queue.popleft()
+            order[pos] = u
+            pos += 1
+            for v in nbr[ptr[u]: ptr[u + 1]]:
+                if not visited[v]:
+                    visited[v] = True
+                    queue.append(int(v))
+    assert pos == n
+    assign = np.empty(n, dtype=np.int64)
+    # Slice the BFS order into k nearly equal consecutive chunks.
+    bounds = np.linspace(0, n, k + 1).astype(np.int64)
+    for p in range(k):
+        assign[order[bounds[p]: bounds[p + 1]]] = p
+    return Partition(graph, assign, k)
+
+
+# ----------------------------------------------------------------------
+# Multilevel partitioner (Metis substitute)
+# ----------------------------------------------------------------------
+
+@dataclass
+class _UGraph:
+    """Undirected weighted working graph for the multilevel pipeline."""
+
+    ptr: np.ndarray   # (n+1,) CSR offsets
+    nbr: np.ndarray   # (m,) neighbour ids
+    w: np.ndarray     # (m,) edge weights
+    vw: np.ndarray    # (n,) node weights
+
+    @property
+    def n(self) -> int:
+        return len(self.vw)
+
+
+def _heavy_edge_matching(g: _UGraph, rng: np.random.Generator) -> np.ndarray:
+    """Return match[] pairing each node with a neighbour (or itself).
+
+    Visits nodes in random order, matching each unmatched node to its
+    heaviest unmatched neighbour — the classic HEM rule that preserves
+    heavy edges inside coarse nodes so they never appear in the cut.
+    """
+    n = g.n
+    match = np.full(n, -1, dtype=np.int64)
+    for u in rng.permutation(n):
+        if match[u] != -1:
+            continue
+        best = -1
+        best_w = -np.inf
+        for i in range(g.ptr[u], g.ptr[u + 1]):
+            v = g.nbr[i]
+            if v != u and match[v] == -1 and g.w[i] > best_w:
+                best = v
+                best_w = g.w[i]
+        if best == -1:
+            match[u] = u
+        else:
+            match[u] = best
+            match[best] = u
+    return match
+
+
+def _contract(g: _UGraph, match: np.ndarray) -> tuple[_UGraph, np.ndarray]:
+    """Contract matched pairs into coarse nodes; return (coarse, cmap)."""
+    n = g.n
+    cmap = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for u in range(n):
+        if cmap[u] == -1:
+            cmap[u] = nxt
+            v = match[u]
+            if v != u and cmap[v] == -1:
+                cmap[v] = nxt
+            nxt += 1
+    cn = nxt
+    cvw = np.bincount(cmap, weights=g.vw, minlength=cn)
+    cu = cmap[np.repeat(np.arange(n), np.diff(g.ptr))]
+    cv = cmap[g.nbr]
+    keep = cu != cv
+    cu, cv, cw = cu[keep], cv[keep], g.w[keep]
+    if len(cu):
+        order = np.lexsort((cv, cu))
+        cu, cv, cw = cu[order], cv[order], cw[order]
+        new_run = np.empty(len(cu), dtype=bool)
+        new_run[0] = True
+        new_run[1:] = (cu[1:] != cu[:-1]) | (cv[1:] != cv[:-1])
+        run_id = np.cumsum(new_run) - 1
+        uu, vv = cu[new_run], cv[new_run]
+        ww = np.bincount(run_id, weights=cw)
+    else:
+        uu = cu
+        vv = cv
+        ww = cw
+    ptr = np.zeros(cn + 1, dtype=np.int64)
+    np.cumsum(np.bincount(uu, minlength=cn), out=ptr[1:])
+    return _UGraph(ptr, vv, ww, cvw), cmap
+
+
+def _greedy_bisection(g: _UGraph, target0: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Initial bisection: BFS region growing to ``target0`` node weight.
+
+    Tries a few random seeds and keeps the lowest-cut result.
+    """
+    n = g.n
+    total = g.vw.sum()
+    goal = target0 * total
+    best_side: np.ndarray | None = None
+    best_cut = np.inf
+    tries = min(4, n)
+    from collections import deque
+
+    for s in rng.choice(n, size=tries, replace=False):
+        side = np.ones(n, dtype=np.int8)
+        grown = 0.0
+        queue: deque[int] = deque([int(s)])
+        seen = np.zeros(n, dtype=bool)
+        seen[s] = True
+        while queue and grown < goal:
+            u = queue.popleft()
+            side[u] = 0
+            grown += g.vw[u]
+            for v in g.nbr[g.ptr[u]: g.ptr[u + 1]]:
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(int(v))
+        # Top up with arbitrary nodes if BFS exhausted a small component.
+        if grown < goal:
+            for u in rng.permutation(n):
+                if side[u] == 1 and grown < goal:
+                    side[u] = 0
+                    grown += g.vw[u]
+        cut = _cut_weight(g, side)
+        if cut < best_cut:
+            best_cut = cut
+            best_side = side.copy()
+    assert best_side is not None
+    return best_side
+
+
+def _cut_weight(g: _UGraph, side: np.ndarray) -> float:
+    """Total weight of edges crossing the bisection (each counted twice)."""
+    src = np.repeat(np.arange(g.n), np.diff(g.ptr))
+    return float(g.w[side[src] != side[g.nbr]].sum())
+
+
+def _refine_bisection(g: _UGraph, side: np.ndarray, target0: float,
+                      tol: float, max_passes: int = 4) -> np.ndarray:
+    """Greedy KL/FM-style boundary refinement.
+
+    Repeatedly moves the boundary node with the largest positive gain
+    (external minus internal incident weight) to the other side, provided
+    balance stays within ``tol``.  Each accepted move strictly reduces the
+    cut, so refinement never increases the cut weight.
+    """
+    n = g.n
+    total = g.vw.sum()
+    lo0 = (target0 - tol) * total
+    hi0 = (target0 + tol) * total
+    src = np.repeat(np.arange(n), np.diff(g.ptr))
+    for _ in range(max_passes):
+        w0 = float(g.vw[side == 0].sum())
+        # gain[u] = (incident weight to other side) - (incident to own side)
+        cross = side[src] != side[g.nbr]
+        gain = np.zeros(n, dtype=np.float64)
+        np.add.at(gain, src, np.where(cross, g.w, -g.w))
+        moved_any = False
+        # Visit candidates in decreasing gain; recompute locally on move.
+        candidates = np.flatnonzero(gain > 1e-12)
+        if len(candidates) == 0:
+            break
+        for u in candidates[np.argsort(-gain[candidates])]:
+            if gain[u] <= 1e-12:
+                continue
+            if side[u] == 0:
+                new_w0 = w0 - g.vw[u]
+            else:
+                new_w0 = w0 + g.vw[u]
+            if not (lo0 <= new_w0 <= hi0):
+                continue
+            # Flip u and patch gains of u and its neighbours.
+            side[u] ^= 1
+            w0 = new_w0
+            gain[u] = -gain[u]
+            lo_i, hi_i = g.ptr[u], g.ptr[u + 1]
+            for i in range(lo_i, hi_i):
+                v = g.nbr[i]
+                if side[v] == side[u]:
+                    gain[v] -= 2 * g.w[i]
+                else:
+                    gain[v] += 2 * g.w[i]
+            moved_any = True
+        if not moved_any:
+            break
+    return side
+
+
+def _bisect(g: _UGraph, target0: float, tol: float,
+            rng: np.random.Generator, min_coarse: int = 64) -> np.ndarray:
+    """Multilevel bisection of the working graph; returns side[] in {0,1}."""
+    if g.n <= min_coarse:
+        side = _greedy_bisection(g, target0, rng)
+        return _refine_bisection(g, side, target0, tol)
+    match = _heavy_edge_matching(g, rng)
+    coarse, cmap = _contract(g, match)
+    if coarse.n >= g.n * 0.95:  # matching stalled; stop coarsening
+        side = _greedy_bisection(g, target0, rng)
+        return _refine_bisection(g, side, target0, tol)
+    cside = _bisect(coarse, target0, tol, rng, min_coarse)
+    side = cside[cmap].astype(np.int8)
+    return _refine_bisection(g, side, target0, tol)
+
+
+def multilevel_partition(graph: DiGraph, k: int, *,
+                         balance_tol: float = 0.05,
+                         seed: "int | np.random.Generator | None" = 0) -> Partition:
+    """Metis-style multilevel k-way partition by recursive bisection.
+
+    Parameters
+    ----------
+    graph:
+        Input digraph; partitioning is performed on its symmetrised,
+        weight-merged undirected view (direction does not matter for
+        locality).
+    k:
+        Number of parts.  When ``k >= n`` each node becomes its own part
+        (the paper's "partition size is one" degenerate case where Eager
+        collapses to General).
+    balance_tol:
+        Allowed deviation of each bisection side from its target weight
+        fraction.
+    seed:
+        RNG seed (matching and seed selection are randomised).
+    """
+    check_positive("k", k)
+    n = graph.num_nodes
+    if k >= n:
+        return Partition(graph, np.arange(n, dtype=np.int64), k)
+    ptr, nbr, w = graph.undirected_csr()
+    g = _UGraph(ptr, nbr, w, np.ones(n, dtype=np.float64))
+    rng = as_rng(seed)
+    assign = np.zeros(n, dtype=np.int64)
+    # Per-bisection imbalance compounds multiplicatively down the
+    # recursion, so divide the user's overall tolerance across levels.
+    levels = max(1, int(np.ceil(np.log2(k))))
+    per_level_tol = balance_tol / levels
+
+    def rec(nodes: np.ndarray, sub: _UGraph, kk: int, base: int) -> None:
+        if kk == 1:
+            assign[nodes] = base
+            return
+        k0 = (kk + 1) // 2
+        side = _bisect(sub, k0 / kk, per_level_tol, rng)
+        idx0 = np.flatnonzero(side == 0)
+        idx1 = np.flatnonzero(side == 1)
+        # Guard: a degenerate bisection must still split the node set,
+        # otherwise recursion would not terminate.
+        if len(idx0) == 0 or len(idx1) == 0:
+            half = max(1, len(nodes) * k0 // kk)
+            idx0 = np.arange(half)
+            idx1 = np.arange(half, len(nodes))
+        sub0 = _subgraph(sub, idx0)
+        sub1 = _subgraph(sub, idx1)
+        rec(nodes[idx0], sub0, k0, base)
+        rec(nodes[idx1], sub1, kk - k0, base + k0)
+
+    rec(np.arange(n, dtype=np.int64), g, k, 0)
+    return Partition(graph, assign, k)
+
+
+def _subgraph(g: _UGraph, nodes: np.ndarray) -> _UGraph:
+    """Induced undirected subgraph on ``nodes`` (renumbered 0..len-1)."""
+    remap = np.full(g.n, -1, dtype=np.int64)
+    remap[nodes] = np.arange(len(nodes))
+    src = np.repeat(np.arange(g.n), np.diff(g.ptr))
+    keep = (remap[src] >= 0) & (remap[g.nbr] >= 0)
+    uu = remap[src[keep]]
+    vv = remap[g.nbr[keep]]
+    ww = g.w[keep]
+    ptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    if len(uu):
+        order = np.argsort(uu, kind="stable")
+        uu, vv, ww = uu[order], vv[order], ww[order]
+        np.cumsum(np.bincount(uu, minlength=len(nodes)), out=ptr[1:])
+    return _UGraph(ptr, vv, ww, g.vw[nodes])
+
+
+#: Registry used by benchmarks and the partitioner-quality ablation.
+PARTITIONERS = {
+    "multilevel": multilevel_partition,
+    "bfs": bfs_partition,
+    "chunk": chunk_partition,
+    "hash": hash_partition,
+    "random": random_partition,
+}
+
+_SEEDLESS = {"hash", "chunk"}
+
+
+def partition_graph(graph: DiGraph, k: int, *, method: str = "multilevel",
+                    seed: "int | np.random.Generator | None" = 0) -> Partition:
+    """Dispatch to a registered partitioner by name."""
+    if method not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {method!r}; choose from {sorted(PARTITIONERS)}"
+        )
+    fn = PARTITIONERS[method]
+    if method in _SEEDLESS:
+        return fn(graph, k)
+    return fn(graph, k, seed=seed)

@@ -1,0 +1,29 @@
+"""Shared utilities: validation, deterministic RNG handling, and small helpers.
+
+These are internal helpers used across the substrates (graph, cluster,
+engine) and the core partial-synchronization driver.  Nothing here is
+specific to the paper; it exists so that the rest of the codebase can stay
+focused on the algorithms.
+"""
+
+from repro.util.checks import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_array_1d,
+    check_probability,
+)
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.tables import ascii_table, format_series
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_array_1d",
+    "check_probability",
+    "as_rng",
+    "spawn_rngs",
+    "ascii_table",
+    "format_series",
+]

@@ -1,0 +1,80 @@
+"""Argument-validation helpers.
+
+Every public entry point in the library validates its arguments eagerly so
+that misuse fails with a clear message at the call site rather than deep
+inside a numeric kernel.  The helpers raise ``ValueError``/``TypeError``
+with messages that name the offending parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def check_positive(name: str, value: Any) -> None:
+    """Raise ``ValueError`` unless ``value`` is a strictly positive number."""
+    if not np.isscalar(value) and not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a scalar number, got {type(value).__name__}")
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: Any) -> None:
+    """Raise ``ValueError`` unless ``value`` is a number >= 0."""
+    if not np.isscalar(value) and not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a scalar number, got {type(value).__name__}")
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(name: str, value: Any, lo: float, hi: float, *,
+                   inclusive: bool = True) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi`` (or strict, if asked)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+
+
+def check_probability(name: str, value: Any) -> None:
+    """Raise unless ``value`` is a probability in [0, 1]."""
+    check_in_range(name, value, 0.0, 1.0)
+
+
+def check_array_1d(name: str, arr: Any, *, length: int | None = None,
+                   dtype_kind: str | None = None) -> np.ndarray:
+    """Coerce ``arr`` to a 1-D :class:`numpy.ndarray` and validate its shape.
+
+    Parameters
+    ----------
+    name:
+        Parameter name used in error messages.
+    arr:
+        Array-like input.
+    length:
+        If given, the exact required length.
+    dtype_kind:
+        If given, the required numpy dtype ``kind`` (e.g. ``"i"`` for
+        signed integers, ``"f"`` for floats).
+
+    Returns
+    -------
+    numpy.ndarray
+        The validated array (a view when possible, never a copy of a
+        conforming input).
+    """
+    out = np.asarray(arr)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {out.shape}")
+    if length is not None and out.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {out.shape[0]}")
+    if dtype_kind is not None and out.dtype.kind != dtype_kind:
+        raise TypeError(
+            f"{name} must have dtype kind {dtype_kind!r}, got {out.dtype} "
+            f"(kind {out.dtype.kind!r})"
+        )
+    return out

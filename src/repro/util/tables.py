@@ -1,0 +1,64 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+The paper reports results as log-log line plots (Figures 2-9) and setup
+tables (Tables I-II).  The harness regenerates each of those as an ASCII
+table / series so the output of ``pytest benchmarks/`` can be compared
+against the paper by eye and by the assertions in ``repro.bench``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                *, title: str | None = None) -> str:
+    """Render ``rows`` as a fixed-width ASCII table.
+
+    Cells are stringified with ``str``; floats are shown with 6 significant
+    digits.  Column widths adapt to content.
+    """
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.6g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any],
+                  *, x_label: str = "x", y_label: str = "y") -> str:
+    """Format one plot series (e.g. "Eager" in Figure 4) as aligned text."""
+    if len(xs) != len(ys):
+        raise ValueError(f"xs and ys must have equal length, got {len(xs)} vs {len(ys)}")
+    header = f"series {name}: {y_label} vs {x_label}"
+    rows = "\n".join(
+        f"  {x_label}={x!s:>10}  {y_label}={y:.6g}" if isinstance(y, float)
+        else f"  {x_label}={x!s:>10}  {y_label}={y}"
+        for x, y in zip(xs, ys)
+    )
+    return header + "\n" + rows

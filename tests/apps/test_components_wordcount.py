@@ -1,0 +1,89 @@
+"""Tests for connected components and wordcount."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    components_reference,
+    connected_components,
+    wordcount,
+)
+from repro.cluster import SimCluster
+from repro.engine import MapReduceRuntime
+from repro.graph import DiGraph, chunk_partition, multilevel_partition
+
+
+class TestComponents:
+    @pytest.mark.parametrize("mode", ["general", "eager"])
+    def test_matches_scipy(self, small_graph, small_partition, mode):
+        res = connected_components(small_graph, small_partition, mode=mode)
+        assert np.array_equal(res.labels, components_reference(small_graph))
+
+    def test_tiny_graph_components(self, tiny_graph):
+        res = connected_components(tiny_graph, chunk_partition(tiny_graph, 2),
+                                   mode="eager")
+        assert res.num_components == 3
+        assert res.labels.tolist() == [0, 0, 0, 3, 3, 5]
+
+    def test_direction_ignored(self):
+        # a one-way edge still joins its endpoints weakly
+        g = DiGraph(2, [0], [1])
+        res = connected_components(g, chunk_partition(g, 2), mode="eager")
+        assert res.num_components == 1
+
+    def test_eager_fewer_iterations(self, small_graph, small_partition):
+        gen = connected_components(small_graph, small_partition, mode="general")
+        eag = connected_components(small_graph, small_partition, mode="eager")
+        assert eag.global_iters <= gen.global_iters
+
+    def test_sim_time_accounted(self, small_graph, small_partition):
+        res = connected_components(small_graph, small_partition, mode="eager",
+                                   cluster=SimCluster())
+        assert res.sim_time > 0
+
+    def test_labels_are_component_minima(self, small_graph, small_partition):
+        res = connected_components(small_graph, small_partition, mode="eager")
+        # every label is the smallest node id in its component
+        for lbl in np.unique(res.labels):
+            members = np.flatnonzero(res.labels == lbl)
+            assert members.min() == lbl
+
+
+class TestWordcount:
+    def test_counts(self):
+        res = wordcount(["a b a", "c b"])
+        assert res.as_dict() == {"a": 2, "b": 2, "c": 1}
+
+    def test_case_and_punctuation(self):
+        res = wordcount(["Hello, hello WORLD!"])
+        assert res.as_dict() == {"hello": 2, "world": 1}
+
+    def test_splits_param(self):
+        res = wordcount(["a"] * 10, splits=3)
+        assert res.as_dict() == {"a": 10}
+        with pytest.raises(ValueError):
+            wordcount(["a"], splits=0)
+
+    def test_combiner_equivalence(self):
+        docs = ["x y z x", "y y", "z"]
+        with_c = wordcount(docs, use_combiner=True)
+        without = wordcount(docs, use_combiner=False)
+        assert with_c.as_dict() == without.as_dict()
+
+    def test_combiner_reduces_shuffle(self):
+        docs = ["token token token token"] * 5
+        with_c = wordcount(docs, use_combiner=True)
+        without = wordcount(docs, use_combiner=False)
+        assert (with_c.counters.get("job.shuffle.bytes")
+                < without.counters.get("job.shuffle.bytes"))
+
+    def test_custom_runtime(self):
+        rt = MapReduceRuntime("threads", workers=2)
+        res = wordcount(["w w"], runtime=rt)
+        assert res.as_dict() == {"w": 2}
+
+    def test_empty_documents(self):
+        assert wordcount([]).as_dict() == {}
+        assert wordcount([""]).as_dict() == {}

@@ -1,0 +1,159 @@
+"""Tests for K-Means: Lloyd correctness, General vs Eager behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    KMeansBlockSpec,
+    assign_points,
+    kmeans,
+    kmeans_reference,
+    sse,
+)
+from repro.cluster import SimCluster
+
+
+class TestAssignAndSse:
+    def test_assign_nearest(self):
+        pts = np.array([[0.0], [1.0], [10.0]])
+        cents = np.array([[0.5], [9.0]])
+        assert assign_points(pts, cents).tolist() == [0, 0, 1]
+
+    def test_assign_blockwise_matches_direct(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(500, 8))
+        cents = rng.normal(size=(7, 8))
+        direct = np.argmin(((pts[:, None, :] - cents[None]) ** 2).sum(-1), axis=1)
+        assert np.array_equal(assign_points(pts, cents), direct)
+
+    def test_assign_validation(self):
+        with pytest.raises(ValueError):
+            assign_points(np.zeros(3), np.zeros((2, 1)))
+        with pytest.raises(ValueError, match="dimension"):
+            assign_points(np.zeros((3, 2)), np.zeros((2, 3)))
+
+    def test_sse_zero_at_centroids(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert sse(pts, pts.copy()) == 0.0
+
+    def test_sse_positive(self, blob_points):
+        pts, _ = blob_points
+        cents = pts[:5]
+        assert sse(pts, cents) > 0
+
+
+class TestCorrectness:
+    def test_general_equals_serial_lloyd(self, census_points):
+        # count-weighted combine makes the distributed general mode an
+        # exact Lloyd step, so it matches the serial oracle step for step
+        got = kmeans(census_points, 6, mode="general", threshold=1e-3,
+                     num_partitions=13, seed=4)
+        expected = kmeans_reference(census_points, 6, threshold=1e-3, seed=4)
+        assert np.allclose(got.centroids, expected, atol=1e-8)
+
+    def test_centroids_are_weighted_means(self, census_points):
+        res = kmeans(census_points, 5, mode="general", threshold=1e-4, seed=1)
+        assignment = assign_points(census_points, res.centroids)
+        for j in range(5):
+            members = census_points[assignment == j]
+            if len(members):
+                # one more Lloyd step moves each centroid by < threshold-ish
+                assert np.linalg.norm(res.centroids[j] - members.mean(0)) < 0.05
+
+    def test_general_objective_nonincreasing(self, census_points):
+        spec = KMeansBlockSpec(census_points, 6, num_partitions=8,
+                               threshold=1e-6, seed=2,
+                               oscillation_detection=False)
+        state = spec.init_state()
+        prev_obj = sse(census_points, state)
+        for _ in range(8):
+            reports = [spec.local_solve(p, state, max_local_iters=1)
+                       for p in range(spec.num_partitions())]
+            state, _, _ = spec.global_combine(state, reports)
+            obj = sse(census_points, state)
+            assert obj <= prev_obj + 1e-6
+            prev_obj = obj
+
+    def test_eager_quality_comparable(self, census_points):
+        gen = kmeans(census_points, 6, mode="general", threshold=1e-3, seed=4)
+        eag = kmeans(census_points, 6, mode="eager", threshold=1e-3, seed=4)
+        assert sse(census_points, eag.centroids) <= 1.1 * sse(census_points, gen.centroids)
+
+    def test_recovers_separated_blobs(self, blob_points):
+        pts, labels = blob_points
+        res = kmeans(pts, 5, mode="eager", threshold=1e-3,
+                     num_partitions=6, seed=0)
+        # every true cluster centre should be near some found centroid
+        for c in range(5):
+            centre = pts[labels == c].mean(0)
+            dmin = np.linalg.norm(res.centroids - centre, axis=1).min()
+            assert dmin < 1.0
+
+    def test_deterministic_given_seed(self, census_points):
+        a = kmeans(census_points, 4, mode="eager", seed=9)
+        b = kmeans(census_points, 4, mode="eager", seed=9)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert a.global_iters == b.global_iters
+
+    def test_validation(self, census_points):
+        with pytest.raises(ValueError):
+            KMeansBlockSpec(census_points, 0)
+        with pytest.raises(ValueError):
+            KMeansBlockSpec(census_points, 3, threshold=0)
+        with pytest.raises(ValueError):
+            KMeansBlockSpec(census_points, 3, weighting="median")
+        with pytest.raises(ValueError):
+            KMeansBlockSpec(np.zeros((0, 2)), 1)
+
+    def test_k_one(self, census_points):
+        res = kmeans(census_points, 1, mode="general", threshold=1e-6, seed=0)
+        assert np.allclose(res.centroids[0], census_points.mean(0), atol=1e-6)
+
+
+class TestPaperBehaviour:
+    def test_eager_fewer_global_iterations(self, census_points):
+        gen = kmeans(census_points, 6, mode="general", threshold=0.05, seed=4)
+        eag = kmeans(census_points, 6, mode="eager", threshold=0.05, seed=4)
+        assert eag.global_iters < gen.global_iters
+
+    def test_iterations_grow_as_threshold_shrinks(self, census_points):
+        loose = kmeans(census_points, 6, mode="general", threshold=0.5, seed=4)
+        tight = kmeans(census_points, 6, mode="general", threshold=0.01, seed=4)
+        assert loose.global_iters <= tight.global_iters
+
+    def test_eager_faster_in_sim_time(self, census_points):
+        gen = kmeans(census_points, 6, mode="general", threshold=0.05,
+                     cluster=SimCluster(), seed=4)
+        eag = kmeans(census_points, 6, mode="eager", threshold=0.05,
+                     cluster=SimCluster(), seed=4)
+        assert eag.sim_time < gen.sim_time
+
+    def test_repartitioning_happens_in_eager(self, census_points):
+        spec = KMeansBlockSpec(census_points, 4, num_partitions=6,
+                               reshuffle_every=2, seed=0)
+        before = [p.copy() for p in spec._parts]
+        spec.on_global_iteration(2, None)
+        after = spec._parts
+        assert any(not np.array_equal(b, a) for b, a in zip(before, after))
+
+    def test_no_repartitioning_when_disabled(self, census_points):
+        spec = KMeansBlockSpec(census_points, 4, num_partitions=6,
+                               reshuffle_every=0, seed=0)
+        before = [p.copy() for p in spec._parts]
+        spec.on_global_iteration(2, None)
+        assert all(np.array_equal(b, a) for b, a in zip(before, spec._parts))
+
+    def test_uniform_weighting_mode_runs(self, census_points):
+        res = kmeans(census_points, 4, mode="eager", weighting="uniform", seed=0)
+        assert np.all(np.isfinite(res.centroids))
+
+    def test_empty_cluster_keeps_previous_centroid(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]])
+        spec = KMeansBlockSpec(pts, 2, num_partitions=1, threshold=1e-6,
+                               seed=1, oscillation_detection=False)
+        state = np.array([[0.05, 0.05], [100.0, 100.0]])  # far centroid empty
+        reports = [spec.local_solve(0, state, max_local_iters=1)]
+        new_state, _, _ = spec.global_combine(state, reports)
+        assert np.allclose(new_state[1], [100.0, 100.0])

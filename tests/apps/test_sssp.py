@@ -1,0 +1,116 @@
+"""Tests for SSSP: exactness against Dijkstra and paper behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import SsspBlockSpec, sssp, sssp_reference
+from repro.cluster import SimCluster
+from repro.graph import (
+    DiGraph,
+    chunk_partition,
+    multilevel_partition,
+    ring_graph,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", ["general", "eager"])
+    def test_matches_dijkstra(self, weighted_graph, weighted_partition, mode):
+        res = sssp(weighted_graph, weighted_partition, mode=mode)
+        expected = sssp_reference(weighted_graph)
+        assert np.allclose(res.distances, expected, equal_nan=False)
+        assert res.converged
+
+    def test_source_distance_zero(self, weighted_graph, weighted_partition):
+        res = sssp(weighted_graph, weighted_partition, source=5)
+        assert res.distances[5] == 0.0
+
+    def test_nondefault_source_matches_oracle(self, weighted_graph, weighted_partition):
+        res = sssp(weighted_graph, weighted_partition, source=17, mode="eager")
+        assert np.allclose(res.distances, sssp_reference(weighted_graph, source=17))
+
+    def test_unreachable_nodes_stay_inf(self):
+        # 0 -> 1; node 2 unreachable
+        g = DiGraph(3, [0], [1], [2.0])
+        res = sssp(g, chunk_partition(g, 2), mode="eager")
+        assert res.distances.tolist() == [0.0, 2.0, np.inf]
+
+    def test_ring_distances(self):
+        g = ring_graph(6).with_weights(np.full(6, 1.0))
+        res = sssp(g, chunk_partition(g, 3), mode="eager")
+        assert res.distances.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_parallel_edges_take_min(self):
+        g = DiGraph(2, [0, 0], [1, 1], [5.0, 2.0])
+        res = sssp(g, chunk_partition(g, 1), mode="general")
+        assert res.distances[1] == 2.0
+
+    def test_monotone_nonincreasing_distances(self, weighted_graph, weighted_partition):
+        # distances never increase across global iterations
+        spec = SsspBlockSpec(weighted_graph, weighted_partition)
+        state = spec.init_state()
+        for _ in range(5):
+            reports = [spec.local_solve(p, state, max_local_iters=3)
+                       for p in range(weighted_partition.k)]
+            new_state, _, _ = spec.global_combine(state, reports)
+            finite = np.isfinite(state)
+            assert np.all(new_state[finite] <= state[finite] + 1e-12)
+            state = new_state
+
+    def test_invalid_args(self, weighted_graph, weighted_partition):
+        with pytest.raises(ValueError, match="source"):
+            sssp(weighted_graph, weighted_partition, source=-1)
+        with pytest.raises(ValueError, match="path"):
+            sssp(weighted_graph, weighted_partition, path="bogus")
+
+    def test_negative_weights_rejected(self):
+        g = DiGraph(2, [0], [1], [-1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            SsspBlockSpec(g, chunk_partition(g, 1))
+
+
+class TestPaperBehaviour:
+    def test_general_iterations_independent_of_partitions(self, weighted_graph):
+        iters = {
+            k: sssp(weighted_graph, multilevel_partition(weighted_graph, k, seed=0),
+                    mode="general").global_iters
+            for k in (2, 8, 32)
+        }
+        assert len(set(iters.values())) == 1
+
+    def test_eager_fewer_global_iterations(self, weighted_graph, weighted_partition):
+        gen = sssp(weighted_graph, weighted_partition, mode="general")
+        eag = sssp(weighted_graph, weighted_partition, mode="eager")
+        assert eag.global_iters < gen.global_iters
+
+    def test_eager_iterations_grow_with_partitions(self, weighted_graph):
+        few = multilevel_partition(weighted_graph, 2, seed=0)
+        many = multilevel_partition(weighted_graph, 64, seed=0)
+        assert (sssp(weighted_graph, few, mode="eager").global_iters
+                <= sssp(weighted_graph, many, mode="eager").global_iters)
+
+    def test_eager_faster_in_sim_time(self, weighted_graph, weighted_partition):
+        gen = sssp(weighted_graph, weighted_partition, mode="general",
+                   cluster=SimCluster())
+        eag = sssp(weighted_graph, weighted_partition, mode="eager",
+                   cluster=SimCluster())
+        assert eag.sim_time < gen.sim_time
+
+    def test_general_rounds_bound_by_hops(self, weighted_graph, weighted_partition):
+        # Bellman-Ford needs (max shortest-path hop count + 1) rounds
+        gen = sssp(weighted_graph, weighted_partition, mode="general")
+        assert gen.global_iters <= weighted_graph.num_nodes
+
+
+class TestKVPath:
+    @pytest.mark.parametrize("mode", ["general", "eager"])
+    def test_kv_matches_dijkstra(self, weighted_graph, weighted_partition, mode):
+        res = sssp(weighted_graph, weighted_partition, mode=mode, path="kv")
+        assert np.allclose(res.distances, sssp_reference(weighted_graph))
+
+    def test_kv_eager_fewer_rounds(self, weighted_graph, weighted_partition):
+        gen = sssp(weighted_graph, weighted_partition, mode="general", path="kv")
+        eag = sssp(weighted_graph, weighted_partition, mode="eager", path="kv")
+        assert eag.global_iters < gen.global_iters

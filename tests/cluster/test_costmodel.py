@@ -1,0 +1,107 @@
+"""Tests for the cost model (EC2/HPC presets and conversions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import CostModel, EC2_DEFAULTS, HPC_DEFAULTS, ZERO_COST, scaled_model
+
+
+class TestCostModel:
+    def test_defaults_are_positive(self):
+        cm = CostModel()
+        assert cm.map_op_seconds > 0
+        assert cm.job_startup_seconds > 0
+
+    def test_map_compute_linear(self):
+        cm = CostModel()
+        assert cm.map_compute_seconds(2000) == pytest.approx(
+            2 * cm.map_compute_seconds(1000))
+
+    def test_reduce_and_local_rates_differ(self):
+        cm = EC2_DEFAULTS
+        assert cm.local_compute_seconds(1000) < cm.map_compute_seconds(1000)
+
+    def test_shuffle_zero_bytes_free(self):
+        assert EC2_DEFAULTS.shuffle_seconds(0) == 0.0
+
+    def test_shuffle_includes_latency(self):
+        cm = EC2_DEFAULTS
+        assert cm.shuffle_seconds(1) >= cm.shuffle_latency_seconds
+
+    def test_shuffle_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EC2_DEFAULTS.shuffle_seconds(-1)
+
+    def test_dfs_write_charges_replication(self):
+        cm = CostModel(dfs_replication=3, dfs_touch_seconds=0.0)
+        single = CostModel(dfs_replication=1, dfs_touch_seconds=0.0)
+        assert cm.dfs_write_seconds(10**6) == pytest.approx(
+            3 * single.dfs_write_seconds(10**6))
+
+    def test_dfs_write_includes_fixed_touch_cost(self):
+        cm = CostModel(dfs_touch_seconds=2.0)
+        # even a one-byte state file pays the commit/metadata cost
+        assert cm.dfs_write_seconds(1) >= 2.0
+
+    def test_dfs_read_faster_than_write(self):
+        cm = EC2_DEFAULTS
+        assert cm.dfs_read_seconds(10**6) < cm.dfs_write_seconds(10**6)
+
+    def test_dfs_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EC2_DEFAULTS.dfs_read_seconds(-5)
+        with pytest.raises(ValueError):
+            EC2_DEFAULTS.dfs_write_seconds(-5)
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(map_op_seconds=0)
+        with pytest.raises(ValueError):
+            CostModel(job_startup_seconds=-1)
+        with pytest.raises(ValueError):
+            CostModel(dfs_replication=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EC2_DEFAULTS.map_op_seconds = 1.0  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_hpc_overheads_far_cheaper(self):
+        # the §II claim: barrier/startup dominate on cloud, not on HPC
+        assert HPC_DEFAULTS.job_startup_seconds < EC2_DEFAULTS.job_startup_seconds / 100
+        assert HPC_DEFAULTS.barrier_seconds < EC2_DEFAULTS.barrier_seconds / 100
+        assert HPC_DEFAULTS.shuffle_bandwidth_bps > EC2_DEFAULTS.shuffle_bandwidth_bps * 10
+
+    def test_zero_cost_only_compute(self):
+        assert ZERO_COST.job_startup_seconds == 0.0
+        assert ZERO_COST.shuffle_seconds(10**9) == 0.0
+        assert ZERO_COST.dfs_write_seconds(10**9) == 0.0
+        assert ZERO_COST.map_compute_seconds(100) > 0.0
+
+
+class TestScaledModel:
+    def test_scale_one_is_identity_on_overheads(self):
+        s = scaled_model(EC2_DEFAULTS, overhead_scale=1.0)
+        assert s.job_startup_seconds == EC2_DEFAULTS.job_startup_seconds
+        assert s.barrier_seconds == EC2_DEFAULTS.barrier_seconds
+
+    def test_scale_zero_removes_overheads(self):
+        s = scaled_model(EC2_DEFAULTS, overhead_scale=0.0)
+        assert s.job_startup_seconds == 0.0
+        assert s.task_dispatch_seconds == 0.0
+
+    def test_compute_rates_untouched(self):
+        s = scaled_model(EC2_DEFAULTS, overhead_scale=0.25)
+        assert s.map_op_seconds == EC2_DEFAULTS.map_op_seconds
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_model(EC2_DEFAULTS, overhead_scale=-0.1)
+
+    def test_intermediate_scale_monotone(self):
+        lo = scaled_model(EC2_DEFAULTS, overhead_scale=0.1)
+        hi = scaled_model(EC2_DEFAULTS, overhead_scale=0.9)
+        assert lo.job_startup_seconds < hi.job_startup_seconds
+        assert lo.shuffle_seconds(10**7) < hi.shuffle_seconds(10**7)

@@ -1,0 +1,96 @@
+"""Tests for the online state store (Bigtable substitute, §VIII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    EC2_DEFAULTS,
+    OnlineStoreModel,
+    SimCluster,
+    SimDFS,
+    SimKVStore,
+)
+
+
+class TestOnlineStoreModel:
+    def test_defaults_cheaper_than_dfs_roundtrip(self):
+        m = OnlineStoreModel()
+        for nbytes in (1, 10**4, 10**7):
+            dfs = (EC2_DEFAULTS.dfs_write_seconds(nbytes)
+                   + EC2_DEFAULTS.dfs_read_seconds(nbytes))
+            assert m.roundtrip_seconds(nbytes) < dfs
+
+    def test_latency_floor(self):
+        m = OnlineStoreModel(op_latency_seconds=0.1)
+        assert m.read_seconds(0) == pytest.approx(0.1)
+        assert m.write_seconds(0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineStoreModel(write_bps=0)
+        with pytest.raises(ValueError):
+            OnlineStoreModel(op_latency_seconds=-1)
+        with pytest.raises(ValueError):
+            OnlineStoreModel().read_seconds(-1)
+
+
+class TestSimKVStore:
+    def test_put_get_roundtrip(self):
+        store = SimKVStore()
+        t_w = store.put("state", {"x": 1})
+        value, t_r = store.get("state")
+        assert value == {"x": 1}
+        assert store.time_spent == pytest.approx(t_w + t_r)
+
+    def test_missing_row(self):
+        with pytest.raises(KeyError):
+            SimKVStore().get("nope")
+
+    def test_exists_and_len(self):
+        store = SimKVStore()
+        store.put("a", 1)
+        assert store.exists("a") and not store.exists("b")
+        assert len(store) == 1
+
+    def test_checkpoint_and_restore(self):
+        store = SimKVStore()
+        store.put("ranks", np.arange(5))
+        store.put("meta", "iteration-7")
+        dfs = SimDFS(EC2_DEFAULTS)
+        t = store.checkpoint(dfs)
+        assert t > 0
+        assert dfs.exists("ckpt/ranks")
+
+        fresh = SimKVStore()
+        fresh.restore(dfs)
+        value, _ = fresh.get("ranks")
+        assert np.array_equal(value, np.arange(5))
+        value, _ = fresh.get("meta")
+        assert value == "iteration-7"
+
+    def test_checkpoint_costs_dfs_time(self):
+        store = SimKVStore()
+        store.put("big", np.zeros(10**6))
+        dfs = SimDFS(EC2_DEFAULTS)
+        t = store.checkpoint(dfs)
+        # replicated write of 8 MB + touch must dominate the online put
+        assert t > store.time_spent
+
+
+class TestClusterIntegration:
+    def test_charge_state_roundtrip_dispatch(self):
+        cl = SimCluster()
+        t_dfs = cl.charge_state_roundtrip(10**6, store="dfs")
+        t_online = cl.charge_state_roundtrip(10**6, store="online")
+        assert t_online < t_dfs
+        with pytest.raises(ValueError, match="store"):
+            cl.charge_state_roundtrip(1, store="carrier-pigeon")
+
+    def test_charge_fixed(self):
+        cl = SimCluster()
+        cl.charge_fixed("custom", 5.0)
+        assert cl.clock == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            cl.charge_fixed("bad", -1.0)

@@ -1,0 +1,68 @@
+"""Tests for the execution-trace phase-breakdown reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import pagerank
+from repro.cluster import (
+    SimCluster,
+    format_breakdown,
+    overhead_fraction,
+    phase_breakdown,
+)
+
+
+@pytest.fixture()
+def run_cluster(small_graph, small_partition):
+    cl = SimCluster()
+    pagerank(small_graph, small_partition, mode="eager", cluster=cl)
+    return cl
+
+
+class TestPhaseBreakdown:
+    def test_rows_cover_known_phases(self, run_cluster):
+        rows = phase_breakdown(run_cluster)
+        names = {r.phase for r in rows}
+        assert "startup" in names
+        assert "map" in names
+        assert "barrier" in names
+
+    def test_shares_sum_reasonably(self, run_cluster):
+        rows = phase_breakdown(run_cluster)
+        total_share = sum(r.share for r in rows)
+        # serial charges + per-slot-averaged task time <= clock
+        assert 0.5 < total_share <= 1.01
+
+    def test_sorted_descending(self, run_cluster):
+        rows = phase_breakdown(run_cluster)
+        secs = [r.seconds for r in rows]
+        assert secs == sorted(secs, reverse=True)
+
+    def test_classification(self, run_cluster):
+        rows = {r.phase: r.kind for r in phase_breakdown(run_cluster)}
+        assert rows["startup"] == "overhead"
+        assert rows["barrier"] == "overhead"
+        assert rows["map"] == "compute"
+
+    def test_empty_cluster(self):
+        assert phase_breakdown(SimCluster()) == []
+        assert overhead_fraction(SimCluster()) == 0.0
+
+
+class TestOverheadFraction:
+    def test_papers_premise_holds(self, run_cluster):
+        # §II: global synchronization overhead dominates iterative jobs
+        # on cloud-like platforms
+        assert overhead_fraction(run_cluster) > 0.5
+
+    def test_bounded(self, run_cluster):
+        assert 0.0 <= overhead_fraction(run_cluster) <= 1.0
+
+
+class TestFormatBreakdown:
+    def test_renders_table(self, run_cluster):
+        out = format_breakdown(run_cluster, title="T")
+        assert out.startswith("T")
+        assert "startup" in out
+        assert "(total clock)" in out

@@ -1,0 +1,68 @@
+"""Tests for the spec API plumbing and gmap/greduce engine wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GmapFunction, GreduceFunction, LocalSolveReport
+from repro.core.gmap import LOCAL_ITER_COUNTER, LOCAL_OPS_COUNTER
+from repro.engine import TaskContext
+
+from tests.core.test_localmr import CountdownSpec
+
+
+class TestLocalSolveReport:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalSolveReport(partition=0, updates=None, local_iters=-1)
+        with pytest.raises(ValueError, match="per_iter_ops"):
+            LocalSolveReport(partition=0, updates=None, local_iters=2,
+                             per_iter_ops=[1.0])
+        with pytest.raises(ValueError):
+            LocalSolveReport(partition=0, updates=None, local_iters=0,
+                             shuffle_bytes=-1)
+
+    def test_total_ops(self):
+        r = LocalSolveReport(partition=0, updates=None, local_iters=2,
+                             per_iter_ops=[3.0, 4.0])
+        assert r.total_ops == 7.0
+
+
+class TestGmapFunction:
+    def test_runs_local_loop_and_emits(self):
+        gmap = GmapFunction(CountdownSpec(), max_local_iters=100)
+        ctx = TaskContext("m0", 0)
+        gmap(0, [("a", 2), ("b", 1)], ctx)
+        assert dict(ctx.output) == {"a": 0, "b": 0}
+        assert ctx.counters.get(LOCAL_ITER_COUNTER) == 2
+        assert ctx.counters.get(LOCAL_OPS_COUNTER) > 0
+        assert ctx.ops > 0  # local work charged to the task
+
+    def test_general_mode_single_step(self):
+        gmap = GmapFunction(CountdownSpec(), max_local_iters=1)
+        ctx = TaskContext("m0", 0)
+        gmap(0, [("a", 3)], ctx)
+        assert dict(ctx.output) == {"a": 2}
+
+    def test_invalid_max_iters(self):
+        with pytest.raises(ValueError):
+            GmapFunction(CountdownSpec(), max_local_iters=0)
+
+    def test_custom_gmap_emit(self):
+        class Custom(CountdownSpec):
+            def gmap_emit(self, table, part_id):
+                return [(("tagged", k), v) for k, v in table.items()]
+
+        gmap = GmapFunction(Custom(), max_local_iters=10)
+        ctx = TaskContext("m0", 0)
+        gmap(0, [("a", 1)], ctx)
+        assert ctx.output == [(("tagged", "a"), 0)]
+
+
+class TestGreduceFunction:
+    def test_delegates_to_spec(self):
+        greduce = GreduceFunction(CountdownSpec())
+        ctx = TaskContext("r0", 0)
+        greduce("a", [5], ctx)
+        assert ctx.output == [("a", 5)]
+        assert ctx.ops >= 1

@@ -1,0 +1,146 @@
+"""Tests for the convergence criteria."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentroidShiftCriterion,
+    InfNormCriterion,
+    L2NormCriterion,
+    UnchangedCriterion,
+    combine_any,
+)
+
+
+class TestInfNorm:
+    def test_converges_below_tol(self):
+        c = InfNormCriterion(1e-3)
+        assert not c.update(np.zeros(3), np.array([0.1, 0.0, 0.0]))
+        assert c.update(np.zeros(3), np.array([1e-4, 0.0, 0.0]))
+
+    def test_residual_is_max_abs(self):
+        c = InfNormCriterion(1e-3)
+        c.update(np.array([1.0, 2.0]), np.array([1.5, 1.0]))
+        assert c.last_residual == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            InfNormCriterion(1.0).update(np.zeros(2), np.zeros(3))
+
+    def test_empty_converges(self):
+        assert InfNormCriterion(1.0).update(np.zeros(0), np.zeros(0))
+
+    def test_bad_tol(self):
+        with pytest.raises(ValueError):
+            InfNormCriterion(0.0)
+
+    def test_reset(self):
+        c = InfNormCriterion(1.0)
+        c.update(np.zeros(1), np.ones(1))
+        c.reset()
+        assert c.last_residual == float("inf")
+
+
+class TestL2Norm:
+    def test_residual(self):
+        c = L2NormCriterion(1.0)
+        c.update(np.zeros(2), np.array([3.0, 4.0]))
+        assert c.last_residual == pytest.approx(5.0)
+
+    def test_convergence(self):
+        c = L2NormCriterion(0.1)
+        assert c.update(np.ones(4), np.ones(4) + 0.01)
+
+
+class TestUnchanged:
+    def test_identical_converges(self):
+        c = UnchangedCriterion()
+        assert c.update(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_change_not_converged(self):
+        c = UnchangedCriterion()
+        assert not c.update(np.array([1.0]), np.array([1.1]))
+
+    def test_inf_to_inf_is_unchanged(self):
+        c = UnchangedCriterion()
+        inf = np.inf
+        assert c.update(np.array([inf, 1.0]), np.array([inf, 1.0]))
+
+    def test_inf_to_finite_is_change(self):
+        c = UnchangedCriterion()
+        assert not c.update(np.array([np.inf]), np.array([5.0]))
+
+
+class TestCentroidShift:
+    def test_threshold_stop(self):
+        c = CentroidShiftCriterion(0.5)
+        prev = np.zeros((2, 3))
+        assert not c.update(prev, prev + 1.0)
+        assert c.update(prev, prev + 0.1)
+
+    def test_residual_is_max_row_norm(self):
+        c = CentroidShiftCriterion(1e-9)
+        prev = np.zeros((2, 2))
+        curr = np.array([[3.0, 4.0], [0.0, 0.1]])
+        c.update(prev, curr)
+        assert c.last_residual == pytest.approx(5.0)
+
+    def test_oscillation_detected_on_plateau(self):
+        c = CentroidShiftCriterion(1e-6, window=3)
+        prev = np.zeros((1, 1))
+        # residuals: decreasing then bouncing around 0.5 forever
+        seq = [4.0, 2.0, 1.0, 0.5, 0.55, 0.52, 0.57, 0.51, 0.56, 0.53]
+        fired = None
+        for i, r in enumerate(seq):
+            if c.update(prev, prev + r):
+                fired = i
+                break
+        assert fired is not None and fired >= 5
+        assert c.oscillated
+
+    def test_steady_decrease_not_oscillation(self):
+        c = CentroidShiftCriterion(1e-9, window=3)
+        prev = np.zeros((1, 1))
+        for r in [1.0, 0.5, 0.25, 0.12, 0.06, 0.03, 0.015, 0.008]:
+            assert not c.update(prev, prev + r)
+        assert not c.oscillated
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            CentroidShiftCriterion(1.0).update(np.zeros(3), np.zeros(3))
+
+    def test_reset_clears_history(self):
+        c = CentroidShiftCriterion(1e-6, window=2)
+        prev = np.zeros((1, 1))
+        for r in [1.0, 1.0, 1.0, 1.0]:
+            c.update(prev, prev + r)
+        c.reset()
+        assert not c.oscillated
+        assert c.last_residual == float("inf")
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            CentroidShiftCriterion(1.0, window=1)
+
+
+class TestCombineAny:
+    def test_any_fires(self):
+        c = combine_any(InfNormCriterion(1e-6), UnchangedCriterion())
+        assert c.update(np.array([1.0]), np.array([1.0]))  # unchanged fires
+
+    def test_none_fires(self):
+        c = combine_any(InfNormCriterion(1e-6), UnchangedCriterion())
+        assert not c.update(np.array([1.0]), np.array([2.0]))
+
+    def test_last_residual_min(self):
+        c = combine_any(InfNormCriterion(1e-6), L2NormCriterion(1e-6))
+        c.update(np.zeros(2), np.array([3.0, 4.0]))
+        assert c.last_residual == pytest.approx(4.0)  # inf-norm < l2
+
+    def test_reset(self):
+        c = combine_any(InfNormCriterion(1e-6))
+        c.update(np.zeros(1), np.ones(1))
+        c.reset()
+        assert c.last_residual == float("inf")

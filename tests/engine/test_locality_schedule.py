@@ -1,0 +1,65 @@
+"""Tests for the locality-aware scheduler (§VII data placement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ec2_nodes
+from repro.engine import fifo_schedule, locality_schedule
+
+
+class TestLocalitySchedule:
+    def test_all_local_when_slots_free(self):
+        nodes = ec2_nodes(4, map_slots=2)
+        costs = [1.0] * 4
+        preferred = [0, 1, 2, 3]
+        out = locality_schedule(costs, nodes, preferred, remote_penalty=5.0)
+        # each task fits on its own node: no penalty anywhere
+        assert out.makespan == pytest.approx(1.0)
+
+    def test_penalty_when_forced_remote(self):
+        # all tasks prefer node 0, which has one slot: the rest go remote
+        nodes = ec2_nodes(2, map_slots=1)
+        costs = [1.0, 1.0]
+        out = locality_schedule(costs, nodes, [0, 0], remote_penalty=0.5)
+        assert out.makespan == pytest.approx(1.5)  # remote task: 1.0 + 0.5
+
+    def test_waits_for_local_slot_when_cheaper(self):
+        # huge penalty: better to queue behind the local slot than go remote
+        nodes = ec2_nodes(2, map_slots=1)
+        costs = [1.0, 1.0]
+        out = locality_schedule(costs, nodes, [0, 0], remote_penalty=100.0)
+        assert out.makespan == pytest.approx(2.0)
+
+    def test_zero_penalty_matches_fifo_makespan(self):
+        nodes = ec2_nodes(3, map_slots=2)
+        costs = [3.0, 1.0, 4.0, 1.5, 2.0]
+        loc = locality_schedule(costs, nodes, [0] * 5, remote_penalty=0.0)
+        fifo = fifo_schedule(costs, nodes)
+        assert loc.makespan == pytest.approx(fifo.makespan)
+
+    def test_empty(self):
+        out = locality_schedule([], ec2_nodes(1), [])
+        assert out.makespan == 0.0
+
+    def test_validation(self):
+        nodes = ec2_nodes(2)
+        with pytest.raises(ValueError, match="align"):
+            locality_schedule([1.0], nodes, [0, 1])
+        with pytest.raises(ValueError, match="not in the cluster"):
+            locality_schedule([1.0], nodes, [9])
+        with pytest.raises(ValueError, match="remote_penalty"):
+            locality_schedule([1.0], nodes, [0], remote_penalty=-1)
+        with pytest.raises(ValueError):
+            locality_schedule([-1.0], nodes, [0])
+
+    def test_locality_reduces_makespan_vs_ignoring_it(self):
+        # placing on the preferred node avoids the fetch penalty entirely
+        nodes = ec2_nodes(4, map_slots=1)
+        costs = [2.0, 2.0, 2.0, 2.0]
+        preferred = [0, 1, 2, 3]
+        local = locality_schedule(costs, nodes, preferred, remote_penalty=1.0)
+        # adversarial preference: everything on node 0 forces penalties
+        remote = locality_schedule(costs, nodes, [0, 0, 0, 0],
+                                   remote_penalty=1.0)
+        assert local.makespan < remote.makespan

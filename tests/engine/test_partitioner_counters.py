@@ -1,0 +1,118 @@
+"""Tests for the key partitioners and job counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Counters, HashPartitioner, RangePartitioner, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_per_type(self):
+        assert stable_hash("word") == stable_hash("word")
+        assert stable_hash(42) == stable_hash(42)
+        assert stable_hash(3.14) == stable_hash(3.14)
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+
+    def test_types_do_not_collide_trivially(self):
+        # 1 (int), 1.0 (float), "1" (str) should hash differently
+        values = {stable_hash(1), stable_hash("1"), stable_hash(1.0)}
+        assert len(values) == 3
+
+    def test_none_and_bool(self):
+        assert stable_hash(None) == stable_hash(None)
+        assert stable_hash(True) != stable_hash(False)
+
+    def test_bytes(self):
+        assert stable_hash(b"ab") == stable_hash(b"ab")
+        assert stable_hash(b"ab") != stable_hash("ab")
+
+    def test_numpy_scalars_match_python(self):
+        assert stable_hash(np.int64(7)) == stable_hash(7)
+        assert stable_hash(np.float64(2.5)) == stable_hash(2.5)
+
+    def test_nested_tuples(self):
+        assert stable_hash(((1, 2), 3)) == stable_hash(((1, 2), 3))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="no stable hash"):
+            stable_hash(object())
+
+    def test_spread_over_buckets(self):
+        # 1000 string keys should spread reasonably over 8 buckets
+        part = HashPartitioner()
+        counts = np.zeros(8, dtype=int)
+        for i in range(1000):
+            counts[part(f"key-{i}", 8)] += 1
+        assert counts.min() > 60  # no pathological bucket
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        p = HashPartitioner()
+        for key in ("a", 1, (2, "b")):
+            assert 0 <= p(key, 5) < 5
+
+    def test_invalid_reducers(self):
+        with pytest.raises(ValueError):
+            HashPartitioner()("k", 0)
+
+
+class TestRangePartitioner:
+    def test_routing(self):
+        p = RangePartitioner([10, 20])
+        assert p(5, 3) == 0
+        assert p(10, 3) == 1
+        assert p(15, 3) == 1
+        assert p(25, 3) == 2
+
+    def test_reducer_count_must_match(self):
+        p = RangePartitioner([10])
+        with pytest.raises(ValueError):
+            p(5, 3)
+
+    def test_unsorted_split_points_rejected(self):
+        with pytest.raises(ValueError):
+            RangePartitioner([20, 10])
+
+
+class TestCounters:
+    def test_incr_and_get(self):
+        c = Counters()
+        c.incr("x")
+        c.incr("x", 4)
+        assert c.get("x") == 5
+        assert c["x"] == 5
+
+    def test_unknown_counter_zero(self):
+        assert Counters().get("nope") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().incr("x", -1)
+
+    def test_merge_counters(self):
+        a, b = Counters(), Counters()
+        a.incr("x", 2)
+        b.incr("x", 3)
+        b.incr("y")
+        a.merge(b)
+        assert a.get("x") == 5 and a.get("y") == 1
+
+    def test_merge_mapping(self):
+        c = Counters()
+        c.merge({"m": 7})
+        assert c.get("m") == 7
+
+    def test_as_dict_sorted(self):
+        c = Counters()
+        c.incr("b")
+        c.incr("a")
+        assert list(c.as_dict()) == ["a", "b"]
+
+    def test_len(self):
+        c = Counters()
+        c.incr("a")
+        c.incr("b")
+        assert len(c) == 2

@@ -1,0 +1,83 @@
+"""Tests for the FIFO and speculative scheduling policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ec2_nodes
+from repro.engine import fifo_schedule, speculative_schedule
+
+
+class TestFifo:
+    def test_single_slot_serialises(self):
+        nodes = ec2_nodes(1, map_slots=1)
+        out = fifo_schedule([1.0, 2.0, 3.0], nodes)
+        assert out.makespan == pytest.approx(6.0)
+
+    def test_parallel_slots(self):
+        nodes = ec2_nodes(1, map_slots=3)
+        out = fifo_schedule([1.0, 1.0, 1.0], nodes)
+        assert out.makespan == pytest.approx(1.0)
+
+    def test_lpt_quality(self):
+        # LPT is within 4/3 of optimal; check a classic instance
+        nodes = ec2_nodes(1, map_slots=2)
+        out = fifo_schedule([3.0, 3.0, 2.0, 2.0, 2.0], nodes)
+        assert out.makespan <= (3 + 3 + 2 + 2 + 2) / 2 * (4 / 3) + 1e-9
+
+    def test_empty(self):
+        out = fifo_schedule([], ec2_nodes(1))
+        assert out.makespan == 0.0
+        assert out.completion == ()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            fifo_schedule([-1.0], ec2_nodes(1))
+
+    def test_speed_scaling(self):
+        nodes = ec2_nodes(1, map_slots=1, speeds=[2.0])
+        out = fifo_schedule([4.0], nodes)
+        assert out.makespan == pytest.approx(2.0)
+
+    def test_completion_per_task(self):
+        nodes = ec2_nodes(1, map_slots=1)
+        out = fifo_schedule([5.0, 1.0], nodes)
+        # LPT runs the long task first
+        assert out.completion[0] == pytest.approx(5.0)
+        assert out.completion[1] == pytest.approx(6.0)
+
+
+class TestSpeculative:
+    def test_no_stragglers_identical_to_fifo(self):
+        nodes = ec2_nodes(2, map_slots=2)
+        costs = [1.0] * 8
+        assert (speculative_schedule(costs, nodes).makespan
+                == fifo_schedule(costs, nodes).makespan)
+
+    def test_straggler_node_mitigated(self):
+        # node 1 is 10x slower: tasks landing there straggle; the backup
+        # on a fast node must beat waiting for the slow copy
+        nodes = ec2_nodes(2, map_slots=1, speeds=[1.0, 0.1])
+        costs = [1.0] * 4
+        fifo = fifo_schedule(costs, nodes)
+        spec = speculative_schedule(costs, nodes)
+        assert spec.backups > 0
+        assert spec.makespan < fifo.makespan
+
+    def test_never_worse_than_fifo(self):
+        import itertools
+
+        nodes = ec2_nodes(2, map_slots=2, speeds=[1.0, 0.25])
+        for costs in itertools.product([0.5, 2.0, 8.0], repeat=4):
+            f = fifo_schedule(list(costs), nodes)
+            s = speculative_schedule(list(costs), nodes)
+            assert s.makespan <= f.makespan + 1e-9
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            speculative_schedule([1.0], ec2_nodes(1), slowdown_threshold=1.0)
+
+    def test_empty(self):
+        out = speculative_schedule([], ec2_nodes(1))
+        assert out.makespan == 0.0
+        assert out.backups == 0

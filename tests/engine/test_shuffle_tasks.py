@@ -1,0 +1,207 @@
+"""Tests for shuffle grouping and task runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    FaultPlan,
+    HashPartitioner,
+    SimulatedTaskFailure,
+    TaskContext,
+    run_map_task,
+    run_reduce_task,
+    shuffle,
+    shuffle_bytes,
+)
+from repro.engine.counters import (
+    COMBINE_OUTPUT_RECORDS,
+    MAP_INPUT_RECORDS,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+)
+
+
+class TestShuffle:
+    def test_groups_all_values(self):
+        buckets = [
+            [[("a", 1)], [("b", 2)]],
+            [[("a", 3)], [("c", 4)]],
+        ]
+        grouped = shuffle(buckets, 2)
+        assert grouped[0] == [("a", [1, 3])]
+        assert grouped[1] == [("b", [2]), ("c", [4])]
+
+    def test_key_sorted(self):
+        buckets = [[[("z", 1), ("a", 2), ("m", 3)]]]
+        grouped = shuffle(buckets, 1)
+        assert [k for k, _ in grouped[0]] == ["a", "m", "z"]
+
+    def test_unsorted_preserves_first_seen_order(self):
+        buckets = [[[("z", 1), ("a", 2)]]]
+        grouped = shuffle(buckets, 1, sort_keys=False)
+        assert [k for k, _ in grouped[0]] == ["z", "a"]
+
+    def test_value_order_by_map_task(self):
+        buckets = [
+            [[("k", "m0-first"), ("k", "m0-second")]],
+            [[("k", "m1")]],
+        ]
+        grouped = shuffle(buckets, 1)
+        assert grouped[0][0][1] == ["m0-first", "m0-second", "m1"]
+
+    def test_bucket_count_mismatch(self):
+        with pytest.raises(ValueError, match="buckets"):
+            shuffle([[[("a", 1)]]], 2)
+
+    def test_invalid_reducers(self):
+        with pytest.raises(ValueError):
+            shuffle([], 0)
+
+    def test_empty_input(self):
+        assert shuffle([], 3) == [[], [], []]
+
+    def test_shuffle_bytes_counts_keys_and_values(self):
+        buckets = [[[("ab", 1)]]]  # 2 bytes key + 8 bytes int
+        assert shuffle_bytes(buckets) == 10
+
+    def test_no_key_lost_large(self):
+        # every emitted key must appear exactly once across reducers
+        import random
+
+        rng = random.Random(0)
+        keys = [f"k{rng.randrange(100)}" for _ in range(1000)]
+        part = HashPartitioner()
+        buckets = [[[] for _ in range(4)] for _ in range(3)]
+        for i, k in enumerate(keys):
+            buckets[i % 3][part(k, 4)].append((k, i))
+        grouped = shuffle(buckets, 4)
+        seen = {}
+        for r in range(4):
+            for k, vs in grouped[r]:
+                assert k not in seen
+                seen[k] = len(vs)
+        assert sum(seen.values()) == 1000
+        assert set(seen) == set(keys)
+
+
+class TestTaskContext:
+    def test_emit_collects_and_counts_ops(self):
+        ctx = TaskContext("t", 0)
+        ctx.emit("k", 1)
+        ctx.emit("k2", 2)
+        assert ctx.output == [("k", 1), ("k2", 2)]
+        assert ctx.ops == 2.0
+
+    def test_add_ops(self):
+        ctx = TaskContext("t", 0)
+        ctx.add_ops(10)
+        assert ctx.ops == 10.0
+        with pytest.raises(ValueError):
+            ctx.add_ops(-1)
+
+    def test_incr_counter(self):
+        ctx = TaskContext("t", 0)
+        ctx.incr("app.custom", 3)
+        assert ctx.counters.get("app.custom") == 3
+
+
+def _emit_words(key, value, ctx):
+    for w in value.split():
+        ctx.emit(w, 1)
+
+
+def _sum_reduce(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+class TestRunMapTask:
+    def test_output_bucketed_by_partitioner(self):
+        res = run_map_task(0, 0, [(0, "a b a")], _emit_words, None,
+                           HashPartitioner(), 4)
+        all_pairs = [p for b in res.data for p in b]
+        assert sorted(all_pairs) == [("a", 1), ("a", 1), ("b", 1)]
+        part = HashPartitioner()
+        for r, bucket in enumerate(res.data):
+            for k, _ in bucket:
+                assert part(k, 4) == r
+
+    def test_counters(self):
+        res = run_map_task(0, 0, [(0, "x y"), (1, "z")], _emit_words, None,
+                           HashPartitioner(), 2)
+        assert res.counters.get(MAP_INPUT_RECORDS) == 2
+        assert res.counters.get(MAP_OUTPUT_RECORDS) == 3
+
+    def test_combiner_aggregates(self):
+        res = run_map_task(0, 0, [(0, "a a a b")], _emit_words, _sum_reduce,
+                           HashPartitioner(), 1)
+        pairs = sorted(res.data[0])
+        assert pairs == [("a", 3), ("b", 1)]
+        assert res.counters.get(COMBINE_OUTPUT_RECORDS) == 2
+
+    def test_fault_injection(self):
+        plan = FaultPlan.script({("map", 0): 1})
+        with pytest.raises(SimulatedTaskFailure):
+            run_map_task(0, 0, [], _emit_words, None, HashPartitioner(), 1, plan)
+        # attempt 1 succeeds (deterministic replay)
+        res = run_map_task(0, 1, [(0, "a")], _emit_words, None,
+                           HashPartitioner(), 1, plan)
+        assert res.data[0] == [("a", 1)]
+
+    def test_ops_include_input_and_emissions(self):
+        res = run_map_task(0, 0, [(0, "a b")], _emit_words, None,
+                           HashPartitioner(), 1)
+        assert res.ops == pytest.approx(1 + 2)  # 1 record + 2 emits
+
+
+class TestRunReduceTask:
+    def test_reduces_groups(self):
+        res = run_reduce_task(0, 0, [("a", [1, 2, 3]), ("b", [4])], _sum_reduce)
+        assert res.data == [("a", 6), ("b", 4)]
+        assert res.counters.get(REDUCE_INPUT_GROUPS) == 2
+
+    def test_fault_injection(self):
+        plan = FaultPlan.script({("reduce", 1): 2})
+        with pytest.raises(SimulatedTaskFailure):
+            run_reduce_task(1, 0, [], _sum_reduce, plan)
+        with pytest.raises(SimulatedTaskFailure):
+            run_reduce_task(1, 1, [], _sum_reduce, plan)
+        res = run_reduce_task(1, 2, [("a", [1])], _sum_reduce, plan)
+        assert res.data == [("a", 1)]
+
+
+class TestFaultPlan:
+    def test_none_never_fails(self):
+        plan = FaultPlan.none()
+        for attempt in range(5):
+            plan.maybe_fail("map", 0, attempt)
+        assert plan.is_empty
+
+    def test_script_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.script({("bogus", 0): 1})
+        with pytest.raises(ValueError):
+            FaultPlan.script({("map", -1): 1})
+
+    def test_random_plan_deterministic(self):
+        a = FaultPlan.random(0.5, seed=1)
+        b = FaultPlan.random(0.5, seed=1)
+        for t in range(20):
+            fa = fb = False
+            try:
+                a.maybe_fail("map", t, 0)
+            except SimulatedTaskFailure:
+                fa = True
+            try:
+                b.maybe_fail("map", t, 0)
+            except SimulatedTaskFailure:
+                fb = True
+            assert fa == fb
+
+    def test_random_plan_bounded_failures(self):
+        plan = FaultPlan.random(0.99, seed=0, max_failures_per_task=2)
+        plan.maybe_fail("map", 0, 2)  # attempts >= 2 always succeed
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(1.0)

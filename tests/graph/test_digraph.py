@@ -1,0 +1,188 @@
+"""Tests for the CSR digraph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph
+
+
+@pytest.fixture()
+def g() -> DiGraph:
+    # 0->1(2.0), 0->2, 1->2, 2->0, 3->3? no self loops here; 3 isolated.
+    return DiGraph(4, [0, 0, 1, 2], [1, 2, 2, 0], [2.0, 1.0, 1.0, 5.0])
+
+
+class TestConstruction:
+    def test_counts(self, g):
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+
+    def test_empty_graph(self):
+        g = DiGraph(3, [], [])
+        assert g.num_edges == 0
+        assert g.out_degree().tolist() == [0, 0, 0]
+
+    def test_zero_nodes(self):
+        g = DiGraph(0, [], [])
+        assert g.num_nodes == 0
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(-1, [], [])
+
+    def test_out_of_range_src_rejected(self):
+        with pytest.raises(ValueError, match="src"):
+            DiGraph(2, [2], [0])
+
+    def test_out_of_range_dst_rejected(self):
+        with pytest.raises(ValueError, match="dst"):
+            DiGraph(2, [0], [5])
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [0], [1], [1.0, 2.0])
+
+    def test_default_weights_are_one(self):
+        g = DiGraph(2, [0], [1])
+        assert g.out_w.tolist() == [1.0]
+
+    def test_parallel_edges_preserved(self):
+        g = DiGraph(2, [0, 0], [1, 1])
+        assert g.num_edges == 2
+        assert g.successors(0).tolist() == [1, 1]
+
+    def test_edges_sorted_by_src(self, g):
+        src = g.edge_src
+        assert np.all(src[:-1] <= src[1:])
+
+    def test_from_adjacency_mapping(self):
+        g = DiGraph.from_adjacency({0: [1, 2], 2: [0]})
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.successors(0).tolist() == [1, 2]
+
+    def test_from_adjacency_sequence(self):
+        g = DiGraph.from_adjacency([[1], [0], []])
+        assert g.num_nodes == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_from_adjacency_num_nodes_override(self):
+        g = DiGraph.from_adjacency({0: [1]}, num_nodes=10)
+        assert g.num_nodes == 10
+
+    def test_from_weighted_edges(self):
+        g = DiGraph.from_weighted_edges(3, [(0, 1, 2.5), (1, 2, 0.5)])
+        assert g.out_weights(0).tolist() == [2.5]
+
+    def test_from_weighted_edges_empty(self):
+        g = DiGraph.from_weighted_edges(3, [])
+        assert g.num_edges == 0
+
+
+class TestAccessors:
+    def test_out_degree(self, g):
+        assert g.out_degree().tolist() == [2, 1, 1, 0]
+
+    def test_in_degree(self, g):
+        assert g.in_degree().tolist() == [1, 1, 2, 0]
+
+    def test_successors_view(self, g):
+        assert g.successors(0).tolist() == [1, 2]
+        assert g.successors(3).tolist() == []
+
+    def test_out_weights_aligned(self, g):
+        assert g.out_weights(0).tolist() == [2.0, 1.0]
+
+    def test_successors_out_of_range(self, g):
+        with pytest.raises(IndexError):
+            g.successors(4)
+        with pytest.raises(IndexError):
+            g.successors(-1)
+
+    def test_predecessors(self, g):
+        assert sorted(g.predecessors(2).tolist()) == [0, 1]
+        assert g.predecessors(3).tolist() == []
+
+    def test_in_csr_consistency(self, g):
+        in_ptr, in_src, in_w = g.in_csr()
+        assert in_ptr[-1] == g.num_edges
+        # total weight conserved
+        assert in_w.sum() == g.out_w.sum()
+
+    def test_has_edge(self, g):
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edges_iterator_matches_arrays(self, g):
+        triples = list(g.edges())
+        assert len(triples) == g.num_edges
+        assert (0, 1, 2.0) in triples
+
+    def test_adjacency_dict_roundtrip(self, g):
+        adj = g.adjacency_dict()
+        g2 = DiGraph.from_adjacency(adj, num_nodes=g.num_nodes)
+        assert g2.num_edges == g.num_edges
+
+    def test_edge_arrays_are_views(self, g):
+        src, dst, w = g.edge_arrays()
+        assert src is g.edge_src and dst is g.out_dst and w is g.out_w
+
+
+class TestTransforms:
+    def test_with_weights(self, g):
+        g2 = g.with_weights(np.full(4, 9.0))
+        assert g2.out_weights(0).tolist() == [9.0, 9.0]
+        # structure unchanged
+        assert g2.successors(0).tolist() == g.successors(0).tolist()
+
+    def test_with_weights_wrong_length(self, g):
+        with pytest.raises(ValueError):
+            g.with_weights(np.ones(3))
+
+    def test_reverse_degrees_swap(self, g):
+        r = g.reverse()
+        assert r.out_degree().tolist() == g.in_degree().tolist()
+        assert r.in_degree().tolist() == g.out_degree().tolist()
+
+    def test_reverse_twice_is_identity(self, g):
+        assert g.reverse().reverse() == g
+
+    def test_undirected_csr_symmetric(self, g):
+        ptr, nbr, w = g.undirected_csr()
+        # every undirected edge appears from both endpoints
+        src = np.repeat(np.arange(g.num_nodes), np.diff(ptr))
+        pairs = set(zip(src.tolist(), nbr.tolist()))
+        for u, v in list(pairs):
+            assert (v, u) in pairs
+
+    def test_undirected_csr_merges_duplicates(self):
+        # 0->1 and 1->0 merge into one undirected edge of weight 2 per side
+        g = DiGraph(2, [0, 1], [1, 0], [1.0, 1.0])
+        ptr, nbr, w = g.undirected_csr()
+        assert len(nbr) == 2  # one neighbour entry per endpoint
+        assert w.tolist() == [2.0, 2.0]
+
+    def test_undirected_csr_drops_self_loops(self):
+        g = DiGraph(2, [0, 0], [0, 1])
+        ptr, nbr, _ = g.undirected_csr()
+        src = np.repeat(np.arange(2), np.diff(ptr))
+        assert not np.any(src == nbr)
+
+
+class TestDunder:
+    def test_eq(self, g):
+        same = DiGraph(4, [0, 0, 1, 2], [1, 2, 2, 0], [2.0, 1.0, 1.0, 5.0])
+        assert g == same
+
+    def test_neq_weights(self, g):
+        other = DiGraph(4, [0, 0, 1, 2], [1, 2, 2, 0], [1.0, 1.0, 1.0, 5.0])
+        assert g != other
+
+    def test_not_hashable(self, g):
+        with pytest.raises(TypeError):
+            hash(g)
+
+    def test_eq_non_graph(self, g):
+        assert g != "graph"

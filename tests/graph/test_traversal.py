@@ -1,0 +1,102 @@
+"""Tests for graph traversal utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    bfs_levels,
+    bfs_order,
+    grid_graph,
+    hop_diameter_estimate,
+    reachable_from,
+    ring_graph,
+    weakly_connected,
+)
+
+
+class TestBfsLevels:
+    def test_ring_levels(self):
+        g = ring_graph(5)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_is_minus_one(self):
+        g = DiGraph(3, [0], [1])
+        assert bfs_levels(g, 0).tolist() == [0, 1, -1]
+
+    def test_undirected_mode(self):
+        g = DiGraph(3, [1], [0])  # only 1 -> 0
+        assert bfs_levels(g, 0).tolist() == [0, -1, -1]
+        assert bfs_levels(g, 0, undirected=True).tolist() == [0, 1, -1]
+
+    def test_grid_manhattan(self):
+        g = grid_graph(4, 4)
+        levels = bfs_levels(g, 0)
+        # hop distance on a grid = manhattan distance from the corner
+        for r in range(4):
+            for c in range(4):
+                assert levels[r * 4 + c] == r + c
+
+    def test_source_validation(self):
+        with pytest.raises(IndexError):
+            bfs_levels(ring_graph(3), 5)
+
+    def test_matches_scipy(self, small_graph):
+        import scipy.sparse as sp
+        import scipy.sparse.csgraph as csg
+
+        src, dst, _ = small_graph.edge_arrays()
+        mat = sp.csr_matrix((np.ones(len(src)), (src, dst)),
+                            shape=(small_graph.num_nodes,) * 2)
+        expected = csg.shortest_path(mat, indices=7, unweighted=True,
+                                     method="D")
+        got = bfs_levels(small_graph, 7).astype(float)
+        got[got < 0] = np.inf
+        assert np.array_equal(got, expected)
+
+
+class TestBfsOrder:
+    def test_permutation(self, small_graph):
+        order = bfs_order(small_graph)
+        assert sorted(order.tolist()) == list(range(small_graph.num_nodes))
+
+    def test_starts_at_source(self, small_graph):
+        assert bfs_order(small_graph, source=13)[0] == 13
+
+    def test_deterministic(self, small_graph):
+        assert np.array_equal(bfs_order(small_graph), bfs_order(small_graph))
+
+    def test_empty_graph(self):
+        assert len(bfs_order(DiGraph(0, [], []))) == 0
+
+
+class TestReachability:
+    def test_reachable_mask(self):
+        g = DiGraph(4, [0, 1], [1, 2])
+        assert reachable_from(g, 0).tolist() == [True, True, True, False]
+
+    def test_weakly_connected_true(self, small_graph):
+        assert weakly_connected(small_graph)
+
+    def test_weakly_connected_false(self):
+        g = DiGraph(4, [0, 2], [1, 3])
+        assert not weakly_connected(g)
+
+    def test_empty_graph_connected(self):
+        assert weakly_connected(DiGraph(0, [], []))
+
+
+class TestDiameter:
+    def test_ring_lower_bound(self):
+        g = ring_graph(10)
+        # sampling BFS on a directed ring always sees eccentricity 9
+        assert hop_diameter_estimate(g, samples=3, seed=0) == 9
+
+    def test_bounded_by_n(self, small_graph):
+        d = hop_diameter_estimate(small_graph, samples=4, seed=0)
+        assert 0 < d < small_graph.num_nodes
+
+    def test_empty(self):
+        assert hop_diameter_estimate(DiGraph(0, [], [])) == 0

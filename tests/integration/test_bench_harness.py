@@ -1,0 +1,127 @@
+"""Tests for the benchmark harness (repro.bench) at tiny scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    PAPER_KMEANS_THRESHOLDS,
+    PAPER_PARTITION_COUNTS,
+    SweepPoint,
+    SweepResult,
+    get_graph,
+    get_partition,
+    graph_scale,
+    kmeans_rows,
+    kmeans_sweep,
+    make_cluster,
+    pagerank_sweep,
+    report_sweep,
+    scaled_partitions,
+    speedup_summary,
+)
+
+TINY = 0.002  # ~560-node Graph A: fast enough for unit tests
+
+
+class TestScaleHandling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert graph_scale() == 0.1
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert graph_scale() == 1.0
+        assert kmeans_rows() == 200_000
+
+    def test_fractional_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert graph_scale() == 0.25
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "3.0")
+        with pytest.raises(ValueError):
+            graph_scale()
+
+    def test_scaled_partitions_regime(self):
+        pairs = scaled_partitions(0.1)
+        assert [p for p, _ in pairs] == list(PAPER_PARTITION_COUNTS)
+        assert pairs[0][1] == 10  # 100 * 0.1
+        # minimum of 2 partitions even at tiny scales
+        assert all(k >= 2 for _, k in scaled_partitions(1e-6))
+
+
+class TestCachedInputs:
+    def test_graph_cached(self):
+        assert get_graph("A", TINY) is get_graph("A", TINY)
+
+    def test_partition_cached_and_consistent(self):
+        p1 = get_partition("A", TINY, 4)
+        p2 = get_partition("A", TINY, 4)
+        assert p1 is p2
+        assert p1.graph is get_graph("A", TINY)
+
+    def test_weighted_variant_distinct(self):
+        g = get_graph("A", TINY)
+        gw = get_graph("A", TINY, weighted=True)
+        assert g is not gw
+        assert gw.num_edges == g.num_edges
+
+    def test_make_cluster_fresh(self):
+        a, b = make_cluster(), make_cluster()
+        assert a is not b
+        assert len(a.nodes) == 8
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def tiny_sweep(self):
+        return pagerank_sweep("A", scale=TINY)
+
+    def test_sweep_has_both_modes_per_point(self, tiny_sweep):
+        xs_e, _ = tiny_sweep.series("eager")
+        xs_g, _ = tiny_sweep.series("general")
+        assert xs_e == xs_g
+        assert len(xs_e) >= 3
+
+    def test_point_lookup(self, tiny_sweep):
+        p = tiny_sweep.point("eager", tiny_sweep.points[0].x)
+        assert isinstance(p, SweepPoint)
+        with pytest.raises(KeyError):
+            tiny_sweep.point("eager", -1)
+
+    def test_all_points_converged(self, tiny_sweep):
+        assert all(p.converged for p in tiny_sweep.points)
+
+    def test_sim_times_positive(self, tiny_sweep):
+        assert all(p.sim_time > 0 for p in tiny_sweep.points)
+
+    def test_kmeans_sweep_thresholds(self):
+        result = kmeans_sweep(rows=2000, k=4, partitions=8)
+        xs, _ = result.series("general")
+        assert tuple(xs) == PAPER_KMEANS_THRESHOLDS
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return pagerank_sweep("A", scale=TINY)
+
+    def test_report_contains_series(self, sweep):
+        out = report_sweep(sweep, value="iterations", title="Fig X")
+        assert "Fig X" in out
+        assert "series Eager" in out and "series General" in out
+        assert "General/Eager" in out
+
+    def test_speedup_summary_fields(self, sweep):
+        s = speedup_summary(sweep)
+        assert set(s) == {"mean", "max", "min"}
+        assert s["min"] <= s["mean"] <= s["max"]
+
+    def test_speedup_positive(self, sweep):
+        assert speedup_summary(sweep)["mean"] > 1.0
+
+    def test_empty_sweep_summary(self):
+        empty = SweepResult(name="empty", points=[])
+        s = speedup_summary(empty)
+        assert s["mean"] != s["mean"]  # NaN

@@ -1,0 +1,127 @@
+"""Cross-module integration tests: full pipelines through real substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    pagerank,
+    pagerank_reference,
+    sssp,
+    sssp_reference,
+    wordcount,
+)
+from repro.apps.pagerank import PageRankKVSpec
+from repro.cluster import HPC_DEFAULTS, SimCluster, ec2_nodes
+from repro.core import DriverConfig, run_iterative_kv
+from repro.engine import FaultPlan, MapReduceRuntime
+from repro.graph import (
+    attach_random_weights,
+    dumps_adjacency,
+    loads_adjacency,
+    multilevel_partition,
+    preferential_attachment,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment(250, num_conn=3, locality_prob=0.92,
+                                   community_mean=30, seed=3)
+
+
+@pytest.fixture(scope="module")
+def partition(graph):
+    return multilevel_partition(graph, 4, seed=0)
+
+
+class TestSerializationPipeline:
+    def test_pagerank_survives_io_roundtrip(self, graph, partition):
+        # write graph to the adjacency format, read it back, recompute
+        g2 = loads_adjacency(dumps_adjacency(graph))
+        p2 = multilevel_partition(g2, 4, seed=0)
+        a = pagerank(graph, partition, mode="eager").ranks
+        b = pagerank(g2, p2, mode="eager").ranks
+        assert np.allclose(a, b, atol=1e-4)
+
+
+class TestCrossExecutorEquivalence:
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_kv_pagerank_same_across_executors(self, graph, partition, executor):
+        spec = PageRankKVSpec(graph, partition)
+        rt = MapReduceRuntime(executor, workers=4)
+        res = run_iterative_kv(spec, DriverConfig(mode="eager"), runtime=rt)
+        ranks = np.array([res.state[u][0] for u in range(graph.num_nodes)])
+        assert np.abs(ranks - pagerank_reference(graph)).max() < 1e-3
+
+    def test_kv_pagerank_with_faults_identical(self, graph, partition):
+        clean = run_iterative_kv(PageRankKVSpec(graph, partition),
+                                 DriverConfig(mode="eager"))
+        faulty_rt = MapReduceRuntime(
+            "serial", fault_plan=FaultPlan.random(0.15, seed=2))
+        faulty = run_iterative_kv(PageRankKVSpec(graph, partition),
+                                  DriverConfig(mode="eager"), runtime=faulty_rt)
+        for u in clean.state:
+            assert clean.state[u][0] == pytest.approx(faulty.state[u][0])
+        assert clean.global_iters == faulty.global_iters
+
+
+class TestPlatformSensitivity:
+    def test_cloud_gains_exceed_hpc_gains(self, graph, partition):
+        # §II: "the performance improvement from algorithmic asynchrony is
+        # significantly amplified on distributed platforms"
+        def ratio(cost_model):
+            gen = pagerank(graph, partition, mode="general",
+                           cluster=SimCluster(ec2_nodes(), cost_model))
+            eag = pagerank(graph, partition, mode="eager",
+                           cluster=SimCluster(ec2_nodes(), cost_model))
+            return gen.sim_time / eag.sim_time
+
+        from repro.cluster import EC2_DEFAULTS
+
+        assert ratio(EC2_DEFAULTS) > ratio(HPC_DEFAULTS)
+
+    def test_scalability_larger_cluster_not_slower(self, graph, partition):
+        # §VI scalability: more nodes must not increase simulated time
+        small = pagerank(graph, partition, mode="eager",
+                         cluster=SimCluster(ec2_nodes(2)))
+        large = pagerank(graph, partition, mode="eager",
+                         cluster=SimCluster(ec2_nodes(16)))
+        assert large.sim_time <= small.sim_time + 1e-9
+
+
+class TestCombinedWorkload:
+    def test_pagerank_then_sssp_same_partition(self, graph):
+        # one off-line partitioning run serves both applications, as the
+        # paper prescribes (§V-B.3: partitioning performed once)
+        gw = attach_random_weights(graph, seed=9)
+        part = multilevel_partition(gw, 4, seed=0)
+        pr = pagerank(gw, part, mode="eager")
+        sp = sssp(gw, part, mode="eager")
+        assert np.abs(pr.ranks - pagerank_reference(gw)).max() < 1e-3
+        assert np.allclose(sp.distances, sssp_reference(gw))
+
+    def test_wordcount_on_simulated_cluster_faulty(self):
+        rt = MapReduceRuntime("serial", cluster=SimCluster(),
+                              fault_plan=FaultPlan.random(0.2, seed=1))
+        docs = [f"alpha beta gamma doc{i}" for i in range(12)]
+        res = wordcount(docs, runtime=rt, splits=6)
+        assert res.as_dict()["alpha"] == 12
+        assert res.sim_time_total > 0
+
+
+class TestTraceConsistency:
+    def test_cluster_trace_valid_after_full_run(self, graph, partition):
+        cl = SimCluster()
+        pagerank(graph, partition, mode="eager", cluster=cl)
+        cl.trace.check_no_overlap()
+        assert cl.trace.makespan() <= cl.clock + 1e-9
+        phases = cl.trace.phases()
+        assert any("map" in p for p in phases)
+        assert any("startup" in p for p in phases)
+
+    def test_utilization_bounded(self, graph, partition):
+        cl = SimCluster()
+        pagerank(graph, partition, mode="general", cluster=cl)
+        assert 0.0 < cl.trace.utilization(cl.total_map_slots) <= 1.0

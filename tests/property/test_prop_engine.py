@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the MapReduce engine.
+
+Invariants: shuffle loses nothing; combiners never change reduce output
+for associative-commutative reducers; executors and fault injection are
+observationally equivalent; stable_hash is total and stable on supported
+key types.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine import (
+    FaultPlan,
+    HashPartitioner,
+    Job,
+    JobConf,
+    MapReduceRuntime,
+    shuffle,
+    stable_hash,
+)
+
+# -- strategies ---------------------------------------------------------
+
+words = st.text(alphabet="abcdefg", min_size=1, max_size=4)
+docs = st.lists(st.lists(words, max_size=8).map(" ".join), min_size=0, max_size=8)
+
+key_scalars = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+    st.binary(max_size=8),
+)
+keys = st.one_of(key_scalars, st.tuples(key_scalars, key_scalars))
+
+
+def _wc_map(key, value, ctx):
+    for w in value.split():
+        ctx.emit(w, 1)
+
+
+def _wc_reduce(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+def _split(documents, n):
+    out = [[] for _ in range(n)]
+    for i, d in enumerate(documents):
+        out[i % n].append((i, d))
+    return out
+
+
+def _expected(documents):
+    c: Counter = Counter()
+    for d in documents:
+        c.update(d.split())
+    return dict(c)
+
+
+class TestShuffleProperties:
+    @given(st.lists(st.lists(st.tuples(words, st.integers()), max_size=10),
+                    min_size=1, max_size=5),
+           st.integers(min_value=1, max_value=6))
+    def test_no_pair_lost_or_duplicated(self, map_outputs, num_reducers):
+        part = HashPartitioner()
+        buckets = []
+        for pairs in map_outputs:
+            b = [[] for _ in range(num_reducers)]
+            for k, v in pairs:
+                b[part(k, num_reducers)].append((k, v))
+            buckets.append(b)
+        grouped = shuffle(buckets, num_reducers)
+        regrouped = Counter()
+        for r in grouped:
+            for k, vs in r:
+                regrouped[k] += len(vs)
+        original = Counter(k for pairs in map_outputs for k, _ in pairs)
+        assert regrouped == original
+
+    @given(st.lists(st.tuples(words, st.integers()), max_size=30),
+           st.integers(min_value=1, max_value=4))
+    def test_each_key_exactly_one_reducer(self, pairs, num_reducers):
+        part = HashPartitioner()
+        buckets = [[[] for _ in range(num_reducers)]]
+        for k, v in pairs:
+            buckets[0][part(k, num_reducers)].append((k, v))
+        grouped = shuffle(buckets, num_reducers)
+        owners = {}
+        for r, groups in enumerate(grouped):
+            for k, _ in groups:
+                assert k not in owners
+                owners[k] = r
+
+
+class TestStableHash:
+    @given(keys)
+    def test_total_and_self_consistent(self, key):
+        assert stable_hash(key) == stable_hash(key)
+        assert isinstance(stable_hash(key), int)
+
+    @given(keys, st.integers(min_value=1, max_value=64))
+    def test_partitioner_in_range(self, key, r):
+        assert 0 <= HashPartitioner()(key, r) < r
+
+
+class TestJobProperties:
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(docs, st.integers(min_value=1, max_value=4))
+    def test_wordcount_correct_any_input(self, documents, reducers):
+        job = Job(_wc_map, _wc_reduce, conf=JobConf(num_reducers=reducers))
+        res = MapReduceRuntime("serial").run(job, _split(documents, 3))
+        assert res.as_dict() == _expected(documents)
+
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(docs)
+    def test_combiner_never_changes_output(self, documents):
+        base = Job(_wc_map, _wc_reduce, conf=JobConf(num_reducers=3))
+        combined = Job(_wc_map, _wc_reduce, combine_fn=_wc_reduce,
+                       conf=JobConf(num_reducers=3))
+        rt = MapReduceRuntime("serial")
+        splits = _split(documents, 2)
+        assert rt.run(base, splits).as_dict() == rt.run(combined, splits).as_dict()
+
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(docs, st.integers(min_value=0, max_value=10_000))
+    def test_fault_injection_observationally_equivalent(self, documents, seed):
+        job = Job(_wc_map, _wc_reduce, conf=JobConf(num_reducers=2))
+        splits = _split(documents, 3)
+        clean = MapReduceRuntime("serial").run(job, splits)
+        faulty = MapReduceRuntime(
+            "serial", fault_plan=FaultPlan.random(0.3, seed=seed)
+        ).run(job, splits)
+        assert clean.as_dict() == faulty.as_dict()
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(docs)
+    def test_thread_executor_equivalent(self, documents):
+        job = Job(_wc_map, _wc_reduce, conf=JobConf(num_reducers=2))
+        splits = _split(documents, 3)
+        serial = MapReduceRuntime("serial").run(job, splits)
+        threads = MapReduceRuntime("threads", workers=3).run(job, splits)
+        assert serial.as_dict() == threads.as_dict()

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pagerank_defaults(self):
+        args = build_parser().parse_args(["pagerank"])
+        assert args.graph == "A"
+        assert args.mode == "both"
+        assert args.partitions == 8
+
+    def test_rejects_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pagerank", "--graph", "C"])
+
+    def test_sweep_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_figure_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--figure", "10"])
+
+
+class TestCommands:
+    def test_pagerank_runs(self, capsys):
+        rc = main(["pagerank", "--graph", "A", "--scale", "0.003",
+                   "-k", "2", "--mode", "eager"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PageRank on Graph A" in out
+        assert "eager" in out
+
+    def test_sssp_runs(self, capsys):
+        rc = main(["sssp", "--graph", "A", "--scale", "0.003", "-k", "2",
+                   "--mode", "general"])
+        assert rc == 0
+        assert "SSSP on Graph A" in capsys.readouterr().out
+
+    def test_kmeans_runs(self, capsys):
+        rc = main(["kmeans", "--rows", "500", "--clusters", "3",
+                   "--threshold", "0.1", "-k", "4", "--mode", "eager"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "K-Means on census sample" in out
+        assert "SSE" in out
+
+    def test_autotune_runs(self, capsys):
+        rc = main(["autotune", "--graph", "A", "--scale", "0.003",
+                   "--candidates", "2,4"])
+        assert rc == 0
+        assert "best k" in capsys.readouterr().out
+
+    def test_bad_candidates_reports_error(self, capsys):
+        rc = main(["autotune", "--graph", "A", "--scale", "0.003",
+                   "--candidates", ""])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_runs_at_tiny_scale(self, capsys):
+        rc = main(["sweep", "--figure", "2", "--scale", "0.002"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "series Eager" in out
