@@ -165,6 +165,24 @@ class SimCluster:
         self._charge(label, t)
         return t
 
+    def charge_overlapped_shuffle(self, nbytes: float, *,
+                                  overlap_seconds: float,
+                                  label: str = "shuffle") -> float:
+        """Charge a shuffle whose transfer overlapped a concurrent phase.
+
+        Streaming (eager reduce-side) shuffles copy map output while the
+        map phase is still running (§V-B.2), so only the transfer time
+        in excess of ``overlap_seconds`` extends the critical path; a
+        fully-hidden transfer advances the clock by nothing.  Returns
+        the residual seconds actually charged.
+        """
+        if overlap_seconds < 0:
+            raise ValueError("overlap_seconds must be >= 0")
+        t = self.cost_model.shuffle_seconds(nbytes)
+        residual = max(0.0, t - overlap_seconds)
+        self._charge(label, residual)
+        return residual
+
     def charge_barrier(self, *, label: str = "barrier") -> float:
         """Charge one global synchronization barrier; returns seconds."""
         t = self.cost_model.barrier_seconds

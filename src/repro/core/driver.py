@@ -31,8 +31,9 @@ from typing import Any
 from repro.cluster import SimCluster
 from repro.core.api import AsyncMapReduceSpec, BlockSpec, LocalSolveReport
 from repro.core.config import DriverConfig
-from repro.core.gmap import GmapFunction, GreduceFunction
+from repro.core.gmap import GmapFunction, GreduceFunction, local_iter_counter
 from repro.engine import Job, JobConf, MapReduceRuntime
+from repro.engine.counters import SHUFFLE_BYTES
 
 __all__ = ["RoundRecord", "IterativeResult", "run_iterative_kv", "run_iterative_block"]
 
@@ -81,8 +82,13 @@ def run_iterative_kv(
     *,
     runtime: "MapReduceRuntime | None" = None,
     num_reducers: int = 8,
+    eager_reduce: bool = False,
 ) -> IterativeResult:
     """Run the two-level scheme on the real engine until convergence.
+
+    One engine runtime — and therefore one persistent worker pool — is
+    reused across every global iteration, so an iterative run pays pool
+    start-up once instead of per phase per round.
 
     Parameters
     ----------
@@ -91,11 +97,18 @@ def run_iterative_kv(
     config:
         Driver mode and iteration caps.
     runtime:
-        Engine runtime; defaults to a serial runtime without a cluster.
-        Attach a runtime with a :class:`SimCluster` for simulated time.
+        Engine runtime; defaults to a serial runtime without a cluster
+        (owned by this call and closed on return — a caller-supplied
+        runtime is left open for reuse).  Attach a runtime with a
+        :class:`SimCluster` for simulated time.
     num_reducers:
         Reduce tasks per global iteration.
+    eager_reduce:
+        Run each global iteration's job through the engine's streaming
+        pipeline (see :class:`~repro.engine.JobConf`); identical results,
+        overlapped shuffle.
     """
+    owns_runtime = runtime is None
     rt = runtime if runtime is not None else MapReduceRuntime("serial")
     state = spec.initial_state()
     gmap_fn = GmapFunction(spec, config.effective_local_iters)
@@ -104,39 +117,45 @@ def run_iterative_kv(
     converged = False
     start_clock = rt.cluster.clock if rt.cluster is not None else 0.0
     iters = 0
+    num_partitions = spec.num_partitions()
 
-    for it in range(config.max_global_iters):
-        hooked = spec.on_global_iteration(it, state)
-        if hooked is not None:
-            state = hooked
-        splits = [
-            [(p, spec.partition_input(p, state))]
-            for p in range(spec.num_partitions())
-        ]
-        job = Job(
-            map_fn=gmap_fn,
-            reduce_fn=greduce_fn,
-            conf=JobConf(num_reducers=num_reducers, name=f"iter{it}"),
-        )
-        res = rt.run(job, splits)
-        new_state = spec.state_from_output(res.output, state)
-        done, residual = spec.global_converged(state, new_state)
-        iters = it + 1
-        if config.record_history:
-            from repro.engine.counters import SHUFFLE_BYTES
-
-            history.append(RoundRecord(
-                iteration=it,
-                residual=residual,
-                local_iters=(res.counters.get(
-                    "core.local.iterations"),),
-                sim_seconds=res.sim_time_total,
-                shuffle_bytes=res.counters.get(SHUFFLE_BYTES),
-            ))
-        state = new_state
-        if done:
-            converged = True
-            break
+    try:
+        for it in range(config.max_global_iters):
+            hooked = spec.on_global_iteration(it, state)
+            if hooked is not None:
+                state = hooked
+            splits = [
+                [(p, spec.partition_input(p, state))]
+                for p in range(num_partitions)
+            ]
+            job = Job(
+                map_fn=gmap_fn,
+                reduce_fn=greduce_fn,
+                conf=JobConf(num_reducers=num_reducers, name=f"iter{it}",
+                             eager_reduce=eager_reduce),
+            )
+            res = rt.run(job, splits)
+            new_state = spec.state_from_output(res.output, state)
+            done, residual = spec.global_converged(state, new_state)
+            iters = it + 1
+            if config.record_history:
+                history.append(RoundRecord(
+                    iteration=it,
+                    residual=residual,
+                    local_iters=tuple(
+                        res.counters.get(local_iter_counter(p))
+                        for p in range(num_partitions)
+                    ),
+                    sim_seconds=res.sim_time_total,
+                    shuffle_bytes=res.counters.get(SHUFFLE_BYTES),
+                ))
+            state = new_state
+            if done:
+                converged = True
+                break
+    finally:
+        if owns_runtime:
+            rt.close()
 
     sim_time = (rt.cluster.clock - start_clock) if rt.cluster is not None else 0.0
     return IterativeResult(state=state, global_iters=iters,

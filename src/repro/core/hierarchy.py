@@ -29,7 +29,7 @@ from repro.cluster import SimCluster
 from repro.core.api import BlockSpec, LocalSolveReport
 from repro.core.config import DriverConfig
 from repro.core.driver import IterativeResult, RoundRecord
-from repro.engine.scheduler import fifo_schedule
+from repro.engine.scheduler import lpt_schedule
 
 __all__ = ["HierarchyConfig", "make_racks", "run_iterative_hierarchical"]
 
@@ -203,7 +203,7 @@ def _rack_round_seconds(cluster: SimCluster, reports: "list[LocalSolveReport]",
     # compute is scheduled on its share of the nodes.
     share = max(1, len(cluster.nodes) // max(1, num_racks))
     rack_nodes = cluster.nodes[:share]
-    makespan = fifo_schedule([cost(r) for r in reports], rack_nodes).makespan
+    makespan = lpt_schedule([cost(r) for r in reports], rack_nodes).makespan
     rack_shuffle = sum(r.shuffle_bytes for r in reports)
     sync = hcfg.rack_startup_seconds + rack_shuffle / (
         cm.shuffle_bandwidth_bps * hcfg.rack_shuffle_speedup)

@@ -19,9 +19,11 @@ from repro.engine.scheduler import (
     ScheduleOutcome,
     fifo_schedule,
     locality_schedule,
+    lpt_schedule,
     speculative_schedule,
+    submission_order_schedule,
 )
-from repro.engine.shuffle import shuffle, shuffle_bytes
+from repro.engine.shuffle import ShuffleBuffer, shuffle, shuffle_bytes
 from repro.engine.task import TaskContext, TaskResult, run_map_task, run_reduce_task
 
 __all__ = [
@@ -36,6 +38,7 @@ __all__ = [
     "HashPartitioner",
     "RangePartitioner",
     "stable_hash",
+    "ShuffleBuffer",
     "shuffle",
     "shuffle_bytes",
     "TaskContext",
@@ -43,6 +46,8 @@ __all__ = [
     "run_map_task",
     "run_reduce_task",
     "ScheduleOutcome",
+    "lpt_schedule",
+    "submission_order_schedule",
     "fifo_schedule",
     "locality_schedule",
     "speculative_schedule",

@@ -41,6 +41,14 @@ class JobConf:
     sort_keys: bool = True
     #: Human-readable job name for traces and errors.
     name: str = "job"
+    #: Run the job through the streaming pipeline (§V-B.2's eager
+    #: reduce-side consumption): failed task attempts are resubmitted
+    #: immediately instead of waiting for a per-attempt barrier, reduce
+    #: tasks launch the moment the shuffle buffer completes, and — with a
+    #: cluster attached — the shuffle transfer is modelled as overlapping
+    #: the map phase.  Output is byte-identical either way; only the
+    #: schedule (and the simulated time) changes.
+    eager_reduce: bool = False
 
     def __post_init__(self) -> None:
         if self.num_reducers < 1:

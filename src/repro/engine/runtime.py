@@ -1,4 +1,4 @@
-"""The MapReduce runtime: executors, retries, and time accounting.
+"""The MapReduce runtime: persistent executors, retries, time accounting.
 
 ``MapReduceRuntime.run(job, splits)`` executes the full map -> shuffle ->
 reduce pipeline and returns a :class:`JobResult` with outputs, merged
@@ -12,6 +12,27 @@ Three executors share identical semantics:
   kernels) genuinely overlap.
 * ``"processes"`` — a process pool; requires picklable user functions.
 
+Pool lifecycle
+--------------
+The runtime owns **one long-lived worker pool**: it is created lazily on
+the first parallel batch and reused across phases, retry attempts, and
+jobs — an iterative driver running hundreds of tiny jobs pays the pool
+start-up cost once, not twice per global iteration.  Call :meth:`close`
+(or use the runtime as a context manager) to release the workers; a
+closed runtime transparently re-creates its pool on the next ``run``.
+``reuse_pool=False`` restores the historical pool-per-batch behaviour
+and exists for benchmarking the churn it used to cost.
+
+Streaming shuffle
+-----------------
+Map results stream into an incremental
+:class:`~repro.engine.shuffle.ShuffleBuffer` as each task completes, so
+reducer tables are built concurrently with the map phase instead of
+after a full-list barrier.  With ``JobConf.eager_reduce`` set, the whole
+job additionally runs through an event-driven pipeline: failed attempts
+are resubmitted immediately (no per-attempt barrier) and reduce tasks
+launch the instant the buffer completes.
+
 Failed task attempts (see :mod:`repro.engine.faults`) are retried up to
 ``JobConf.max_attempts`` times by deterministic replay; because tasks are
 pure functions of their input split, a replay produces identical output,
@@ -23,13 +44,13 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.cluster import SimCluster
 from repro.engine.counters import Counters, SHUFFLE_BYTES, TASK_RETRIES
 from repro.engine.faults import FaultPlan, SimulatedTaskFailure
 from repro.engine.job import Job
-from repro.engine.shuffle import shuffle, shuffle_bytes
+from repro.engine.shuffle import ShuffleBuffer, shuffle_bytes
 from repro.engine.task import TaskResult, run_map_task, run_reduce_task
 
 __all__ = ["JobResult", "MapReduceRuntime", "JobFailedError"]
@@ -76,6 +97,10 @@ class MapReduceRuntime:
         counts), shuffle bytes, the barrier, and the DFS round trip.
     fault_plan:
         Failure injection plan applied to every job this runtime runs.
+    reuse_pool:
+        Keep one persistent worker pool for the runtime's lifetime
+        (default).  ``False`` re-creates the pool for every batch — the
+        pre-streaming behaviour, kept for churn benchmarks.
     """
 
     def __init__(
@@ -85,6 +110,7 @@ class MapReduceRuntime:
         workers: "int | None" = None,
         cluster: "SimCluster | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        reuse_pool: bool = True,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
@@ -94,41 +120,120 @@ class MapReduceRuntime:
         self.workers = workers
         self.cluster = cluster
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.none()
+        self.reuse_pool = bool(reuse_pool)
+        self._pool: "concurrent.futures.Executor | None" = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> "concurrent.futures.Executor | None":
+        """The live persistent pool (None for serial / before first use)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool and join its workers.
+
+        Idempotent; a later :meth:`run` lazily re-creates the pool.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "MapReduceRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _acquire_pool(self) -> "tuple[concurrent.futures.Executor, bool]":
+        """Return ``(pool, transient)``; transient pools are shut down by
+        the caller after one batch (the ``reuse_pool=False`` mode)."""
+        pool_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if self.executor == "threads"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        if not self.reuse_pool:
+            return pool_cls(max_workers=self.workers), True
+        if self._pool is None:
+            self._pool = pool_cls(max_workers=self.workers)
+        return self._pool, False
+
+    def _discard_if_broken(self, pool: "concurrent.futures.Executor",
+                           transient: bool, exc: BaseException) -> None:
+        """Drop a persistent pool killed by a worker crash.
+
+        A dead worker (segfault, OOM-kill, ``os._exit`` in user code)
+        leaves the executor permanently broken; without this, every
+        later ``run()`` would keep failing with ``BrokenExecutor`` —
+        the pool-per-batch behaviour recovered for free, so the
+        persistent runtime must too.
+        """
+        if (isinstance(exc, concurrent.futures.BrokenExecutor)
+                and not transient and pool is self._pool):
+            pool.shutdown(wait=False)
+            self._pool = None
+
+    def _abort_batch(self, futures: "dict[concurrent.futures.Future, int]",
+                     pool: "concurrent.futures.Executor", transient: bool,
+                     exc: BaseException) -> None:
+        """Common error-path cleanup: cancel what hasn't started, drop a
+        pool the error has broken (the caller re-raises)."""
+        for fut in futures:
+            fut.cancel()
+        self._discard_if_broken(pool, transient, exc)
 
     # ------------------------------------------------------------------
     def run(self, job: Job, splits: "Sequence[Sequence[tuple[Any, Any]]]") -> JobResult:
         """Run ``job`` over ``splits`` (one map task per split)."""
         splits = [list(s) for s in splits]
         counters = Counters()
+        conf = job.conf
+        buffer = ShuffleBuffer(len(splits), conf.num_reducers,
+                               sort_keys=conf.sort_keys)
+        # Event-driven pipeline only helps when there is a pool to keep
+        # busy; the serial executor runs the classic batch loop either way.
+        run_phase = (
+            self._run_tasks_streaming
+            if conf.eager_reduce and self.executor != "serial"
+            else self._run_tasks
+        )
 
-        map_results = self._run_tasks(
+        map_results = run_phase(
             phase="map",
             count=len(splits),
             make_args=lambda i, attempt: (
                 i, attempt, splits[i], job.map_fn, job.combine_fn,
-                job.partitioner, job.conf.num_reducers, self.fault_plan,
+                job.partitioner, conf.num_reducers, self.fault_plan,
             ),
             runner=run_map_task,
-            max_attempts=job.conf.max_attempts,
+            max_attempts=conf.max_attempts,
             counters=counters,
+            consume=lambda i, res: buffer.add(i, res.data),
         )
         for res in map_results:
             counters.merge(res.counters)
 
-        buckets = [res.data for res in map_results]
-        sbytes = shuffle_bytes(buckets)
+        sbytes = sum(res.nbytes for res in map_results)
         counters.incr(SHUFFLE_BYTES, sbytes)
-        grouped = shuffle(buckets, job.conf.num_reducers,
-                          sort_keys=job.conf.sort_keys)
+        grouped = buffer.groups()
 
-        reduce_results = self._run_tasks(
+        reduce_results = run_phase(
             phase="reduce",
-            count=job.conf.num_reducers,
+            count=conf.num_reducers,
             make_args=lambda i, attempt: (
                 i, attempt, grouped[i], job.reduce_fn, self.fault_plan,
             ),
             runner=run_reduce_task,
-            max_attempts=job.conf.max_attempts,
+            max_attempts=conf.max_attempts,
             counters=counters,
         )
         output: list = []
@@ -141,8 +246,15 @@ class MapReduceRuntime:
 
     # ------------------------------------------------------------------
     def _run_tasks(self, *, phase: str, count: int, make_args, runner,
-                   max_attempts: int, counters: Counters) -> "list[TaskResult]":
-        """Run ``count`` tasks with retry-on-failure; preserves task order."""
+                   max_attempts: int, counters: Counters,
+                   consume: "Callable[[int, TaskResult], None] | None" = None,
+                   ) -> "list[TaskResult]":
+        """Run ``count`` tasks with round-based retries; preserves order.
+
+        ``consume`` is invoked with each successful result *as it
+        completes* (not after the batch), so shuffle grouping overlaps
+        the map phase even on this barrier path.
+        """
         results: "list[TaskResult | None]" = [None] * count
         pending = list(range(count))
         attempt = 0
@@ -153,7 +265,8 @@ class MapReduceRuntime:
                 )
             failed: list[int] = []
             outcomes = self._execute_batch(
-                [(i, make_args(i, attempt)) for i in pending], runner
+                [(i, make_args(i, attempt)) for i in pending], runner,
+                consume=consume,
             )
             for i, outcome in outcomes:
                 if isinstance(outcome, SimulatedTaskFailure):
@@ -168,30 +281,91 @@ class MapReduceRuntime:
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
-    def _execute_batch(self, indexed_args: "list[tuple[int, tuple]]", runner):
+    def _run_tasks_streaming(self, *, phase: str, count: int, make_args,
+                             runner, max_attempts: int, counters: Counters,
+                             consume: "Callable[[int, TaskResult], None] | None" = None,
+                             ) -> "list[TaskResult]":
+        """Event-driven task execution: no per-attempt barrier.
+
+        All tasks are submitted to the persistent pool at once; a failed
+        attempt is resubmitted the moment it is observed, while its
+        siblings keep running.  Successful results are handed to
+        ``consume`` in completion order (the shuffle buffer restores map
+        order internally).
+        """
+        results: "list[TaskResult | None]" = [None] * count
+        if count == 0:
+            return []
+        attempts = [0] * count
+        pool, transient = self._acquire_pool()
+        futures: "dict[concurrent.futures.Future, int]" = {}
+        try:
+            for i in range(count):
+                futures[pool.submit(runner, *make_args(i, 0))] = i
+            while futures:
+                done, _ = concurrent.futures.wait(
+                    futures, return_when=concurrent.futures.FIRST_COMPLETED)
+                for fut in done:
+                    i = futures.pop(fut)
+                    try:
+                        res = fut.result()
+                    except SimulatedTaskFailure:
+                        counters.incr(TASK_RETRIES)
+                        attempts[i] += 1
+                        if attempts[i] >= max_attempts:
+                            raise JobFailedError(
+                                f"{phase} task {i} failed {max_attempts} attempts"
+                            )
+                        futures[pool.submit(runner, *make_args(i, attempts[i]))] = i
+                    else:
+                        results[i] = res
+                        if consume is not None:
+                            consume(i, res)
+        except BaseException as exc:
+            self._abort_batch(futures, pool, transient, exc)
+            raise
+        finally:
+            if transient:
+                pool.shutdown(wait=True)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _execute_batch(self, indexed_args: "list[tuple[int, tuple]]", runner,
+                       consume: "Callable[[int, TaskResult], None] | None" = None):
         """Execute one batch of task attempts under the configured executor."""
         if self.executor == "serial":
             out = []
             for i, args in indexed_args:
                 try:
-                    out.append((i, runner(*args)))
+                    res = runner(*args)
                 except SimulatedTaskFailure as exc:
                     out.append((i, exc))
+                else:
+                    if consume is not None:
+                        consume(i, res)
+                    out.append((i, res))
             return out
-        pool_cls = (
-            concurrent.futures.ThreadPoolExecutor
-            if self.executor == "threads"
-            else concurrent.futures.ProcessPoolExecutor
-        )
+        pool, transient = self._acquire_pool()
         out = []
-        with pool_cls(max_workers=self.workers) as pool:
+        futures: "dict[concurrent.futures.Future, int]" = {}
+        try:
             futures = {pool.submit(runner, *args): i for i, args in indexed_args}
             for fut in concurrent.futures.as_completed(futures):
                 i = futures[fut]
                 try:
-                    out.append((i, fut.result()))
+                    res = fut.result()
                 except SimulatedTaskFailure as exc:
                     out.append((i, exc))
+                else:
+                    if consume is not None:
+                        consume(i, res)
+                    out.append((i, res))
+        except BaseException as exc:
+            self._abort_batch(futures, pool, transient, exc)
+            raise
+        finally:
+            if transient:
+                pool.shutdown(wait=True)
         return out
 
     # ------------------------------------------------------------------
@@ -209,8 +383,15 @@ class MapReduceRuntime:
             [cm.map_compute_seconds(r.ops) for r in map_results],
             label=f"{job.conf.name}:map")
         times["map"] = map_phase.makespan
-        times["shuffle"] = self.cluster.charge_shuffle(
-            sbytes, label=f"{job.conf.name}:shuffle")
+        if job.conf.eager_reduce:
+            # Streaming copy: the transfer rode along with the map phase;
+            # only the residual past the map makespan extends the clock.
+            times["shuffle"] = self.cluster.charge_overlapped_shuffle(
+                sbytes, overlap_seconds=map_phase.makespan,
+                label=f"{job.conf.name}:shuffle")
+        else:
+            times["shuffle"] = self.cluster.charge_shuffle(
+                sbytes, label=f"{job.conf.name}:shuffle")
         reduce_phase = self.cluster.run_reduce_phase(
             [cm.reduce_compute_seconds(r.ops) for r in reduce_results],
             label=f"{job.conf.name}:reduce")

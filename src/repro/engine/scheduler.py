@@ -1,11 +1,13 @@
 """Task scheduling policies on the simulated cluster.
 
 The runtime executes real Python work; *when* tasks would run on the
-modelled testbed is this module's job.  Two policies matter for the
-paper:
+modelled testbed is this module's job.  The policies:
 
-* :func:`fifo_schedule` — plain greedy list scheduling (the default the
-  cluster uses for phase makespans).
+* :func:`lpt_schedule` — greedy longest-processing-time list scheduling
+  (the default the cluster uses for phase makespans).
+* :func:`submission_order_schedule` — true FIFO: tasks start strictly in
+  submission order, each on the earliest-available slot, modelling a
+  queue drained by slot heartbeats with no reordering.
 * :func:`speculative_schedule` — Hadoop's backup-task heuristic: when a
   task's expected completion lags the phase average by a threshold (a
   "straggler", e.g. on a slow node), a duplicate attempt is launched on
@@ -13,22 +15,29 @@ paper:
   on "a production cloud environment, with real-life transient failures"
   (§VI); speculative execution is how the baseline MapReduce keeps
   stragglers from stretching every global barrier.
+* :func:`locality_schedule` — LPT with Hadoop's data-placement
+  preference (§VII).
 
-Both return a :class:`ScheduleOutcome` with per-task completion times so
-tests can assert the policies' invariants (speculation never increases
+``fifo_schedule`` is a deprecated alias of :func:`lpt_schedule`: the
+original name was a misnomer (it always sorted longest-first), kept only
+so existing callers keep their behaviour while they migrate.
+
+All policies return a :class:`ScheduleOutcome` with per-task completion
+times so tests can assert their invariants (speculation never increases
 makespan; it strictly helps when one node is much slower).
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cluster.node import SimNode
 
-__all__ = ["ScheduleOutcome", "fifo_schedule", "speculative_schedule",
-           "locality_schedule"]
+__all__ = ["ScheduleOutcome", "lpt_schedule", "submission_order_schedule",
+           "fifo_schedule", "speculative_schedule", "locality_schedule"]
 
 
 @dataclass(frozen=True)
@@ -59,9 +68,9 @@ def _slot_heap(nodes: Sequence[SimNode], kind: str):
     return slots
 
 
-def fifo_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode], *,
-                  kind: str = "map") -> ScheduleOutcome:
-    """Greedy LPT list scheduling; no backups."""
+def lpt_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode], *,
+                 kind: str = "map") -> ScheduleOutcome:
+    """Greedy LPT (longest-processing-time) list scheduling; no backups."""
     costs = [float(c) for c in task_costs]
     if any(c < 0 for c in costs):
         raise ValueError("task costs must be >= 0")
@@ -77,6 +86,50 @@ def fifo_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode], *,
         makespan=max(completion, default=0.0),
         backups=0,
     )
+
+
+def submission_order_schedule(task_costs: Sequence[float],
+                              nodes: Sequence[SimNode], *,
+                              kind: str = "map") -> ScheduleOutcome:
+    """True FIFO list scheduling: tasks start in submission order.
+
+    Each task, in the order given, is placed on the slot that becomes
+    available earliest — a queue drained by slot heartbeats, with no
+    longest-first reordering.  Usually — not always; both are greedy
+    list-scheduling heuristics — trails :func:`lpt_schedule` on
+    makespan; use it to model a scheduler that honours submission order.
+    """
+    costs = [float(c) for c in task_costs]
+    if any(c < 0 for c in costs):
+        raise ValueError("task costs must be >= 0")
+    heap = _slot_heap(nodes, kind)
+    completion = [0.0] * len(costs)
+    for i in range(len(costs)):
+        avail, nid, sidx, speed = heapq.heappop(heap)
+        end = avail + costs[i] / speed
+        completion[i] = end
+        heapq.heappush(heap, (end, nid, sidx, speed))
+    return ScheduleOutcome(
+        completion=tuple(completion),
+        makespan=max(completion, default=0.0),
+        backups=0,
+    )
+
+
+def fifo_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode], *,
+                  kind: str = "map") -> ScheduleOutcome:
+    """Deprecated misnomer for :func:`lpt_schedule`.
+
+    Despite the name this has always sorted tasks longest-first.  Use
+    :func:`lpt_schedule` for the same behaviour, or
+    :func:`submission_order_schedule` for actual FIFO order.
+    """
+    warnings.warn(
+        "fifo_schedule() implements LPT, not FIFO; use lpt_schedule() "
+        "(or submission_order_schedule() for true submission order)",
+        DeprecationWarning, stacklevel=2,
+    )
+    return lpt_schedule(task_costs, nodes, kind=kind)
 
 
 def locality_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode],
@@ -121,7 +174,6 @@ def locality_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode],
         avail, nid, sidx, speed = slots[best_j]
         slots[best_j] = (best_end, nid, sidx, speed)
         completion[i] = best_end
-    heapq.heapify(slots)
     return ScheduleOutcome(
         completion=tuple(completion),
         makespan=max(completion, default=0.0),
@@ -143,7 +195,7 @@ def speculative_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode], 
     """
     if slowdown_threshold <= 1.0:
         raise ValueError("slowdown_threshold must be > 1")
-    base = fifo_schedule(task_costs, nodes, kind=kind)
+    base = lpt_schedule(task_costs, nodes, kind=kind)
     costs = [float(c) for c in task_costs]
     if not costs:
         return base

@@ -2,14 +2,22 @@
 
 Between the phases sits the global synchronization the paper is about:
 "The reduce phase must wait for all the map tasks to complete, since it
-requires all the values corresponding to each key" (§II).  The shuffle
-here is that barrier: it consumes *every* map task's buckets before any
-reduce group is formed.
+requires all the values corresponding to each key" (§II).  That data
+dependency is fundamental — no reduce group is *complete* before every
+map has contributed — but the *work* of grouping is not: the
+:class:`ShuffleBuffer` consumes each map task's buckets as soon as that
+task finishes, so by the time the last map completes the reducer tables
+are already built and reduce tasks can launch immediately (the paper's
+eager reduce-side consumption, §V-B.2).  :func:`shuffle` is the batch
+wrapper kept for the barrier path and for direct callers; it feeds a
+buffer in a single pass over the map outputs.
 
 Determinism: within a group, values arrive ordered by (map task index,
-emission order), and groups are key-sorted when the job asks for it —
-so job output is a pure function of the input, which the deterministic-
-replay fault tolerance and the cross-executor equivalence tests rely on.
+emission order) — the buffer reorders out-of-order completions
+internally — and groups are key-sorted when the job asks for it, so job
+output is a pure function of the input.  The deterministic-replay fault
+tolerance and the cross-executor/eager-vs-barrier equivalence tests rely
+on exactly that.
 """
 
 from __future__ import annotations
@@ -18,7 +26,93 @@ from typing import Any, Sequence
 
 from repro.cluster.dfs import estimate_nbytes
 
-__all__ = ["shuffle", "shuffle_bytes"]
+__all__ = ["ShuffleBuffer", "shuffle", "shuffle_bytes"]
+
+
+class ShuffleBuffer:
+    """Incremental, order-preserving shuffle grouping.
+
+    Map tasks may complete (and be :meth:`add`-ed) in any order; the
+    buffer holds out-of-order contributions aside and merges them into
+    the per-reducer tables strictly in map-task-index order, so the
+    grouped output is byte-identical to a serial post-barrier shuffle.
+
+    Parameters
+    ----------
+    num_maps:
+        Number of map tasks that will contribute (M).
+    num_reducers:
+        Number of reduce partitions (R).
+    sort_keys:
+        Sort each reducer's groups by key at :meth:`groups` time.
+    """
+
+    def __init__(self, num_maps: int, num_reducers: int, *,
+                 sort_keys: bool = True) -> None:
+        if num_maps < 0:
+            raise ValueError("num_maps must be >= 0")
+        if num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        self.num_maps = num_maps
+        self.num_reducers = num_reducers
+        self.sort_keys = sort_keys
+        self._tables: list[dict[Any, list]] = [{} for _ in range(num_reducers)]
+        #: Out-of-order contributions parked until their predecessors land.
+        self._parked: dict[int, Sequence] = {}
+        #: Next map index to merge (everything below is already merged).
+        self._next = 0
+
+    @property
+    def consumed(self) -> int:
+        """Map tasks merged into the tables so far (a prefix of 0..M)."""
+        return self._next
+
+    @property
+    def complete(self) -> bool:
+        """True once every map task's buckets have been merged."""
+        return self._next == self.num_maps
+
+    def add(self, map_index: int,
+            buckets: "Sequence[Sequence[tuple[Any, Any]]]") -> None:
+        """Consume one finished map task's per-reducer buckets.
+
+        Validates the bucket count once per map task (the batch
+        :func:`shuffle` used to re-check it R times).
+        """
+        if not 0 <= map_index < self.num_maps:
+            raise ValueError(
+                f"map_index {map_index} out of range [0, {self.num_maps})")
+        if map_index < self._next or map_index in self._parked:
+            raise ValueError(f"map task {map_index} already added")
+        if len(buckets) != self.num_reducers:
+            raise ValueError(
+                f"map task produced {len(buckets)} buckets, "
+                f"expected {self.num_reducers}"
+            )
+        self._parked[map_index] = buckets
+        while self._next in self._parked:
+            ready = self._parked.pop(self._next)
+            for table, bucket in zip(self._tables, ready):
+                for k, v in bucket:
+                    table.setdefault(k, []).append(v)
+            self._next += 1
+
+    def groups(self) -> "list[list[tuple[Any, list]]]":
+        """Seal the buffer and return per-reducer grouped inputs.
+
+        ``groups()[r]`` is a list of ``(key, values)`` with all values
+        for that key across all map tasks, in deterministic order.
+        """
+        if not self.complete:
+            raise RuntimeError(
+                f"shuffle incomplete: {self._next}/{self.num_maps} "
+                "map tasks consumed"
+            )
+        out: list[list[tuple[Any, list]]] = []
+        for table in self._tables:
+            keys = sorted(table) if self.sort_keys else list(table)
+            out.append([(k, table[k]) for k in keys])
+        return out
 
 
 def shuffle(
@@ -27,7 +121,7 @@ def shuffle(
     *,
     sort_keys: bool = True,
 ) -> "list[list[tuple[Any, list]]]":
-    """Merge per-map buckets into per-reducer grouped inputs.
+    """Merge per-map buckets into per-reducer grouped inputs (one pass).
 
     Parameters
     ----------
@@ -46,21 +140,10 @@ def shuffle(
         ``groups[r]`` is a list of ``(key, values)`` with all values for
         that key across all map tasks, in deterministic order.
     """
-    if num_reducers < 1:
-        raise ValueError("num_reducers must be >= 1")
-    out: list[list[tuple[Any, list]]] = []
-    for r in range(num_reducers):
-        table: dict[Any, list] = {}
-        for m_bucket in map_buckets:
-            if len(m_bucket) != num_reducers:
-                raise ValueError(
-                    f"map task produced {len(m_bucket)} buckets, expected {num_reducers}"
-                )
-            for k, v in m_bucket[r]:
-                table.setdefault(k, []).append(v)
-        keys = sorted(table) if sort_keys else list(table)
-        out.append([(k, table[k]) for k in keys])
-    return out
+    buf = ShuffleBuffer(len(map_buckets), num_reducers, sort_keys=sort_keys)
+    for m, buckets in enumerate(map_buckets):
+        buf.add(m, buckets)
+    return buf.groups()
 
 
 def shuffle_bytes(

@@ -31,6 +31,7 @@ from repro.engine.counters import (
     REDUCE_OUTPUT_RECORDS,
 )
 from repro.engine.faults import FaultPlan, SimulatedTaskFailure
+from repro.engine.shuffle import shuffle_bytes
 
 __all__ = ["TaskContext", "TaskResult", "run_map_task", "run_reduce_task"]
 
@@ -91,6 +92,9 @@ class TaskResult:
     data: Any
     counters: Counters = field(default_factory=Counters)
     ops: float = 0.0
+    #: Estimated bytes this task contributes to the shuffle (map tasks
+    #: only; measured worker-side so the scan runs in parallel).
+    nbytes: int = 0
 
 
 def run_map_task(
@@ -127,7 +131,8 @@ def run_map_task(
         buckets[partitioner(k, num_reducers)].append((k, v))
     ctx.counters.incr(MAP_OPS, int(ctx.ops))
     return TaskResult(task_id=task_id, attempt=attempt, data=buckets,
-                      counters=ctx.counters, ops=ctx.ops)
+                      counters=ctx.counters, ops=ctx.ops,
+                      nbytes=shuffle_bytes([buckets]))
 
 
 def _apply_combiner(pairs: "list[tuple[Any, Any]]", combine_fn: Any,

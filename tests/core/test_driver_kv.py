@@ -29,6 +29,56 @@ class TestKvDriver:
         assert all(r.shuffle_bytes > 0 for r in res.history)
         assert res.history[-1].residual < 1e-5
 
+    def test_local_iters_recorded_per_partition(self, kv_setup):
+        # one entry per partition (block-path-compatible shape), not a
+        # 1-tuple of the aggregate counter
+        g, part = kv_setup
+        spec = PageRankKVSpec(g, part)
+        res = run_iterative_kv(spec, DriverConfig(mode="eager"))
+        for rec in res.history:
+            assert len(rec.local_iters) == spec.num_partitions()
+            assert all(li >= 1 for li in rec.local_iters)
+        # total_local_iters still sums over partitions and rounds
+        assert res.total_local_iters == sum(
+            sum(r.local_iters) for r in res.history)
+        # eager mode really does iterate locally: some round has a
+        # partition doing more than one local step
+        assert any(max(r.local_iters) > 1 for r in res.history)
+
+    def test_general_mode_one_local_iter_per_partition(self, kv_setup):
+        g, part = kv_setup
+        res = run_iterative_kv(PageRankKVSpec(g, part),
+                               DriverConfig(mode="general",
+                                            max_global_iters=3))
+        for rec in res.history:
+            assert rec.local_iters == (1, 1, 1)
+
+    def test_eager_reduce_pipeline_same_results(self, kv_setup):
+        g, part = kv_setup
+        base = run_iterative_kv(PageRankKVSpec(g, part),
+                                DriverConfig(mode="eager"))
+        eager = run_iterative_kv(PageRankKVSpec(g, part),
+                                 DriverConfig(mode="eager"),
+                                 eager_reduce=True)
+        assert eager.global_iters == base.global_iters
+        ra = np.array([base.state[u][0] for u in range(g.num_nodes)])
+        rb = np.array([eager.state[u][0] for u in range(g.num_nodes)])
+        assert np.allclose(ra, rb)
+
+    def test_supplied_runtime_kept_open_with_one_pool(self, kv_setup):
+        g, part = kv_setup
+        rt = MapReduceRuntime("threads", workers=2)
+        res = run_iterative_kv(PageRankKVSpec(g, part),
+                               DriverConfig(mode="eager"), runtime=rt)
+        assert res.converged
+        # the driver reused (and did not close) the caller's runtime
+        assert rt.pool is not None
+        pool = rt.pool
+        run_iterative_kv(PageRankKVSpec(g, part),
+                         DriverConfig(mode="eager"), runtime=rt)
+        assert rt.pool is pool
+        rt.close()
+
     def test_history_disabled(self, kv_setup):
         g, part = kv_setup
         res = run_iterative_kv(PageRankKVSpec(g, part),

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import ec2_nodes
-from repro.engine import fifo_schedule, locality_schedule
+from repro.engine import locality_schedule, lpt_schedule
 
 
 class TestLocalitySchedule:
@@ -31,12 +31,25 @@ class TestLocalitySchedule:
         out = locality_schedule(costs, nodes, [0, 0], remote_penalty=100.0)
         assert out.makespan == pytest.approx(2.0)
 
-    def test_zero_penalty_matches_fifo_makespan(self):
+    def test_zero_penalty_matches_lpt_makespan(self):
         nodes = ec2_nodes(3, map_slots=2)
         costs = [3.0, 1.0, 4.0, 1.5, 2.0]
         loc = locality_schedule(costs, nodes, [0] * 5, remote_penalty=0.0)
-        fifo = fifo_schedule(costs, nodes)
-        assert loc.makespan == pytest.approx(fifo.makespan)
+        lpt = lpt_schedule(costs, nodes)
+        assert loc.makespan == pytest.approx(lpt.makespan)
+
+    def test_queues_behind_local_slot_that_frees_later(self):
+        # Both tasks prefer node 0 (one slot).  With a steep fetch
+        # penalty, the second task must *wait* for the local slot to
+        # free at t=4 (finishing at 5) rather than start immediately on
+        # the remote node 1 (finishing at 1 + 5 = 6).
+        nodes = ec2_nodes(2, map_slots=1)
+        costs = [4.0, 1.0]
+        out = locality_schedule(costs, nodes, [0, 0], remote_penalty=5.0)
+        assert out.completion[0] == pytest.approx(4.0)
+        assert out.completion[1] == pytest.approx(5.0)  # queued locally
+        assert out.makespan == pytest.approx(5.0)
+        assert out.makespan < 6.0  # the remote alternative it rejected
 
     def test_empty(self):
         out = locality_schedule([], ec2_nodes(1), [])

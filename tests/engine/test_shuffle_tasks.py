@@ -7,6 +7,7 @@ import pytest
 from repro.engine import (
     FaultPlan,
     HashPartitioner,
+    ShuffleBuffer,
     SimulatedTaskFailure,
     TaskContext,
     run_map_task,
@@ -85,6 +86,77 @@ class TestShuffle:
         assert set(seen) == set(keys)
 
 
+class TestShuffleBuffer:
+    BUCKETS = [
+        [[("a", 1)], [("b", 2)]],
+        [[("a", 3)], [("c", 4)]],
+        [[("d", 5)], [("b", 6)]],
+    ]
+
+    def test_in_order_matches_shuffle(self):
+        buf = ShuffleBuffer(3, 2)
+        for m, b in enumerate(self.BUCKETS):
+            buf.add(m, b)
+        assert buf.groups() == shuffle(self.BUCKETS, 2)
+
+    def test_out_of_order_matches_shuffle(self):
+        # completion order of map tasks must not change the grouping
+        buf = ShuffleBuffer(3, 2)
+        for m in (2, 0, 1):
+            buf.add(m, self.BUCKETS[m])
+        assert buf.groups() == shuffle(self.BUCKETS, 2)
+
+    def test_consumed_tracks_merged_prefix(self):
+        buf = ShuffleBuffer(3, 2)
+        buf.add(2, self.BUCKETS[2])
+        assert buf.consumed == 0  # parked: map 0 and 1 still missing
+        buf.add(0, self.BUCKETS[0])
+        assert buf.consumed == 1
+        buf.add(1, self.BUCKETS[1])
+        assert buf.consumed == 3
+        assert buf.complete
+
+    def test_incomplete_groups_raises(self):
+        buf = ShuffleBuffer(2, 1)
+        buf.add(0, [[("a", 1)]])
+        with pytest.raises(RuntimeError, match="incomplete"):
+            buf.groups()
+
+    def test_duplicate_add_rejected(self):
+        buf = ShuffleBuffer(2, 1)
+        buf.add(0, [[("a", 1)]])
+        with pytest.raises(ValueError, match="already added"):
+            buf.add(0, [[("a", 1)]])
+
+    def test_index_out_of_range(self):
+        buf = ShuffleBuffer(2, 1)
+        with pytest.raises(ValueError, match="out of range"):
+            buf.add(2, [[("a", 1)]])
+
+    def test_bucket_count_mismatch(self):
+        buf = ShuffleBuffer(1, 2)
+        with pytest.raises(ValueError, match="buckets"):
+            buf.add(0, [[("a", 1)]])
+
+    def test_zero_maps_complete_immediately(self):
+        buf = ShuffleBuffer(0, 3)
+        assert buf.complete
+        assert buf.groups() == [[], [], []]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShuffleBuffer(-1, 2)
+        with pytest.raises(ValueError):
+            ShuffleBuffer(1, 0)
+
+    def test_unsorted_first_seen_order(self):
+        buf = ShuffleBuffer(2, 1, sort_keys=False)
+        buf.add(1, [[("a", 2)]])
+        buf.add(0, [[("z", 1)]])
+        # first-seen order follows map index, not arrival order
+        assert [k for k, _ in buf.groups()[0]] == ["z", "a"]
+
+
 class TestTaskContext:
     def test_emit_collects_and_counts_ops(self):
         ctx = TaskContext("t", 0)
@@ -147,6 +219,12 @@ class TestRunMapTask:
         res = run_map_task(0, 1, [(0, "a")], _emit_words, None,
                            HashPartitioner(), 1, plan)
         assert res.data[0] == [("a", 1)]
+
+    def test_nbytes_measured_worker_side(self):
+        res = run_map_task(0, 0, [(0, "ab")], _emit_words, None,
+                           HashPartitioner(), 2)
+        assert res.nbytes == shuffle_bytes([res.data])
+        assert res.nbytes == 10  # 2-byte key + 8-byte int
 
     def test_ops_include_input_and_emissions(self):
         res = run_map_task(0, 0, [(0, "a b")], _emit_words, None,

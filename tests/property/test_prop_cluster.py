@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import CostModel, SimCluster, ZERO_COST, ec2_nodes
-from repro.engine import fifo_schedule, speculative_schedule
+from repro.engine import lpt_schedule, speculative_schedule, submission_order_schedule
 
 costs_lists = st.lists(st.floats(0.0, 50.0, allow_nan=False),
                        min_size=0, max_size=40)
@@ -38,9 +38,21 @@ class TestSchedulingLaws:
 
     @settings(deadline=None, max_examples=40)
     @given(costs_lists)
-    def test_fifo_completion_covers_all_tasks(self, costs):
-        out = fifo_schedule(costs, ec2_nodes(2))
+    def test_lpt_completion_covers_all_tasks(self, costs):
+        out = lpt_schedule(costs, ec2_nodes(2))
         assert len(out.completion) == len(costs)
+        if costs:
+            assert out.makespan == pytest.approx(max(out.completion))
+
+    @settings(deadline=None, max_examples=40)
+    @given(costs_lists)
+    def test_submission_order_within_greedy_bounds(self, costs):
+        # any greedy list schedule stays between the area bound and the
+        # serial sum, and covers every task
+        nodes = ec2_nodes(2, speeds=[1.0, 0.5])
+        out = submission_order_schedule(costs, nodes)
+        assert len(out.completion) == len(costs)
+        assert out.makespan <= sum(costs) / min(1.0, 0.5) + 1e-9
         if costs:
             assert out.makespan == pytest.approx(max(out.completion))
 
@@ -48,7 +60,7 @@ class TestSchedulingLaws:
     @given(costs_lists, st.floats(min_value=1.1, max_value=3.0))
     def test_speculation_never_hurts(self, costs, threshold):
         nodes = ec2_nodes(2, speeds=[1.0, 0.3])
-        f = fifo_schedule(costs, nodes)
+        f = lpt_schedule(costs, nodes)
         s = speculative_schedule(costs, nodes, slowdown_threshold=threshold)
         assert s.makespan <= f.makespan + 1e-9
 

@@ -19,6 +19,7 @@ from repro.engine import (
     Job,
     JobConf,
     MapReduceRuntime,
+    ShuffleBuffer,
     shuffle,
     stable_hash,
 )
@@ -81,6 +82,28 @@ class TestShuffleProperties:
                 regrouped[k] += len(vs)
         original = Counter(k for pairs in map_outputs for k, _ in pairs)
         assert regrouped == original
+
+    @given(st.lists(st.lists(st.tuples(words, st.integers()), max_size=10),
+                    min_size=1, max_size=5),
+           st.integers(min_value=1, max_value=6),
+           st.randoms(use_true_random=False))
+    def test_buffer_insertion_order_irrelevant(self, map_outputs,
+                                               num_reducers, rng):
+        # streaming consumption in ANY completion order must reproduce
+        # the batch shuffle exactly (the buffer restores map order)
+        part = HashPartitioner()
+        buckets = []
+        for pairs in map_outputs:
+            b = [[] for _ in range(num_reducers)]
+            for k, v in pairs:
+                b[part(k, num_reducers)].append((k, v))
+            buckets.append(b)
+        order = list(range(len(buckets)))
+        rng.shuffle(order)
+        buf = ShuffleBuffer(len(buckets), num_reducers)
+        for m in order:
+            buf.add(m, buckets[m])
+        assert buf.groups() == shuffle(buckets, num_reducers)
 
     @given(st.lists(st.tuples(words, st.integers()), max_size=30),
            st.integers(min_value=1, max_value=4))
@@ -147,5 +170,23 @@ class TestJobProperties:
         job = Job(_wc_map, _wc_reduce, conf=JobConf(num_reducers=2))
         splits = _split(documents, 3)
         serial = MapReduceRuntime("serial").run(job, splits)
-        threads = MapReduceRuntime("threads", workers=3).run(job, splits)
+        with MapReduceRuntime("threads", workers=3) as rt:
+            threads = rt.run(job, splits)
         assert serial.as_dict() == threads.as_dict()
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(docs, st.integers(min_value=0, max_value=10_000))
+    def test_eager_reduce_equivalent_under_faults(self, documents, seed):
+        # streaming pipeline + immediate retries vs the serial barrier
+        # reference: byte-identical output, with and without faults
+        splits = _split(documents, 3)
+        barrier = MapReduceRuntime("serial").run(
+            Job(_wc_map, _wc_reduce, conf=JobConf(num_reducers=2)), splits)
+        eager_job = Job(_wc_map, _wc_reduce,
+                        conf=JobConf(num_reducers=2, eager_reduce=True))
+        with MapReduceRuntime(
+                "threads", workers=3,
+                fault_plan=FaultPlan.random(0.3, seed=seed)) as rt:
+            eager = rt.run(eager_job, splits)
+        assert eager.output == barrier.output
