@@ -16,7 +16,7 @@ import numpy as np
 from repro.apps import wordcount
 from repro.apps.pagerank import PageRankKVSpec, pagerank_reference
 from repro.cluster import SimCluster
-from repro.core import DriverConfig, run_iterative_kv
+from repro.core import DriverConfig, EngineBackend, IterationLoop
 from repro.engine import MapReduceRuntime
 from repro.graph import multilevel_partition, preferential_attachment
 from repro.util import ascii_table
@@ -40,7 +40,8 @@ def test_ablation_combiner(once):
         g = preferential_attachment(250, num_conn=3, locality_prob=0.92,
                                     community_mean=30, seed=3)
         part = multilevel_partition(g, 4, seed=0)
-        kv = run_iterative_kv(PageRankKVSpec(g, part), DriverConfig(mode="eager"))
+        kv = IterationLoop(EngineBackend(PageRankKVSpec(g, part)),
+                           DriverConfig(mode="eager")).run()
         ranks = np.array([kv.state[u][0] for u in range(g.num_nodes)])
         err = float(np.abs(ranks - pagerank_reference(g)).max())
         return out, err

@@ -17,11 +17,12 @@ import numpy as np
 from repro.apps.pagerank import PageRankBlockSpec
 from repro.bench import get_graph, get_partition, graph_scale, make_cluster
 from repro.core import (
+    BlockBackend,
     DriverConfig,
+    HierarchicalBackend,
     HierarchyConfig,
+    IterationLoop,
     make_racks,
-    run_iterative_block,
-    run_iterative_hierarchical,
 )
 from repro.util import ascii_table
 
@@ -33,17 +34,18 @@ def test_extension_hierarchical_synchronization(once):
     part = get_partition("A", scale, k)
 
     def run():
-        flat = run_iterative_block(
-            PageRankBlockSpec(g, part), DriverConfig(mode="eager"),
-            cluster=make_cluster())
+        flat = IterationLoop(
+            BlockBackend(PageRankBlockSpec(g, part), cluster=make_cluster()),
+            DriverConfig(mode="eager")).run()
         rows = [("flat (2-level eager)", flat.global_iters, flat.sim_time)]
         results = {"flat": flat}
         for racks, inner in ((4, 2), (4, 4)):
-            hier = run_iterative_hierarchical(
-                PageRankBlockSpec(g, part), DriverConfig(mode="eager"),
-                make_racks(k, racks),
-                hierarchy=HierarchyConfig(inner_rounds=inner),
-                cluster=make_cluster())
+            hier = IterationLoop(
+                HierarchicalBackend(
+                    PageRankBlockSpec(g, part), make_racks(k, racks),
+                    hierarchy=HierarchyConfig(inner_rounds=inner),
+                    cluster=make_cluster()),
+                DriverConfig(mode="eager")).run()
             rows.append((f"3-level: {racks} racks x {inner} inner rounds",
                          hier.global_iters, hier.sim_time))
             results[f"h{racks}x{inner}"] = hier

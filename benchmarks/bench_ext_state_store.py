@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.apps.pagerank import PageRankBlockSpec
 from repro.bench import get_graph, get_partition, graph_scale, make_cluster
-from repro.core import DriverConfig, run_iterative_block
+from repro.core import BlockBackend, DriverConfig, IterationLoop
 from repro.util import ascii_table
 
 VARIANTS = (
@@ -36,8 +36,9 @@ def test_extension_online_state_store(once):
         for name, store, ckpt in VARIANTS:
             cfg = DriverConfig(mode="general", state_store=store,
                                checkpoint_every=ckpt)
-            res = run_iterative_block(PageRankBlockSpec(g, part), cfg,
-                                      cluster=make_cluster())
+            res = IterationLoop(
+                BlockBackend(PageRankBlockSpec(g, part),
+                             cluster=make_cluster()), cfg).run()
             out[name] = (res.global_iters, res.sim_time)
         return out
 

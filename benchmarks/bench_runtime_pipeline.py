@@ -16,19 +16,22 @@ pipeline.  Same spec, same iterates — only the engine overhead differs.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.apps.pagerank import PageRankKVSpec
-from repro.core import DriverConfig, run_iterative_kv
+from repro.core import DriverConfig, EngineBackend, IterationLoop
 from repro.engine import MapReduceRuntime
 from repro.graph import multilevel_partition, preferential_attachment
 from repro.util import ascii_table
 
 #: Global iterations of the general (one-local-step) mode: many tiny
-#: jobs, the regime where per-job engine overhead dominates.
-ITERS = 60
-WORKERS = 8
-REPEATS = 3
+#: jobs, the regime where per-job engine overhead dominates.  The
+#: BENCH_QUICK env var shrinks the run for CI smoke jobs.
+_QUICK = bool(os.environ.get("BENCH_QUICK"))
+ITERS = 12 if _QUICK else 60
+WORKERS = 4 if _QUICK else 8
+REPEATS = 1 if _QUICK else 3
 
 
 def _workload():
@@ -42,10 +45,11 @@ def _timed_run(g, part, *, reuse_pool: bool, eager_reduce: bool):
     rt = MapReduceRuntime("threads", workers=WORKERS, reuse_pool=reuse_pool)
     try:
         t0 = time.perf_counter()
-        res = run_iterative_kv(
-            PageRankKVSpec(g, part),
-            DriverConfig(mode="general", max_global_iters=ITERS),
-            runtime=rt, num_reducers=8, eager_reduce=eager_reduce)
+        backend = EngineBackend(PageRankKVSpec(g, part), runtime=rt,
+                                num_reducers=8, eager_reduce=eager_reduce)
+        res = IterationLoop(
+            backend,
+            DriverConfig(mode="general", max_global_iters=ITERS)).run()
         dt = time.perf_counter() - t0
     finally:
         rt.close()

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.apps.sssp import SsspBlockSpec
 from repro.cluster import SimCluster
-from repro.core import DriverConfig, run_iterative_block
+from repro.core import BlockBackend, DriverConfig, IterationLoop
 from repro.graph import DiGraph, Partition
 from repro.util import as_rng
 
@@ -76,12 +76,12 @@ def landmark_apsp(
     total_time = 0.0
     all_converged = True
     for i, l in enumerate(landmarks):
-        fwd = run_iterative_block(
-            SsspBlockSpec(graph, partition, source=int(l)), cfg,
-            cluster=cluster)
-        rev = run_iterative_block(
-            SsspBlockSpec(rev_graph, rev_partition, source=int(l)), cfg,
-            cluster=cluster)
+        fwd = IterationLoop(
+            BlockBackend(SsspBlockSpec(graph, partition, source=int(l)),
+                         cluster=cluster), cfg).run()
+        rev = IterationLoop(
+            BlockBackend(SsspBlockSpec(rev_graph, rev_partition, source=int(l)),
+                         cluster=cluster), cfg).run()
         dist_from[i] = np.asarray(fwd.state)
         dist_to[i] = np.asarray(rev.state)
         total_iters += fwd.global_iters + rev.global_iters

@@ -17,11 +17,12 @@ import numpy as np
 
 from repro.cluster import SimCluster
 from repro.core import (
+    BlockBackend,
     BlockSpec,
     DriverConfig,
+    IterationLoop,
     IterativeResult,
     LocalSolveReport,
-    run_iterative_block,
 )
 from repro.graph import DiGraph, Partition
 
@@ -145,7 +146,7 @@ def connected_components(
     """Weakly-connected component labels, General or Eager formulation."""
     cfg = config if config is not None else DriverConfig(mode=mode)
     spec = ComponentsBlockSpec(graph, partition)
-    res = run_iterative_block(spec, cfg, cluster=cluster)
+    res = IterationLoop(BlockBackend(spec, cluster=cluster), cfg).run()
     labels = np.asarray(res.state)
     return ComponentsResult(
         labels=labels,

@@ -24,11 +24,12 @@ import numpy as np
 
 from repro.cluster import SimCluster
 from repro.core import (
+    BlockBackend,
     BlockSpec,
     DriverConfig,
+    IterationLoop,
     IterativeResult,
     LocalSolveReport,
-    run_iterative_block,
 )
 from repro.graph import Partition
 
@@ -245,7 +246,7 @@ def jacobi_solve(
     """Solve ``A x = b`` with the General or Eager block-Jacobi scheme."""
     cfg = config if config is not None else DriverConfig(mode=mode)
     spec = JacobiBlockSpec(system, partition, tol=tol)
-    res = run_iterative_block(spec, cfg, cluster=cluster)
+    res = IterationLoop(BlockBackend(spec, cluster=cluster), cfg).run()
     x = np.asarray(res.state)
     return JacobiResult(x=x, global_iters=res.global_iters,
                         converged=res.converged, sim_time=res.sim_time,

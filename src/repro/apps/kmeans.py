@@ -32,12 +32,13 @@ import numpy as np
 from repro.cluster import SimCluster
 from repro.core import (
     AsyncMapReduceSpec,
+    BlockBackend,
     BlockSpec,
     CentroidShiftCriterion,
     DriverConfig,
+    IterationLoop,
     IterativeResult,
     LocalSolveReport,
-    run_iterative_block,
 )
 from repro.util import as_rng
 
@@ -428,7 +429,7 @@ def kmeans(
         oscillation_detection=(cfg.mode == "eager"),
         seed=seed,
     )
-    res = run_iterative_block(spec, cfg, cluster=cluster)
+    res = IterationLoop(BlockBackend(spec, cluster=cluster), cfg).run()
     return KMeansResult(centroids=np.asarray(res.state),
                         global_iters=res.global_iters,
                         converged=res.converged, sim_time=res.sim_time,

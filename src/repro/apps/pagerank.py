@@ -35,13 +35,15 @@ import numpy as np
 
 from repro.cluster import SimCluster
 from repro.core import (
+    AdaptiveSyncPolicy,
     AsyncMapReduceSpec,
+    BlockBackend,
     BlockSpec,
     DriverConfig,
+    EngineBackend,
+    IterationLoop,
     IterativeResult,
     LocalSolveReport,
-    run_iterative_block,
-    run_iterative_kv,
 )
 from repro.engine import MapReduceRuntime
 from repro.graph import DiGraph, Partition
@@ -336,6 +338,7 @@ def pagerank(
     config: "DriverConfig | None" = None,
     path: str = "block",
     runtime: "MapReduceRuntime | None" = None,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
 ) -> PageRankResult:
     """Compute PageRank with the General or Eager formulation.
 
@@ -355,15 +358,20 @@ def pagerank(
         ``"block"`` (vectorised) or ``"kv"`` (record-at-a-time engine).
     runtime:
         Engine runtime for the kv path.
+    sync_policy:
+        Optional :class:`~repro.core.AdaptiveSyncPolicy` retuning the
+        local-iteration budget per round.
     """
     cfg = config if config is not None else DriverConfig(mode=mode)
     if path == "block":
         spec = PageRankBlockSpec(graph, partition, damping=damping, tol=tol)
-        res = run_iterative_block(spec, cfg, cluster=cluster)
+        backend = BlockBackend(spec, cluster=cluster)
+        res = IterationLoop(backend, cfg, sync_policy=sync_policy).run()
         ranks = np.asarray(res.state)
     elif path == "kv":
         kv_spec = PageRankKVSpec(graph, partition, damping=damping, tol=tol)
-        res = run_iterative_kv(kv_spec, cfg, runtime=runtime)
+        kv_backend = EngineBackend(kv_spec, runtime=runtime)
+        res = IterationLoop(kv_backend, cfg, sync_policy=sync_policy).run()
         ranks = np.array([res.state[u][0] for u in range(graph.num_nodes)])
     else:
         raise ValueError(f"path must be 'block' or 'kv', got {path!r}")

@@ -26,13 +26,15 @@ import numpy as np
 
 from repro.cluster import SimCluster
 from repro.core import (
+    AdaptiveSyncPolicy,
     AsyncMapReduceSpec,
+    BlockBackend,
     BlockSpec,
     DriverConfig,
+    EngineBackend,
+    IterationLoop,
     IterativeResult,
     LocalSolveReport,
-    run_iterative_block,
-    run_iterative_kv,
 )
 from repro.engine import MapReduceRuntime
 from repro.graph import DiGraph, Partition
@@ -308,16 +310,19 @@ def sssp(
     config: "DriverConfig | None" = None,
     path: str = "block",
     runtime: "MapReduceRuntime | None" = None,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
 ) -> SsspResult:
     """Single-source shortest distances, General or Eager formulation."""
     cfg = config if config is not None else DriverConfig(mode=mode)
     if path == "block":
         spec = SsspBlockSpec(graph, partition, source=source)
-        res = run_iterative_block(spec, cfg, cluster=cluster)
+        backend = BlockBackend(spec, cluster=cluster)
+        res = IterationLoop(backend, cfg, sync_policy=sync_policy).run()
         dist = np.asarray(res.state)
     elif path == "kv":
         kv_spec = SsspKVSpec(graph, partition, source=source)
-        res = run_iterative_kv(kv_spec, cfg, runtime=runtime)
+        kv_backend = EngineBackend(kv_spec, runtime=runtime)
+        res = IterationLoop(kv_backend, cfg, sync_policy=sync_policy).run()
         dist = np.array([res.state[u][0] for u in range(graph.num_nodes)])
     else:
         raise ValueError(f"path must be 'block' or 'kv', got {path!r}")

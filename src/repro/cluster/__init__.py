@@ -11,6 +11,7 @@ operation counts, byte counts, and task counts.
 """
 
 from repro.cluster.cluster import PhaseResult, SimCluster
+from repro.cluster.accountant import RoundAccountant
 from repro.cluster.costmodel import (
     CostModel,
     EC2_DEFAULTS,
@@ -32,6 +33,7 @@ from repro.cluster.trace import Event, Trace
 __all__ = [
     "SimCluster",
     "PhaseResult",
+    "RoundAccountant",
     "CostModel",
     "EC2_DEFAULTS",
     "HPC_DEFAULTS",

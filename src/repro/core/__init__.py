@@ -2,6 +2,11 @@
 
 Public surface:
 
+* :class:`~repro.core.loop.IterationLoop` — the single outer fixed-point
+  loop, parameterized by an :class:`~repro.core.loop.IterationBackend`
+  (engine / block / hierarchical) and an optional
+  :class:`~repro.core.loop.AdaptiveSyncPolicy`; the historical
+  ``run_iterative_*`` entry points are thin shims over it.
 * :class:`~repro.core.api.AsyncMapReduceSpec` — the §IV API
   (``lmap``/``lreduce``/``greduce`` + generated ``gmap``) running on the
   real MapReduce engine via :func:`~repro.core.driver.run_iterative_kv`.
@@ -25,12 +30,18 @@ from repro.core.convergence import (
     combine_any,
 )
 from repro.core.autotune import AutotuneReport, ProbeResult, autotune_partitions
-from repro.core.driver import (
+from repro.core.loop import (
+    AdaptiveSyncPolicy,
+    BlockBackend,
+    EngineBackend,
+    HierarchicalBackend,
+    IterationBackend,
+    IterationLoop,
     IterativeResult,
+    RoundOutcome,
     RoundRecord,
-    run_iterative_block,
-    run_iterative_kv,
 )
+from repro.core.driver import run_iterative_block, run_iterative_kv
 from repro.core.hierarchy import (
     HierarchyConfig,
     make_racks,
@@ -57,6 +68,13 @@ __all__ = [
     "UnchangedCriterion",
     "CentroidShiftCriterion",
     "combine_any",
+    "IterationLoop",
+    "IterationBackend",
+    "EngineBackend",
+    "BlockBackend",
+    "HierarchicalBackend",
+    "AdaptiveSyncPolicy",
+    "RoundOutcome",
     "IterativeResult",
     "RoundRecord",
     "run_iterative_kv",

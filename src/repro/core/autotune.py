@@ -25,7 +25,7 @@ from typing import Callable, Sequence
 from repro.cluster import SimCluster
 from repro.core.api import BlockSpec
 from repro.core.config import DriverConfig
-from repro.core.driver import run_iterative_block
+from repro.core.loop import BlockBackend, IterationLoop
 
 __all__ = ["ProbeResult", "AutotuneReport", "autotune_partitions"]
 
@@ -137,7 +137,8 @@ def autotune_partitions(
             state_store=base.state_store,
             checkpoint_every=base.checkpoint_every,
         )
-        res = run_iterative_block(spec, probe_cfg, cluster=cluster)
+        res = IterationLoop(BlockBackend(spec, cluster=cluster),
+                            probe_cfg).run()
         total_probe_time += res.sim_time
         per_round = res.sim_time / max(res.global_iters, 1)
         if res.converged:

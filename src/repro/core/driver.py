@@ -1,80 +1,43 @@
-"""The iterative driver: global iterations to convergence.
+"""Historical entry points for the iterative driver — now thin shims.
 
-This is the outer loop of the paper's two-level scheme.  Each global
-iteration runs every partition's gmap (local iterations inside), pays one
-global synchronization (shuffle + greduce + barrier + DFS round trip),
-and checks the global termination function.  The driver implements both
-of the paper's configurations:
+The outer fixed-point loop of the paper's two-level scheme lives in
+:mod:`repro.core.loop`: one :class:`~repro.core.loop.IterationLoop`
+(pre-iteration hook, local work, global combine, convergence check,
+:class:`~repro.core.loop.RoundRecord` history) parameterized by a
+pluggable :class:`~repro.core.loop.IterationBackend`, with all
+simulated-cluster charging flowing through the audited
+:class:`~repro.cluster.accountant.RoundAccountant`.
 
-* **general** — gmaps perform exactly one local step, so every update
-  crosses a global barrier (the competitive partition-input baseline of
-  §V-B.1);
-* **eager** — gmaps iterate to local convergence with eagerly scheduled
-  local iterations (§V-B.2), so global barriers are paid only when the
-  partitions have locally converged.
+This module keeps the original function signatures for existing callers
+and delegates:
 
-Two entry points share all accounting logic:
+* :func:`run_iterative_kv` -> :class:`~repro.core.loop.EngineBackend`
+  (record-at-a-time §IV API on the real MapReduce engine);
+* :func:`run_iterative_block` -> :class:`~repro.core.loop.BlockBackend`
+  (vectorised :class:`~repro.core.api.BlockSpec` path).
 
-* :func:`run_iterative_kv` executes the record-at-a-time API on the real
-  MapReduce engine (results are actually computed by lmap/lreduce/
-  greduce applications);
-* :func:`run_iterative_block` executes a vectorised
-  :class:`~repro.core.api.BlockSpec` and reproduces the same simulated-
-  time accounting from the reported op/byte counts.
+Both accept an optional ``sync_policy``
+(:class:`~repro.core.loop.AdaptiveSyncPolicy`) to retune the
+local-iteration budget per round.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
-
 from repro.cluster import SimCluster
-from repro.core.api import AsyncMapReduceSpec, BlockSpec, LocalSolveReport
+from repro.core.api import AsyncMapReduceSpec, BlockSpec
 from repro.core.config import DriverConfig
-from repro.core.gmap import GmapFunction, GreduceFunction, local_iter_counter
-from repro.engine import Job, JobConf, MapReduceRuntime
-from repro.engine.counters import SHUFFLE_BYTES
+from repro.core.loop import (
+    AdaptiveSyncPolicy,
+    BlockBackend,
+    EngineBackend,
+    IterationLoop,
+    IterativeResult,
+    RoundRecord,
+)
+from repro.engine import MapReduceRuntime
 
 __all__ = ["RoundRecord", "IterativeResult", "run_iterative_kv", "run_iterative_block"]
 
-
-@dataclass(frozen=True)
-class RoundRecord:
-    """Bookkeeping for one global iteration."""
-
-    iteration: int
-    residual: float
-    #: Local iterations per partition in this round.
-    local_iters: tuple
-    #: Simulated seconds this round added (0 when no cluster attached).
-    sim_seconds: float
-    #: Bytes shipped through this round's global shuffle.
-    shuffle_bytes: int
-
-
-@dataclass
-class IterativeResult:
-    """Outcome of an iterative partial-synchronization run."""
-
-    state: Any
-    global_iters: int
-    converged: bool
-    sim_time: float
-    history: list = field(default_factory=list)
-
-    @property
-    def total_local_iters(self) -> int:
-        """Sum of local iterations over all partitions and rounds."""
-        return int(sum(sum(r.local_iters) for r in self.history))
-
-    @property
-    def residuals(self) -> list:
-        return [r.residual for r in self.history]
-
-
-# ----------------------------------------------------------------------
-# Record-at-a-time path (real MapReduce engine)
-# ----------------------------------------------------------------------
 
 def run_iterative_kv(
     spec: AsyncMapReduceSpec,
@@ -83,89 +46,19 @@ def run_iterative_kv(
     runtime: "MapReduceRuntime | None" = None,
     num_reducers: int = 8,
     eager_reduce: bool = False,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
 ) -> IterativeResult:
     """Run the two-level scheme on the real engine until convergence.
 
-    One engine runtime — and therefore one persistent worker pool — is
-    reused across every global iteration, so an iterative run pays pool
-    start-up once instead of per phase per round.
-
-    Parameters
-    ----------
-    spec:
-        Application spec (lmap/lreduce/greduce + plumbing).
-    config:
-        Driver mode and iteration caps.
-    runtime:
-        Engine runtime; defaults to a serial runtime without a cluster
-        (owned by this call and closed on return — a caller-supplied
-        runtime is left open for reuse).  Attach a runtime with a
-        :class:`SimCluster` for simulated time.
-    num_reducers:
-        Reduce tasks per global iteration.
-    eager_reduce:
-        Run each global iteration's job through the engine's streaming
-        pipeline (see :class:`~repro.engine.JobConf`); identical results,
-        overlapped shuffle.
+    Shim over :class:`~repro.core.loop.IterationLoop` with an
+    :class:`~repro.core.loop.EngineBackend`; see those classes for the
+    parameter semantics (a default runtime is owned by the run and
+    closed on return; a caller-supplied one is left open for reuse).
     """
-    owns_runtime = runtime is None
-    rt = runtime if runtime is not None else MapReduceRuntime("serial")
-    state = spec.initial_state()
-    gmap_fn = GmapFunction(spec, config.effective_local_iters)
-    greduce_fn = GreduceFunction(spec)
-    history: list[RoundRecord] = []
-    converged = False
-    start_clock = rt.cluster.clock if rt.cluster is not None else 0.0
-    iters = 0
-    num_partitions = spec.num_partitions()
+    backend = EngineBackend(spec, runtime=runtime, num_reducers=num_reducers,
+                            eager_reduce=eager_reduce)
+    return IterationLoop(backend, config, sync_policy=sync_policy).run()
 
-    try:
-        for it in range(config.max_global_iters):
-            hooked = spec.on_global_iteration(it, state)
-            if hooked is not None:
-                state = hooked
-            splits = [
-                [(p, spec.partition_input(p, state))]
-                for p in range(num_partitions)
-            ]
-            job = Job(
-                map_fn=gmap_fn,
-                reduce_fn=greduce_fn,
-                conf=JobConf(num_reducers=num_reducers, name=f"iter{it}",
-                             eager_reduce=eager_reduce),
-            )
-            res = rt.run(job, splits)
-            new_state = spec.state_from_output(res.output, state)
-            done, residual = spec.global_converged(state, new_state)
-            iters = it + 1
-            if config.record_history:
-                history.append(RoundRecord(
-                    iteration=it,
-                    residual=residual,
-                    local_iters=tuple(
-                        res.counters.get(local_iter_counter(p))
-                        for p in range(num_partitions)
-                    ),
-                    sim_seconds=res.sim_time_total,
-                    shuffle_bytes=res.counters.get(SHUFFLE_BYTES),
-                ))
-            state = new_state
-            if done:
-                converged = True
-                break
-    finally:
-        if owns_runtime:
-            rt.close()
-
-    sim_time = (rt.cluster.clock - start_clock) if rt.cluster is not None else 0.0
-    return IterativeResult(state=state, global_iters=iters,
-                           converged=converged, sim_time=sim_time,
-                           history=history)
-
-
-# ----------------------------------------------------------------------
-# Vectorised block path (simulated cluster accounting)
-# ----------------------------------------------------------------------
 
 def run_iterative_block(
     spec: BlockSpec,
@@ -173,115 +66,15 @@ def run_iterative_block(
     *,
     cluster: "SimCluster | None" = None,
     num_reduce_tasks: "int | None" = None,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
 ) -> IterativeResult:
     """Run a vectorised :class:`BlockSpec` until global convergence.
 
-    When ``cluster`` is given, each global iteration charges: job
-    startup, the map phase (gmap task costs derived from reported
-    per-iteration op counts, honouring ``config.eager_schedule``), the
-    shuffle of reported boundary bytes, the reduce phase, the barrier,
-    and the inter-iteration DFS round trip.
+    Shim over :class:`~repro.core.loop.IterationLoop` with a
+    :class:`~repro.core.loop.BlockBackend`; when ``cluster`` is given,
+    every round charges through the audited
+    :class:`~repro.cluster.accountant.RoundAccountant` path.
     """
-    state = spec.init_state()
-    history: list[RoundRecord] = []
-    converged = False
-    iters = 0
-    start_clock = cluster.clock if cluster is not None else 0.0
-
-    for it in range(config.max_global_iters):
-        hooked = spec.on_global_iteration(it, state)
-        if hooked is not None:
-            state = hooked
-        reports: list[LocalSolveReport] = [
-            spec.local_solve(p, state, max_local_iters=config.effective_local_iters)
-            for p in range(spec.num_partitions())
-        ]
-        round_start = cluster.clock if cluster is not None else 0.0
-        shuffle_total = int(sum(r.shuffle_bytes for r in reports))
-        if cluster is not None:
-            _charge_map_phase(cluster, reports, config, label=f"iter{it}")
-            cluster.charge_shuffle(shuffle_total, label=f"iter{it}:shuffle")
-
-        new_state, reduce_ops, extra_bytes = spec.global_combine(state, reports)
-        shuffle_total += int(extra_bytes)
-
-        if cluster is not None:
-            if extra_bytes:
-                cluster.charge_shuffle(int(extra_bytes), label=f"iter{it}:shuffle+")
-            r_tasks = num_reduce_tasks or cluster.total_reduce_slots
-            per_task = cluster.cost_model.reduce_compute_seconds(reduce_ops) / r_tasks
-            cluster.run_reduce_phase([per_task] * r_tasks, label=f"iter{it}:reduce")
-            cluster.charge_barrier(label=f"iter{it}:barrier")
-            state_bytes = spec.state_nbytes(new_state)
-            cluster.charge_state_roundtrip(state_bytes,
-                                           store=config.state_store,
-                                           label=f"iter{it}:state")
-            if (config.state_store == "online" and config.checkpoint_every
-                    and (it + 1) % config.checkpoint_every == 0):
-                # Periodic durability checkpoint: full replicated DFS
-                # write of the state (§VIII's fault-tolerance caveat).
-                cluster.charge_fixed(
-                    f"iter{it}:checkpoint",
-                    cluster.cost_model.dfs_write_seconds(state_bytes))
-
-        done, residual = spec.global_converged(state, new_state)
-        iters = it + 1
-        if config.record_history:
-            history.append(RoundRecord(
-                iteration=it,
-                residual=residual,
-                local_iters=tuple(r.local_iters for r in reports),
-                sim_seconds=(cluster.clock - round_start) if cluster is not None else 0.0,
-                shuffle_bytes=shuffle_total,
-            ))
-        state = new_state
-        if done:
-            converged = True
-            break
-
-    sim_time = (cluster.clock - start_clock) if cluster is not None else 0.0
-    return IterativeResult(state=state, global_iters=iters,
-                           converged=converged, sim_time=sim_time,
-                           history=history)
-
-
-def _charge_map_phase(cluster: SimCluster, reports: "list[LocalSolveReport]",
-                      config: DriverConfig, *, label: str) -> None:
-    """Charge one global iteration's gmap work onto the cluster.
-
-    Rates: the *first* local iteration of each gmap is the actual map
-    invocation over freshly-read input and is charged at the per-record
-    map rate; subsequent local iterations run over the in-memory
-    hashtable (§V-A) and are charged at the cheaper local rate (or at
-    the map rate under the pessimistic ``charge_local_ops_at="map"``
-    ablation setting).
-
-    Eager scheduling (the paper's setting) makes each gmap a single
-    schedulable task whose cost is the *sum* of its local iterations —
-    partitions proceed independently, smoothing load imbalance.  With
-    eager scheduling off, local iterations run in lockstep: local round
-    ``l`` across all partitions is one scheduled phase (dispatch paid per
-    partition per round), and rounds are summed — which is strictly
-    slower, as the ablation bench demonstrates.
-    """
-    cm = cluster.cost_model
-    local_rate = (cm.map_compute_seconds if config.charge_local_ops_at == "map"
-                  else cm.local_compute_seconds)
-
-    def task_cost(ops: list, lo: int, hi: int) -> float:
-        total = 0.0
-        for l in range(lo, min(hi, len(ops))):
-            total += cm.map_compute_seconds(ops[l]) if l == 0 \
-                else local_rate(ops[l])
-        return total
-
-    cluster.charge_job_startup(label=f"{label}:startup")
-    if config.eager_schedule or config.mode == "general":
-        costs = [task_cost(r.per_iter_ops, 0, r.local_iters) for r in reports]
-        cluster.run_map_phase(costs, label=f"{label}:map")
-        return
-    max_rounds = max((r.local_iters for r in reports), default=0)
-    for l in range(max_rounds):
-        costs = [task_cost(r.per_iter_ops, l, l + 1)
-                 for r in reports if l < r.local_iters]
-        cluster.run_map_phase(costs, label=f"{label}:map.l{l}")
+    backend = BlockBackend(spec, cluster=cluster,
+                           num_reduce_tasks=num_reduce_tasks)
+    return IterationLoop(backend, config, sync_policy=sync_policy).run()

@@ -5,16 +5,21 @@
     configuration of the system into account, one may support a
     hierarchy of synchronizations."
 
-This module adds the third level the paper sketches: *rack-level*
-synchronization between the node-local and the global one.  Partitions
-are grouped into racks; during one global iteration each rack runs
-``inner_rounds`` rounds of partition solves + **rack-local combines**
-(cheap: intra-rack network, no job startup) before the single expensive
-global synchronization merges everything.
+This module keeps the rack-level configuration
+(:class:`HierarchyConfig`), the rack grouping helper
+(:func:`make_racks`), and the historical entry point
+:func:`run_iterative_hierarchical` — now a thin shim over the unified
+iteration core's :class:`~repro.core.loop.HierarchicalBackend`, which
+composes the block backend: the first inner round of local solves is
+the global job's map phase, each additional inner round is a cheap
+rack-local synchronization, and the final global synchronization
+charges through exactly the same audited
+:class:`~repro.cluster.accountant.RoundAccountant` path as the plain
+block driver (so ``inner_rounds=1`` matches it charge for charge).
 
 The scheme requires each partition's updates to own a disjoint slice of
 the state (``BlockSpec.partition_scoped_state``), which holds for the
-node-partitioned graph applications; the driver rejects other specs.
+node-partitioned graph applications; the backend rejects other specs.
 Because each rack's inner combines touch only its own partitions' state
 slices against frozen remote values, the fixed point is unchanged —
 this is two nested block-Jacobi levels.
@@ -26,10 +31,14 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cluster import SimCluster
-from repro.core.api import BlockSpec, LocalSolveReport
+from repro.core.api import BlockSpec
 from repro.core.config import DriverConfig
-from repro.core.driver import IterativeResult, RoundRecord
-from repro.engine.scheduler import lpt_schedule
+from repro.core.loop import (
+    AdaptiveSyncPolicy,
+    HierarchicalBackend,
+    IterationLoop,
+    IterativeResult,
+)
 
 __all__ = ["HierarchyConfig", "make_racks", "run_iterative_hierarchical"]
 
@@ -42,8 +51,8 @@ class HierarchyConfig:
     ----------
     inner_rounds:
         Rack-local synchronization rounds per global iteration (1 makes
-        the scheme identical to the plain two-level eager driver, up to
-        the rack-sync charges).
+        the scheme identical to the plain two-level eager driver —
+        including, post-unification, its exact cluster charges).
     rack_startup_seconds:
         Fixed cost of one rack-level synchronization (intra-rack barrier
         + scheduling); far below a global job startup.
@@ -66,12 +75,17 @@ class HierarchyConfig:
 
 
 def make_racks(num_partitions: int, num_racks: int) -> "list[list[int]]":
-    """Group partition ids into ``num_racks`` contiguous racks.
+    """Group partition ids into at most ``num_racks`` contiguous racks.
 
     The multilevel partitioner assigns part ids hierarchically (recursive
     bisection: a contiguous id range is a subtree of the bisection tree),
     so contiguous racks maximise intra-rack topological locality — the
     "taking the configuration of the system into account" step of §VIII.
+
+    When ``num_racks > num_partitions`` the rack count is *clamped* to
+    ``num_partitions`` (one partition per rack; a rack cannot be empty),
+    so the returned list may be shorter than requested — callers sizing
+    per-rack resources should use ``len(result)``, not ``num_racks``.
     """
     if num_racks < 1:
         raise ValueError("num_racks must be >= 1")
@@ -89,122 +103,16 @@ def run_iterative_hierarchical(
     *,
     hierarchy: "HierarchyConfig | None" = None,
     cluster: "SimCluster | None" = None,
+    num_reduce_tasks: "int | None" = None,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
 ) -> IterativeResult:
     """Run the three-level scheme (local / rack / global) to convergence.
 
-    Per global iteration: every rack independently performs
-    ``hierarchy.inner_rounds`` rounds of {local solves for its
-    partitions, rack-local combine against frozen remote state}; racks
-    proceed concurrently (the charged time is the slowest rack); then
-    one global synchronization merges all racks' final partition updates
-    and the global termination function is checked.
+    Shim over :class:`~repro.core.loop.IterationLoop` with a
+    :class:`~repro.core.loop.HierarchicalBackend`; see that class for
+    the per-round structure and charging.
     """
-    if not spec.partition_scoped_state:
-        raise ValueError(
-            "hierarchical synchronization requires a spec with "
-            "partition-scoped state (see BlockSpec.partition_scoped_state)"
-        )
-    hcfg = hierarchy if hierarchy is not None else HierarchyConfig()
-    all_parts = sorted(p for rack in racks for p in rack)
-    if all_parts != list(range(spec.num_partitions())):
-        raise ValueError("racks must cover every partition exactly once")
-
-    state = spec.init_state()
-    history: "list[RoundRecord]" = []
-    converged = False
-    iters = 0
-    start_clock = cluster.clock if cluster is not None else 0.0
-
-    for it in range(config.max_global_iters):
-        hooked = spec.on_global_iteration(it, state)
-        if hooked is not None:
-            state = hooked
-        round_start = cluster.clock if cluster is not None else 0.0
-        if cluster is not None:
-            cluster.charge_job_startup(label=f"hiter{it}:startup")
-
-        final_reports: "list[LocalSolveReport]" = []
-        rack_times: "list[float]" = []
-        total_local_iters: "list[int]" = [0] * spec.num_partitions()
-        for rack in racks:
-            rack_state = state
-            rack_time = 0.0
-            reports: "list[LocalSolveReport]" = []
-            for _ in range(hcfg.inner_rounds):
-                reports = [
-                    spec.local_solve(p, rack_state,
-                                     max_local_iters=config.effective_local_iters)
-                    for p in rack
-                ]
-                for r in reports:
-                    total_local_iters[r.partition] += r.local_iters
-                rack_state, _, _ = spec.global_combine(rack_state, reports)
-                if cluster is not None:
-                    rack_time += _rack_round_seconds(
-                        cluster, reports, config, hcfg, len(racks))
-            final_reports.extend(reports)
-            rack_times.append(rack_time)
-
-        shuffle_total = int(sum(r.shuffle_bytes for r in final_reports))
-        if cluster is not None:
-            # Racks run concurrently: the phase costs the slowest rack.
-            cluster.charge_fixed(f"hiter{it}:racks", max(rack_times, default=0.0))
-            cluster.charge_shuffle(shuffle_total, label=f"hiter{it}:shuffle")
-
-        new_state, reduce_ops, extra_bytes = spec.global_combine(
-            state, final_reports)
-        if cluster is not None:
-            r_tasks = cluster.total_reduce_slots
-            per_task = cluster.cost_model.reduce_compute_seconds(reduce_ops) / r_tasks
-            cluster.run_reduce_phase([per_task] * r_tasks,
-                                     label=f"hiter{it}:reduce")
-            cluster.charge_barrier(label=f"hiter{it}:barrier")
-            cluster.charge_state_roundtrip(spec.state_nbytes(new_state),
-                                           store=config.state_store,
-                                           label=f"hiter{it}:state")
-
-        done, residual = spec.global_converged(state, new_state)
-        iters = it + 1
-        if config.record_history:
-            history.append(RoundRecord(
-                iteration=it,
-                residual=residual,
-                local_iters=tuple(total_local_iters),
-                sim_seconds=(cluster.clock - round_start) if cluster is not None else 0.0,
-                shuffle_bytes=shuffle_total + int(extra_bytes),
-            ))
-        state = new_state
-        if done:
-            converged = True
-            break
-
-    sim_time = (cluster.clock - start_clock) if cluster is not None else 0.0
-    return IterativeResult(state=state, global_iters=iters,
-                           converged=converged, sim_time=sim_time,
-                           history=history)
-
-
-def _rack_round_seconds(cluster: SimCluster, reports: "list[LocalSolveReport]",
-                        config: DriverConfig, hcfg: HierarchyConfig,
-                        num_racks: int) -> float:
-    """Simulated seconds of one rack-local round (not charged directly;
-    racks are concurrent so the caller charges the slowest rack)."""
-    cm = cluster.cost_model
-    local_rate = (cm.map_compute_seconds if config.charge_local_ops_at == "map"
-                  else cm.local_compute_seconds)
-
-    def cost(r: LocalSolveReport) -> float:
-        total = 0.0
-        for l, ops in enumerate(r.per_iter_ops):
-            total += cm.map_compute_seconds(ops) if l == 0 else local_rate(ops)
-        return total + cm.task_dispatch_seconds
-
-    # Racks partition the machines and run concurrently, so one rack's
-    # compute is scheduled on its share of the nodes.
-    share = max(1, len(cluster.nodes) // max(1, num_racks))
-    rack_nodes = cluster.nodes[:share]
-    makespan = lpt_schedule([cost(r) for r in reports], rack_nodes).makespan
-    rack_shuffle = sum(r.shuffle_bytes for r in reports)
-    sync = hcfg.rack_startup_seconds + rack_shuffle / (
-        cm.shuffle_bandwidth_bps * hcfg.rack_shuffle_speedup)
-    return makespan + sync
+    backend = HierarchicalBackend(spec, racks, hierarchy=hierarchy,
+                                  cluster=cluster,
+                                  num_reduce_tasks=num_reduce_tasks)
+    return IterationLoop(backend, config, sync_policy=sync_policy).run()

@@ -1,0 +1,569 @@
+"""The unified iteration core: one driver loop, pluggable sync backends.
+
+The paper's whole contribution is a family of synchronization
+disciplines over the *same* iterative fixed-point loop.  This module
+owns that loop exactly once: :class:`IterationLoop` runs
+
+    pre-iteration hook -> local work -> global combine ->
+    convergence check -> :class:`RoundRecord` history
+
+to convergence, parameterized by an :class:`IterationBackend` that
+says *how* one global round executes and synchronizes:
+
+* :class:`EngineBackend` — the record-at-a-time §IV API
+  (:class:`~repro.core.api.AsyncMapReduceSpec`) on the real MapReduce
+  engine; one global iteration is one engine job.
+* :class:`BlockBackend` — the vectorised
+  :class:`~repro.core.api.BlockSpec` path; iterates are computed by
+  NumPy local solves and simulated time is charged from the reported
+  op/byte counts.
+* :class:`HierarchicalBackend` — §VIII's rack level, composing
+  :class:`BlockBackend`: extra rack-local synchronization rounds run
+  between the map phase and the global synchronization.
+
+All simulated-cluster charging flows through one audited
+:class:`~repro.cluster.accountant.RoundAccountant`, so the backends
+cannot drift apart in what they charge (the pre-unification hierarchy
+driver silently skipped the block path's periodic checkpoint and the
+``extra_bytes`` shuffle — impossible by construction now).
+
+The loop's synchronization budget is a per-round quantity, which opens
+a seam the old triplicated drivers made impractical:
+:class:`AdaptiveSyncPolicy` retunes ``max_local_iters`` every round
+from the observed residual contraction.
+
+The historical entry points ``run_iterative_kv``, ``run_iterative_block``
+and ``run_iterative_hierarchical`` survive as thin shims over this
+module (see :mod:`repro.core.driver` and :mod:`repro.core.hierarchy`).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster.accountant import RoundAccountant
+from repro.core.api import AsyncMapReduceSpec, BlockSpec, LocalSolveReport
+from repro.core.config import DriverConfig
+from repro.core.gmap import GmapFunction, GreduceFunction, local_iter_counter
+from repro.engine import Job, JobConf, MapReduceRuntime
+from repro.engine.counters import SHUFFLE_BYTES
+
+__all__ = [
+    "RoundRecord",
+    "IterativeResult",
+    "RoundOutcome",
+    "IterationBackend",
+    "EngineBackend",
+    "BlockBackend",
+    "HierarchicalBackend",
+    "AdaptiveSyncPolicy",
+    "IterationLoop",
+]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Bookkeeping for one global iteration."""
+
+    iteration: int
+    residual: float
+    #: Local iterations per partition in this round.
+    local_iters: tuple
+    #: Simulated seconds this round added (0 when no cluster attached).
+    sim_seconds: float
+    #: Bytes shipped through this round's global shuffle.
+    shuffle_bytes: int
+
+
+@dataclass
+class IterativeResult:
+    """Outcome of an iterative partial-synchronization run."""
+
+    state: Any
+    global_iters: int
+    converged: bool
+    sim_time: float
+    history: list = field(default_factory=list)
+
+    @property
+    def total_local_iters(self) -> int:
+        """Sum of local iterations over all partitions and rounds."""
+        return int(sum(sum(r.local_iters) for r in self.history))
+
+    @property
+    def residuals(self) -> list:
+        return [r.residual for r in self.history]
+
+
+@dataclass
+class RoundOutcome:
+    """What one backend round hands back to the loop."""
+
+    #: The state after this round's global combine.
+    state: Any
+    #: Local iterations per partition (summed over inner rounds).
+    local_iters: tuple
+    #: Bytes shipped through this round's global shuffle (combine
+    #: ``extra_bytes`` included).
+    shuffle_bytes: int
+
+
+# ----------------------------------------------------------------------
+# Backend protocol
+# ----------------------------------------------------------------------
+
+class IterationBackend(abc.ABC):
+    """How one global round executes and synchronizes.
+
+    The loop calls :meth:`bind` once before the first round, then per
+    round: the spec's pre-iteration hook, :meth:`run_round`, and
+    :meth:`global_converged`.  :meth:`close` runs exactly once when the
+    loop finishes (normally or not).
+    """
+
+    #: Set by :meth:`bind`; every simulated charge goes through it.
+    accountant: RoundAccountant
+
+    def bind(self, config: DriverConfig) -> None:
+        """Attach the run's configuration and build the accountant."""
+        self.config = config
+        self.accountant = RoundAccountant(self.cluster, config)
+
+    @property
+    def cluster(self):
+        """The attached :class:`~repro.cluster.SimCluster` (or None)."""
+        return None
+
+    @abc.abstractmethod
+    def initial_state(self) -> Any:
+        """Global state before the first iteration."""
+
+    @abc.abstractmethod
+    def num_partitions(self) -> int:
+        """Number of partitions (global map tasks per iteration)."""
+
+    @abc.abstractmethod
+    def on_global_iteration(self, iteration: int, state: Any) -> Any:
+        """The spec's pre-iteration hook; may return a replacement state."""
+
+    @abc.abstractmethod
+    def run_round(self, iteration: int, state: Any, *,
+                  max_local_iters: int) -> RoundOutcome:
+        """Execute one global round: local work, global combine, and all
+        simulated charging (through :attr:`accountant`)."""
+
+    @abc.abstractmethod
+    def global_converged(self, prev_state: Any,
+                         curr_state: Any) -> "tuple[bool, float]":
+        """Global termination; returns (converged, residual)."""
+
+    def close(self) -> None:
+        """Release resources the backend owns (default: nothing)."""
+
+
+# ----------------------------------------------------------------------
+# Record-at-a-time backend (real MapReduce engine)
+# ----------------------------------------------------------------------
+
+class EngineBackend(IterationBackend):
+    """One global iteration = one job on the real MapReduce engine.
+
+    One engine runtime — and therefore one persistent worker pool — is
+    reused across every global iteration, so an iterative run pays pool
+    start-up once instead of per phase per round.
+
+    Parameters
+    ----------
+    spec:
+        Application spec (lmap/lreduce/greduce + plumbing).
+    runtime:
+        Engine runtime; defaults to a serial runtime without a cluster
+        (owned by this backend and closed when the loop finishes — a
+        caller-supplied runtime is left open for reuse).  Attach a
+        runtime with a :class:`~repro.cluster.SimCluster` for simulated
+        time.
+    num_reducers:
+        Reduce tasks per global iteration.
+    eager_reduce:
+        Run each global iteration's job through the engine's streaming
+        pipeline (see :class:`~repro.engine.JobConf`); identical
+        results, overlapped shuffle.
+    """
+
+    def __init__(self, spec: AsyncMapReduceSpec, *,
+                 runtime: "MapReduceRuntime | None" = None,
+                 num_reducers: int = 8, eager_reduce: bool = False) -> None:
+        self.spec = spec
+        self.owns_runtime = runtime is None
+        self.runtime = runtime if runtime is not None else MapReduceRuntime("serial")
+        self.num_reducers = num_reducers
+        self.eager_reduce = eager_reduce
+        self._greduce = GreduceFunction(spec)
+        self._parts = spec.num_partitions()
+
+    @property
+    def cluster(self):
+        return self.runtime.cluster
+
+    def initial_state(self) -> Any:
+        return self.spec.initial_state()
+
+    def num_partitions(self) -> int:
+        return self._parts
+
+    def on_global_iteration(self, iteration: int, state: Any) -> Any:
+        return self.spec.on_global_iteration(iteration, state)
+
+    def global_converged(self, prev_state, curr_state):
+        return self.spec.global_converged(prev_state, curr_state)
+
+    def run_round(self, iteration: int, state: Any, *,
+                  max_local_iters: int) -> RoundOutcome:
+        spec = self.spec
+        splits = [
+            [(p, spec.partition_input(p, state))] for p in range(self._parts)
+        ]
+        job = Job(
+            map_fn=GmapFunction(spec, max_local_iters),
+            reduce_fn=self._greduce,
+            conf=JobConf(num_reducers=self.num_reducers,
+                         name=f"iter{iteration}",
+                         eager_reduce=self.eager_reduce),
+        )
+        res = self.runtime.run(job, splits)
+        return RoundOutcome(
+            state=spec.state_from_output(res.output, state),
+            local_iters=tuple(
+                res.counters.get(local_iter_counter(p))
+                for p in range(self._parts)
+            ),
+            shuffle_bytes=res.counters.get(SHUFFLE_BYTES),
+        )
+
+    def close(self) -> None:
+        if self.owns_runtime:
+            self.runtime.close()
+
+
+# ----------------------------------------------------------------------
+# Vectorised block backend (simulated cluster accounting)
+# ----------------------------------------------------------------------
+
+class BlockBackend(IterationBackend):
+    """One global iteration = local solves + combine on a :class:`BlockSpec`.
+
+    When a cluster is attached, each round charges: job startup, the map
+    phase (gmap task costs from reported per-iteration op counts,
+    honouring ``config.eager_schedule``), the shuffle of reported
+    boundary bytes, the combine's ``extra_bytes`` shuffle, the reduce
+    phase, the barrier, the inter-iteration state round trip, and the
+    online store's periodic checkpoint — all through the accountant.
+    """
+
+    def __init__(self, spec: BlockSpec, *, cluster=None,
+                 num_reduce_tasks: "int | None" = None) -> None:
+        self.spec = spec
+        self._cluster = cluster
+        self.num_reduce_tasks = num_reduce_tasks
+
+    @property
+    def cluster(self):
+        return self._cluster
+
+    def initial_state(self) -> Any:
+        return self.spec.init_state()
+
+    def num_partitions(self) -> int:
+        return self.spec.num_partitions()
+
+    def on_global_iteration(self, iteration: int, state: Any) -> Any:
+        return self.spec.on_global_iteration(iteration, state)
+
+    def global_converged(self, prev_state, curr_state):
+        return self.spec.global_converged(prev_state, curr_state)
+
+    def run_round(self, iteration: int, state: Any, *,
+                  max_local_iters: int) -> RoundOutcome:
+        spec = self.spec
+        reports = [
+            spec.local_solve(p, state, max_local_iters=max_local_iters)
+            for p in range(spec.num_partitions())
+        ]
+        self.accountant.charge_map_phase(reports, label=f"iter{iteration}")
+        return self._finish_round(iteration, state, reports,
+                                  tuple(r.local_iters for r in reports))
+
+    def _finish_round(self, iteration: int, state: Any,
+                      final_reports: "list[LocalSolveReport]",
+                      local_iters: tuple) -> RoundOutcome:
+        """The global synchronization tail every round ends with: the
+        reports' shuffle, the global combine, its ``extra_bytes``
+        shuffle, reduce, barrier, state round trip, and the periodic
+        checkpoint.  Shared with the hierarchical backend so the two
+        cannot drift apart in what they charge."""
+        spec = self.spec
+        label = f"iter{iteration}"
+        shuffle_total = int(sum(r.shuffle_bytes for r in final_reports))
+        self.accountant.charge_shuffle(shuffle_total, label=f"{label}:shuffle")
+        new_state, reduce_ops, extra_bytes = spec.global_combine(
+            state, final_reports)
+        shuffle_total += int(extra_bytes)
+        if self.accountant.active:
+            self.accountant.charge_global_sync(
+                iteration=iteration,
+                extra_bytes=int(extra_bytes),
+                reduce_ops=reduce_ops,
+                state_bytes=spec.state_nbytes(new_state),
+                num_reduce_tasks=self.num_reduce_tasks,
+                label=label,
+            )
+        return RoundOutcome(
+            state=new_state,
+            local_iters=local_iters,
+            shuffle_bytes=shuffle_total,
+        )
+
+
+# ----------------------------------------------------------------------
+# Hierarchical backend (§VIII rack level, composing BlockBackend)
+# ----------------------------------------------------------------------
+
+class HierarchicalBackend(BlockBackend):
+    """Three-level scheme: local / rack / global synchronization.
+
+    Per global iteration: the first inner round of local solves *is* the
+    global job's map phase; each additional inner round is a rack-local
+    synchronization (cheap: intra-rack network, no job startup) followed
+    by fresh solves against the rack-combined state, with racks
+    proceeding concurrently (the charged time is the slowest rack).  The
+    single expensive global synchronization then merges the final
+    reports — charged by the exact same accountant path as
+    :class:`BlockBackend`, so ``inner_rounds=1`` is *identical* to the
+    plain eager block driver, charge for charge.
+
+    The scheme requires each partition's updates to own a disjoint slice
+    of the state (``BlockSpec.partition_scoped_state``); the backend
+    rejects other specs.
+    """
+
+    def __init__(self, spec: BlockSpec, racks: "Sequence[Sequence[int]]", *,
+                 hierarchy=None, cluster=None,
+                 num_reduce_tasks: "int | None" = None) -> None:
+        from repro.core.hierarchy import HierarchyConfig
+
+        super().__init__(spec, cluster=cluster,
+                         num_reduce_tasks=num_reduce_tasks)
+        if not spec.partition_scoped_state:
+            raise ValueError(
+                "hierarchical synchronization requires a spec with "
+                "partition-scoped state (see BlockSpec.partition_scoped_state)"
+            )
+        self.racks = [list(rack) for rack in racks]
+        all_parts = sorted(p for rack in self.racks for p in rack)
+        if all_parts != list(range(spec.num_partitions())):
+            raise ValueError("racks must cover every partition exactly once")
+        self.hierarchy = hierarchy if hierarchy is not None else HierarchyConfig()
+
+    def run_round(self, iteration: int, state: Any, *,
+                  max_local_iters: int) -> RoundOutcome:
+        spec, hcfg, acct = self.spec, self.hierarchy, self.accountant
+        label = f"iter{iteration}"
+        total_local = [0] * spec.num_partitions()
+
+        def solve(rack: "list[int]", from_state) -> "list[LocalSolveReport]":
+            reports = [
+                spec.local_solve(p, from_state,
+                                 max_local_iters=max_local_iters)
+                for p in rack
+            ]
+            for r in reports:
+                total_local[r.partition] += r.local_iters
+            return reports
+
+        # Inner round 1: the global job's map phase over every partition.
+        reports_by_rack = [solve(rack, state) for rack in self.racks]
+        acct.charge_map_phase([r for rs in reports_by_rack for r in rs],
+                              label=label)
+
+        # Inner rounds 2..n: rack-local combine + fresh solves, racks
+        # concurrent on their share of the machines.
+        if hcfg.inner_rounds > 1:
+            rack_states: "list[Any]" = [state] * len(self.racks)
+            rack_times = [0.0] * len(self.racks)
+            for _ in range(hcfg.inner_rounds - 1):
+                for i, rack in enumerate(self.racks):
+                    prev = reports_by_rack[i]
+                    rack_states[i], _, _ = spec.global_combine(
+                        rack_states[i], prev)
+                    reports_by_rack[i] = solve(rack, rack_states[i])
+                    rack_times[i] += acct.rack_round_seconds(
+                        prev, reports_by_rack[i],
+                        rack_startup_seconds=hcfg.rack_startup_seconds,
+                        rack_shuffle_speedup=hcfg.rack_shuffle_speedup,
+                        num_racks=len(self.racks))
+            acct.charge_rack_phase(rack_times, label=f"{label}:racks")
+
+        final_reports = [r for rs in reports_by_rack for r in rs]
+        return self._finish_round(iteration, state, final_reports,
+                                  tuple(total_local))
+
+
+# ----------------------------------------------------------------------
+# Adaptive synchronization policy
+# ----------------------------------------------------------------------
+
+@dataclass
+class AdaptiveSyncPolicy:
+    """Retunes the per-round local-iteration budget from round feedback.
+
+    The paper fixes ``max_local_iters`` for a whole run; with one loop
+    and per-round budgets, the tradeoff can be steered online instead.
+    The policy starts shallow (cheap early rounds, when local solves
+    against far-from-converged remote state are mostly wasted) and
+    *grows* the budget whenever a round was budget-limited — some
+    partition spent its whole budget without reaching local convergence,
+    so the expensive global synchronization fired earlier than the
+    partial-sync discipline wanted.  When the global residual contracts
+    very fast (ratio below ``fast_contraction``), deep local solves are
+    over-solving against stale remote state, and the budget *shrinks*.
+    Budgets are always clamped to ``[1, config.effective_local_iters]``
+    (so the general baseline stays exactly one local step).
+
+    A policy instance is stateful per run; :class:`IterationLoop` resets
+    it at the start of each run and appends the budget actually used
+    each round to :attr:`budgets` for inspection.
+    """
+
+    initial_budget: int = 4
+    grow: float = 2.0
+    shrink: float = 0.5
+    fast_contraction: float = 0.05
+    #: Budget handed to the backend each round (filled during a run).
+    budgets: "list[int]" = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.initial_budget < 1:
+            raise ValueError("initial_budget must be >= 1")
+        if self.grow <= 1.0:
+            raise ValueError("grow must be > 1")
+        if not 0.0 < self.shrink < 1.0:
+            raise ValueError("shrink must be in (0, 1)")
+        if not 0.0 < self.fast_contraction < 1.0:
+            raise ValueError("fast_contraction must be in (0, 1)")
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all observations (called by the loop per run)."""
+        self._budget = int(self.initial_budget)
+        self._prev_residual: "float | None" = None
+        self.budgets = []
+
+    def budget(self) -> int:
+        """The local-iteration budget to use for the next round."""
+        return self._budget
+
+    def observe(self, residual: float, *, local_iters: tuple,
+                budget: int) -> None:
+        """Feed one round's outcome back into the policy."""
+        prev = self._prev_residual
+        contraction = None
+        if (prev is not None and prev > 0 and math.isfinite(prev)
+                and math.isfinite(residual)):
+            contraction = residual / prev
+        # Adjust from the budget actually used (already clamped by the
+        # loop), so the internal budget never runs away past the cap and
+        # a shrink engages immediately after sustained growth.
+        budget_limited = bool(local_iters) and max(local_iters) >= budget
+        if contraction is not None and contraction < self.fast_contraction:
+            self._budget = max(1, int(budget * self.shrink))
+        elif budget_limited:
+            self._budget = max(1, math.ceil(budget * self.grow))
+        else:
+            self._budget = budget
+        self._prev_residual = residual
+
+
+# ----------------------------------------------------------------------
+# The loop
+# ----------------------------------------------------------------------
+
+class IterationLoop:
+    """The single outer fixed-point loop every driver runs through.
+
+    Owns the round structure (hook, local work, combine, convergence,
+    history) and the round accounting; the backend owns the execution
+    substrate and the synchronization discipline.
+
+    Parameters
+    ----------
+    backend:
+        How one global round executes (engine / block / hierarchical).
+    config:
+        Driver mode and iteration caps.
+    sync_policy:
+        Optional :class:`AdaptiveSyncPolicy` retuning the local-iteration
+        budget per round; ``None`` uses the fixed
+        ``config.effective_local_iters`` (the paper's behaviour).
+    """
+
+    def __init__(self, backend: IterationBackend, config: DriverConfig, *,
+                 sync_policy: "AdaptiveSyncPolicy | None" = None) -> None:
+        self.backend = backend
+        self.config = config
+        self.sync_policy = sync_policy
+
+    def _round_budget(self) -> int:
+        if self.sync_policy is None:
+            return self.config.effective_local_iters
+        budget = max(1, min(int(self.sync_policy.budget()),
+                            self.config.effective_local_iters))
+        self.sync_policy.budgets.append(budget)
+        return budget
+
+    def run(self) -> IterativeResult:
+        backend, config, policy = self.backend, self.config, self.sync_policy
+        backend.bind(config)
+        if policy is not None:
+            policy.reset()
+        state = backend.initial_state()
+        history: "list[RoundRecord]" = []
+        converged = False
+        iters = 0
+        start_clock = backend.accountant.clock
+        try:
+            for it in range(config.max_global_iters):
+                hooked = backend.on_global_iteration(it, state)
+                if hooked is not None:
+                    state = hooked
+                budget = self._round_budget()
+                round_start = backend.accountant.clock
+                outcome = backend.run_round(it, state, max_local_iters=budget)
+                done, residual = backend.global_converged(state, outcome.state)
+                iters = it + 1
+                if config.record_history:
+                    history.append(RoundRecord(
+                        iteration=it,
+                        residual=residual,
+                        local_iters=outcome.local_iters,
+                        sim_seconds=backend.accountant.clock - round_start,
+                        shuffle_bytes=outcome.shuffle_bytes,
+                    ))
+                if policy is not None:
+                    policy.observe(residual, local_iters=outcome.local_iters,
+                                   budget=budget)
+                state = outcome.state
+                if done:
+                    converged = True
+                    break
+        finally:
+            backend.close()
+        return IterativeResult(
+            state=state,
+            global_iters=iters,
+            converged=converged,
+            sim_time=backend.accountant.clock - start_clock,
+            history=history,
+        )

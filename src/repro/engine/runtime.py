@@ -372,33 +372,39 @@ class MapReduceRuntime:
     def _account(self, job: Job, map_results: "list[TaskResult]",
                  reduce_results: "list[TaskResult]", sbytes: int,
                  output: list) -> dict:
-        """Charge the simulated cluster for this job; returns the breakdown."""
+        """Charge the simulated cluster for this job; returns the breakdown.
+
+        All charges flow through the shared
+        :class:`~repro.cluster.accountant.RoundAccountant` — the same
+        audited path the iterative drivers use.
+        """
         if self.cluster is None:
             return {}
+        from repro.cluster.accountant import RoundAccountant
+
+        acct = RoundAccountant(self.cluster)
         cm = self.cluster.cost_model
         times: dict[str, float] = {}
-        times["startup"] = self.cluster.charge_job_startup(
+        times["startup"] = acct.charge_job_startup(
             label=f"{job.conf.name}:startup")
-        map_phase = self.cluster.run_map_phase(
+        times["map"] = acct.run_map_phase(
             [cm.map_compute_seconds(r.ops) for r in map_results],
             label=f"{job.conf.name}:map")
-        times["map"] = map_phase.makespan
         if job.conf.eager_reduce:
             # Streaming copy: the transfer rode along with the map phase;
             # only the residual past the map makespan extends the clock.
-            times["shuffle"] = self.cluster.charge_overlapped_shuffle(
-                sbytes, overlap_seconds=map_phase.makespan,
+            times["shuffle"] = acct.charge_overlapped_shuffle(
+                sbytes, overlap_seconds=times["map"],
                 label=f"{job.conf.name}:shuffle")
         else:
-            times["shuffle"] = self.cluster.charge_shuffle(
+            times["shuffle"] = acct.charge_shuffle(
                 sbytes, label=f"{job.conf.name}:shuffle")
-        reduce_phase = self.cluster.run_reduce_phase(
+        times["reduce"] = acct.run_reduce_phase(
             [cm.reduce_compute_seconds(r.ops) for r in reduce_results],
             label=f"{job.conf.name}:reduce")
-        times["reduce"] = reduce_phase.makespan
-        times["barrier"] = self.cluster.charge_barrier(
+        times["barrier"] = acct.charge_barrier(
             label=f"{job.conf.name}:barrier")
         out_bytes = shuffle_bytes([[output]])
-        times["dfs"] = self.cluster.charge_dfs_roundtrip(
+        times["dfs"] = acct.charge_dfs_roundtrip(
             out_bytes, label=f"{job.conf.name}:dfs")
         return times

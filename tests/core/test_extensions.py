@@ -40,6 +40,15 @@ class TestMakeRacks:
         racks = make_racks(2, 5)
         assert len(racks) == 2
 
+    def test_clamp_pins_one_partition_per_rack(self):
+        # num_racks > num_partitions clamps to num_partitions (documented
+        # in the make_racks docstring): no rack is ever empty, and the
+        # result is shorter than requested.
+        racks = make_racks(3, 10)
+        assert racks == [[0], [1], [2]]
+        assert all(rack for rack in racks)
+        assert len(make_racks(1, 7)) == 1
+
     def test_validation(self):
         with pytest.raises(ValueError):
             make_racks(0, 2)

@@ -1,0 +1,268 @@
+"""Tests for the unified iteration core (repro.core.loop).
+
+Covers the backend-equivalence guarantees the unification was built to
+provide: kv-vs-block round-record shape compatibility, the pinned
+charge-for-charge identity of hierarchy-with-``inner_rounds=1`` against
+the plain eager block driver (including the combine's ``extra_bytes``
+shuffle and the online store's periodic checkpoint, which the
+pre-unification hierarchical driver dropped), and the adaptive
+synchronization policy the single-loop seam enables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRankBlockSpec, PageRankKVSpec, pagerank_reference
+from repro.cluster import RoundAccountant, SimCluster
+from repro.core import (
+    AdaptiveSyncPolicy,
+    BlockBackend,
+    BlockSpec,
+    DriverConfig,
+    EngineBackend,
+    HierarchicalBackend,
+    HierarchyConfig,
+    IterationLoop,
+    LocalSolveReport,
+    make_racks,
+)
+from repro.engine import MapReduceRuntime
+from repro.graph import multilevel_partition, preferential_attachment
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = preferential_attachment(300, num_conn=3, locality_prob=0.92,
+                                community_mean=40, seed=7)
+    part = multilevel_partition(g, 4, seed=0)
+    return g, part
+
+
+class ScopedGeometricSpec(BlockSpec):
+    """Partition-scoped toy: each partition halves its slot toward 0.
+
+    ``global_combine`` reports nonzero ``extra_bytes`` so tests can pin
+    the combine-shuffle charge, and the state is partition-scoped so the
+    hierarchical backend accepts it.
+    """
+
+    partition_scoped_state = True
+
+    def __init__(self, *, parts: int = 4, tol: float = 1e-4,
+                 extra_bytes: int = 64) -> None:
+        self.parts = parts
+        self.tol = tol
+        self.extra_bytes = extra_bytes
+
+    def num_partitions(self):
+        return self.parts
+
+    def init_state(self):
+        return np.full(self.parts, 1.0)
+
+    def local_solve(self, part_id, state, *, max_local_iters):
+        x = float(state[part_id])
+        ops = []
+        iters = 0
+        while iters < max_local_iters:
+            nxt = x / 2
+            ops.append(4.0)
+            iters += 1
+            step = abs(nxt - x)
+            x = nxt
+            if step < self.tol:
+                break
+        return LocalSolveReport(partition=part_id, updates=x,
+                                local_iters=iters, per_iter_ops=ops,
+                                shuffle_bytes=8)
+
+    def global_combine(self, state, reports):
+        new = state.copy()
+        for r in reports:
+            new[r.partition] = r.updates
+        return new, 1.0, self.extra_bytes
+
+    def global_converged(self, prev, curr):
+        res = float(np.abs(curr - prev).max())
+        return res < self.tol, res
+
+
+class TestKvBlockEquivalence:
+    """Satellite: the same PageRank workload through EngineBackend and
+    BlockBackend produces shape-compatible round records."""
+
+    def test_round_record_shapes_match(self, workload):
+        g, part = workload
+        cfg = DriverConfig(mode="eager")
+        with MapReduceRuntime("serial", cluster=SimCluster()) as rt:
+            kv = IterationLoop(
+                EngineBackend(PageRankKVSpec(g, part), runtime=rt), cfg).run()
+        block = IterationLoop(
+            BlockBackend(PageRankBlockSpec(g, part), cluster=SimCluster()),
+            cfg).run()
+
+        assert kv.converged and block.converged
+        for res in (kv, block):
+            # one local-iteration count per partition, every round
+            assert all(len(r.local_iters) == part.k for r in res.history)
+            assert all(min(r.local_iters) >= 1 for r in res.history)
+            # every round ships data and costs simulated time
+            assert all(r.shuffle_bytes > 0 for r in res.history)
+            assert all(r.sim_seconds > 0 for r in res.history)
+            # the sim clock is monotone and accounted round by round
+            assert res.sim_time == pytest.approx(
+                sum(r.sim_seconds for r in res.history))
+
+    def test_same_fixed_point(self, workload):
+        g, part = workload
+        cfg = DriverConfig(mode="eager")
+        kv = IterationLoop(EngineBackend(PageRankKVSpec(g, part)), cfg).run()
+        block = IterationLoop(
+            BlockBackend(PageRankBlockSpec(g, part)), cfg).run()
+        ref = pagerank_reference(g)
+        kv_ranks = np.array([kv.state[u][0] for u in range(g.num_nodes)])
+        assert np.abs(kv_ranks - ref).max() < 1e-3
+        assert np.abs(np.asarray(block.state) - ref).max() < 1e-3
+
+
+class TestHierarchyBlockParity:
+    """Satellite: hierarchy with ``inner_rounds=1`` charges identically
+    to the plain eager block driver — including the ``extra_bytes``
+    shuffle and the online store's periodic checkpoint that the
+    pre-unification hierarchical driver silently dropped."""
+
+    CFG = DriverConfig(mode="eager", state_store="online", checkpoint_every=2)
+
+    def _run_pair(self, spec_factory, racks, config):
+        flat_cl, hier_cl = SimCluster(), SimCluster()
+        flat = IterationLoop(
+            BlockBackend(spec_factory(), cluster=flat_cl), config).run()
+        hier = IterationLoop(
+            HierarchicalBackend(spec_factory(), racks,
+                                hierarchy=HierarchyConfig(inner_rounds=1),
+                                cluster=hier_cl), config).run()
+        return flat, hier, flat_cl, hier_cl
+
+    def test_pinned_identical_charges_toy(self):
+        flat, hier, flat_cl, hier_cl = self._run_pair(
+            lambda: ScopedGeometricSpec(), make_racks(4, 2), self.CFG)
+        assert hier.global_iters == flat.global_iters
+        assert np.array_equal(np.asarray(hier.state), np.asarray(flat.state))
+        assert hier.sim_time == flat.sim_time
+        # phase-by-phase: same labels, same totals (extra-bytes shuffle
+        # and checkpoint events included)
+        assert hier_cl.trace.phases() == flat_cl.trace.phases()
+        assert any("shuffle+" in p for p in hier_cl.trace.phases())
+        assert any("checkpoint" in p for p in hier_cl.trace.phases())
+        # round-for-round history identity
+        assert [(r.sim_seconds, r.shuffle_bytes, r.local_iters)
+                for r in hier.history] == \
+               [(r.sim_seconds, r.shuffle_bytes, r.local_iters)
+                for r in flat.history]
+
+    def test_pinned_identical_charges_pagerank(self, workload):
+        g, part = workload
+        flat, hier, flat_cl, hier_cl = self._run_pair(
+            lambda: PageRankBlockSpec(g, part), make_racks(part.k, 2),
+            DriverConfig(mode="eager"))
+        assert hier.global_iters == flat.global_iters
+        assert hier.sim_time == flat.sim_time
+        assert hier_cl.trace.phases() == flat_cl.trace.phases()
+
+    def test_inner_rounds_add_rack_charges_only(self):
+        cfg = DriverConfig(mode="eager")
+        cl = SimCluster()
+        res = IterationLoop(
+            HierarchicalBackend(ScopedGeometricSpec(), make_racks(4, 2),
+                                hierarchy=HierarchyConfig(inner_rounds=3),
+                                cluster=cl), cfg).run()
+        assert res.converged
+        racks_phases = [p for p in cl.trace.phases() if p.endswith(":racks")]
+        assert racks_phases  # inner rounds 2..n were charged
+
+
+class TestAdaptiveSyncPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSyncPolicy(initial_budget=0)
+        with pytest.raises(ValueError):
+            AdaptiveSyncPolicy(grow=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveSyncPolicy(shrink=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveSyncPolicy(fast_contraction=1.0)
+
+    def test_same_fixed_point_and_adapts(self, workload):
+        g, part = workload
+        policy = AdaptiveSyncPolicy()
+        ada = IterationLoop(BlockBackend(PageRankBlockSpec(g, part)),
+                            DriverConfig(mode="eager"),
+                            sync_policy=policy).run()
+        assert ada.converged
+        assert np.abs(np.asarray(ada.state) - pagerank_reference(g)).max() < 1e-3
+        assert len(policy.budgets) == ada.global_iters
+        assert len(set(policy.budgets)) > 1  # the budget actually moved
+        assert all(1 <= b <= DriverConfig(mode="eager").max_local_iters
+                   for b in policy.budgets)
+
+    def test_general_mode_pins_budget_to_one(self):
+        policy = AdaptiveSyncPolicy(initial_budget=16)
+        res = IterationLoop(BlockBackend(ScopedGeometricSpec()),
+                            DriverConfig(mode="general"),
+                            sync_policy=policy).run()
+        assert res.converged
+        assert set(policy.budgets) == {1}
+        # identical to the plain general run
+        plain = IterationLoop(BlockBackend(ScopedGeometricSpec()),
+                              DriverConfig(mode="general")).run()
+        assert res.global_iters == plain.global_iters
+
+    def test_policy_reset_between_runs(self, workload):
+        g, part = workload
+        policy = AdaptiveSyncPolicy()
+        first = IterationLoop(BlockBackend(PageRankBlockSpec(g, part)),
+                              DriverConfig(mode="eager"),
+                              sync_policy=policy).run()
+        budgets_first = list(policy.budgets)
+        second = IterationLoop(BlockBackend(PageRankBlockSpec(g, part)),
+                               DriverConfig(mode="eager"),
+                               sync_policy=policy).run()
+        assert policy.budgets == budgets_first  # deterministic re-run
+        assert second.global_iters == first.global_iters
+
+
+class TestRoundAccountant:
+    def test_inactive_charges_are_noops(self):
+        acct = RoundAccountant(None, DriverConfig(mode="eager"))
+        assert not acct.active
+        assert acct.clock == 0.0
+        assert acct.charge_job_startup() == 0.0
+        assert acct.charge_shuffle(1 << 20) == 0.0
+        assert acct.charge_map_phase([], label="x") == 0.0
+        assert acct.charge_global_sync(iteration=0, extra_bytes=64,
+                                       reduce_ops=1.0, state_bytes=100,
+                                       label="x") == 0.0
+
+    def test_composites_require_config(self):
+        acct = RoundAccountant(SimCluster())
+        with pytest.raises(ValueError, match="DriverConfig"):
+            acct.charge_map_phase([], label="x")
+
+    def test_checkpoint_only_with_online_store(self):
+        def total(config):
+            cl = SimCluster()
+            acct = RoundAccountant(cl, config)
+            for it in range(4):
+                acct.charge_global_sync(iteration=it, extra_bytes=0,
+                                        reduce_ops=100.0, state_bytes=1 << 16,
+                                        label=f"iter{it}")
+            return cl.clock, cl.trace.phases()
+
+        dfs_time, dfs_phases = total(DriverConfig(mode="eager",
+                                                  state_store="dfs"))
+        on_time, on_phases = total(DriverConfig(
+            mode="eager", state_store="online", checkpoint_every=2))
+        assert not any("checkpoint" in p for p in dfs_phases)
+        assert sum("checkpoint" in p for p in on_phases) == 2
