@@ -20,8 +20,8 @@ from repro.core import BlockBackend, DriverConfig, IterationLoop
 from repro.util import ascii_table
 
 VARIANTS = (
-    ("DFS (Hadoop baseline)", "dfs", 0),
-    ("online, no checkpoints", "online", 0),
+    ("DFS (Hadoop baseline)", "dfs", None),
+    ("online, no checkpoints", "online", None),
     ("online + checkpoint every 5", "online", 5),
 )
 

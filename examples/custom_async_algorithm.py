@@ -19,8 +19,7 @@ import numpy as np
 
 from repro.apps import components_reference
 from repro.cluster import SimCluster
-from repro.core import AsyncMapReduceSpec, DriverConfig, run_iterative_kv
-from repro.engine import MapReduceRuntime
+from repro.core import AsyncMapReduceSpec, DriverConfig, EngineBackend, Session
 from repro.graph import multilevel_partition, preferential_attachment
 
 
@@ -119,8 +118,14 @@ def main() -> None:
     spec = MinLabelComponents(graph, partition)
 
     for mode in ("general", "eager"):
-        rt = MapReduceRuntime("serial", cluster=SimCluster())
-        res = run_iterative_kv(spec, DriverConfig(mode=mode), runtime=rt)
+        # the Session owns the shared cluster and the persistent engine
+        # runtime; a custom spec is submitted like any built-in app
+        with Session(cluster=SimCluster()) as session:
+            handle = session.submit(
+                EngineBackend(spec, runtime=session.runtime),
+                DriverConfig(mode=mode), name=f"components-{mode}")
+            session.run()
+        res = handle.result
         labels = np.array([res.state[u][0] for u in range(graph.num_nodes)])
         ok = np.array_equal(labels, components_reference(graph))
         print(f"{mode:8s}: {res.global_iters:3d} global iterations, "

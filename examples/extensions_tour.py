@@ -20,12 +20,13 @@ from __future__ import annotations
 from repro.apps.pagerank import PageRankBlockSpec
 from repro.cluster import SimCluster
 from repro.core import (
+    BlockBackend,
     DriverConfig,
+    HierarchicalBackend,
     HierarchyConfig,
+    Session,
     autotune_partitions,
     make_racks,
-    run_iterative_block,
-    run_iterative_hierarchical,
 )
 from repro.graph import make_paper_graph, multilevel_partition
 from repro.util import ascii_table
@@ -54,12 +55,20 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 2. Flat eager vs hierarchical (rack-level) synchronization.
     # ------------------------------------------------------------------
-    flat = run_iterative_block(PageRankBlockSpec(graph, partition),
-                               DriverConfig(mode="eager"), cluster=SimCluster())
+    def run_single(backend, cfg):
+        """One job through a throwaway session (its own fresh cluster)."""
+        with Session(cluster=SimCluster()) as session:
+            handle = session.submit(backend, cfg)
+            session.run()
+        return handle.result
+
+    flat = run_single(BlockBackend(PageRankBlockSpec(graph, partition)),
+                      DriverConfig(mode="eager"))
     racks = make_racks(k, max(2, k // 4))
-    hier = run_iterative_hierarchical(
-        PageRankBlockSpec(graph, partition), DriverConfig(mode="eager"),
-        racks, hierarchy=HierarchyConfig(inner_rounds=3), cluster=SimCluster())
+    hier = run_single(
+        HierarchicalBackend(PageRankBlockSpec(graph, partition), racks,
+                            hierarchy=HierarchyConfig(inner_rounds=3)),
+        DriverConfig(mode="eager"))
     print()
     print(ascii_table(
         ["scheme", "global iters", "sim time (s)"],
@@ -72,13 +81,13 @@ def main() -> None:
     # 3. DFS vs online state store between iterations.
     # ------------------------------------------------------------------
     rows = []
-    for name, store, ckpt in (("DFS (baseline)", "dfs", 0),
-                              ("online store", "online", 0),
+    for name, store, ckpt in (("DFS (baseline)", "dfs", None),
+                              ("online store", "online", None),
                               ("online + checkpoints", "online", 5)):
         cfg = DriverConfig(mode="eager", state_store=store,
                            checkpoint_every=ckpt)
-        res = run_iterative_block(PageRankBlockSpec(graph, partition), cfg,
-                                  cluster=SimCluster())
+        res = run_single(BlockBackend(PageRankBlockSpec(graph, partition)),
+                         cfg)
         rows.append([name, f"{res.sim_time:,.0f}"])
     print()
     print(ascii_table(["state store", "sim time (s)"], rows,

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Multi-job scheduling: three heterogeneous jobs, one shared cluster.
+
+The paper evaluates each iterative job on a whole cluster to itself;
+real clusters multiplex many.  This example submits three different
+iterative applications — PageRank, K-Means and SSSP — to one
+:class:`~repro.core.session.Session` over a single simulated EC2
+testbed, and runs the mix under all three scheduling policies:
+
+* ``fifo``  — Hadoop's default: one job at a time, whole cluster.
+* ``rr``    — round-robin time-slicing, one global round per turn.
+* ``fair``  — the Hadoop Fair Scheduler discipline: every pending job
+  runs concurrently on an equal share of the slots.
+
+The long PageRank job is submitted *first*, so FIFO makes the two short
+jobs queue behind it (the classic convoy).  Fair-share overlaps them
+with the convoy instead: mean job latency drops sharply while each
+job's iterates, residuals and round counts stay identical — scheduling
+shares the clock, never the math.
+
+Per-job contention metrics come straight off each
+:class:`~repro.core.jobsched.JobHandle`: queue wait, busy time,
+makespan and the slot share granted per round.
+
+Run:  python examples/multi_job_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import kmeans_spec, pagerank_spec, sssp_spec
+from repro.cluster import SimCluster
+from repro.core import Session
+from repro.data import census_sample
+from repro.graph import (
+    attach_random_weights,
+    make_paper_graph,
+    multilevel_partition,
+)
+from repro.util import ascii_table
+
+
+def submit_mix(session: Session) -> list:
+    """Long general-mode PageRank first, then two short eager jobs."""
+    graph = make_paper_graph("A", scale=0.01, seed=0)
+    partition = multilevel_partition(graph, 8, seed=0)
+    weighted = attach_random_weights(graph, seed=1)
+    points = census_sample(4_000, seed=0)
+    return [
+        session.submit(pagerank_spec(graph, partition, mode="general",
+                                     name="pagerank")),
+        session.submit(kmeans_spec(points, 8, num_partitions=8, seed=0,
+                                   name="kmeans")),
+        session.submit(sssp_spec(weighted, partition, name="sssp")),
+    ]
+
+
+def main() -> None:
+    summary = []
+    for policy in ("fifo", "rr", "fair"):
+        with Session(cluster=SimCluster(), policy=policy) as session:
+            handles = submit_mix(session)
+            session.run()
+
+            rows = [[h.name, h.rounds, f"{h.queue_wait:,.0f}",
+                     f"{h.busy_seconds:,.0f}", f"{h.makespan:,.0f}",
+                     f"{min(h.slot_shares):.2f}-{max(h.slot_shares):.2f}"]
+                    for h in handles]
+            print(ascii_table(
+                ["job", "rounds", "queue wait (s)", "busy (s)",
+                 "makespan (s)", "slot share"],
+                rows, title=f"Policy: {policy}"))
+            summary.append([policy, f"{session.makespan():,.0f}",
+                            f"{session.mean_latency():,.0f}"])
+            print()
+
+    print(ascii_table(
+        ["policy", "cluster makespan (s)", "mean job latency (s)"],
+        summary, title="FIFO vs round-robin vs fair-share"))
+    print("\nSame iterates under every policy; fair-share just stops the "
+          "short jobs from paying for the convoy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,13 @@ locality-enhancing step), and runs PageRank both ways:
 
 Both converge to the same ranks; Eager needs far fewer global
 synchronizations, which is where all the time goes on a cloud cluster.
+
+Jobs are submitted through the **Session API** — the public entry point:
+a :class:`~repro.core.session.Session` owns the shared simulated
+cluster, ``session.submit(pagerank_spec(...))`` registers jobs, and
+``session.run()`` drives them (here two PageRank variants scheduled
+FIFO, so each effectively gets the whole cluster — see
+``examples/multi_job_scheduling.py`` for real multi-job contention).
 Also demonstrates the plain MapReduce engine with WordCount.
 
 Run:  python examples/quickstart.py
@@ -21,8 +28,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps import pagerank, pagerank_reference, wordcount
+from repro.apps import pagerank_reference, pagerank_spec, wordcount
 from repro.cluster import SimCluster
+from repro.core import Session
 from repro.graph import make_paper_graph, multilevel_partition
 from repro.util import ascii_table
 
@@ -48,21 +56,26 @@ def main() -> None:
           f"8 partitions, cut fraction {partition.cut_fraction():.3f}\n")
 
     # ------------------------------------------------------------------
-    # 3. General vs Eager PageRank on the simulated EC2 cluster.
+    # 3. General vs Eager PageRank, submitted to one Session.
     # ------------------------------------------------------------------
-    rows = []
     results = {}
-    for mode in ("general", "eager"):
-        res = pagerank(graph, partition, mode=mode, cluster=SimCluster())
-        results[mode] = res
-        rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
-                     "yes" if res.converged else "no"])
+    with Session(cluster=SimCluster(), policy="fifo") as session:
+        for mode in ("general", "eager"):
+            results[mode] = session.submit(
+                pagerank_spec(graph, partition, mode=mode, name=mode))
+        session.run()
+
+    rows = [[mode, h.result.global_iters, f"{h.result.sim_time:,.0f}",
+             "yes" if h.result.converged else "no"]
+            for mode, h in results.items()]
     print(ascii_table(
         ["mode", "global iterations", "simulated time (s)", "converged"],
         rows, title="PageRank: General vs Eager"))
 
-    speedup = results["general"].sim_time / results["eager"].sim_time
-    err = np.abs(results["eager"].ranks - pagerank_reference(graph)).max()
+    speedup = (results["general"].result.sim_time
+               / results["eager"].result.sim_time)
+    ranks = np.asarray(results["eager"].result.state)
+    err = np.abs(ranks - pagerank_reference(graph)).max()
     print(f"\nEager speedup: {speedup:.1f}x  |  max rank error vs dense "
           f"power-iteration oracle: {err:.2e}")
 

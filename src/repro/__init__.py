@@ -8,24 +8,34 @@ K-Means.
 Subpackages
 -----------
 ``repro.core``
-    The paper's contribution: the two-level (local/global) MapReduce
-    API (``lmap``/``lreduce``/``gmap``/``greduce``), partial
+    The paper's contribution and the public API.  Lead with the
+    **Session API** (``repro.core.session``): a ``Session`` owns one
+    shared simulated cluster + persistent runtime, ``session.submit``
+    registers iterative jobs (from the apps' ``*_spec`` factories or
+    bare backends) and a pluggable scheduler (FIFO / round-robin /
+    fair-share, ``repro.core.jobsched``) drives them all to
+    convergence with per-job results and contention metrics.
+    Underneath: the two-level (local/global) MapReduce API
+    (``lmap``/``lreduce``/``gmap``/``greduce``), partial
     synchronization, eager scheduling, convergence criteria and the
-    iterative driver.
+    round-re-entrant ``IterationLoop``.
 ``repro.engine``
     A complete MapReduce runtime (jobs, tasks, shuffle, combiners,
     counters, fault tolerance via deterministic replay, serial/thread/
     process executors) — the Hadoop substitute.
 ``repro.cluster``
     The simulated 8-node EC2 testbed: cost model, slots and list
-    scheduling, network/DFS charges, execution traces.
+    scheduling (with per-job slot shares), network/DFS charges,
+    execution traces, per-job charge attribution
+    (``RoundAccountant``).
 ``repro.graph``
     CSR digraphs, preferential-attachment generators (Table II),
     multilevel/BFS/hash partitioners (the Metis substitute), power-law
     fitting.
 ``repro.apps``
     PageRank, SSSP, K-Means (General + Eager), connected components,
-    wordcount.
+    wordcount — each with an immediate runner and a submittable
+    ``*_spec`` factory.
 ``repro.data``
     Synthetic census stand-in and point-cloud generators.
 ``repro.bench``
@@ -34,14 +44,20 @@ Subpackages
 Quickstart
 ----------
 >>> from repro.graph import make_paper_graph, multilevel_partition
->>> from repro.apps import pagerank
+>>> from repro.apps import pagerank_spec, sssp_spec
 >>> from repro.cluster import SimCluster
+>>> from repro.core import Session
 >>> g = make_paper_graph("A", scale=0.01, seed=0)
 >>> part = multilevel_partition(g, 8, seed=0)
->>> eager = pagerank(g, part, mode="eager", cluster=SimCluster())
->>> general = pagerank(g, part, mode="general", cluster=SimCluster())
->>> eager.global_iters < general.global_iters
+>>> with Session(cluster=SimCluster(), policy="fair") as session:
+...     eager = session.submit(pagerank_spec(g, part, mode="eager"))
+...     general = session.submit(pagerank_spec(g, part, mode="general"))
+...     _ = session.run()
+>>> eager.result.global_iters < general.result.global_iters
 True
+
+(The one-shot runners — ``pagerank(g, part, mode="eager",
+cluster=SimCluster())`` et al. — remain for single-job use.)
 """
 
 __version__ = "1.0.0"

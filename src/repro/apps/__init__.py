@@ -12,12 +12,21 @@
 * :mod:`~repro.apps.apsp` — landmark all-pairs shortest paths (§V-C:
   "All-Pairs Shortest Path has a related structure").
 * :mod:`~repro.apps.wordcount` — engine sanity application.
+
+Each iterative app has two entry points: the classic immediate runner
+(:func:`pagerank`, :func:`sssp`, ...) and a ``*_spec`` factory
+(:func:`pagerank_spec`, :func:`sssp_spec`, :func:`kmeans_spec`,
+:func:`components_spec`, :func:`jacobi_spec`) that produces a
+submittable :class:`~repro.core.session.JobSpec` for the multi-job
+:class:`~repro.core.session.Session` API — apps describe work, the
+session schedules it.
 """
 
 from repro.apps.components import (
     ComponentsBlockSpec,
     ComponentsResult,
     components_reference,
+    components_spec,
     connected_components,
 )
 from repro.apps.kmeans import (
@@ -27,6 +36,7 @@ from repro.apps.kmeans import (
     assign_points,
     kmeans,
     kmeans_reference,
+    kmeans_spec,
     sse,
 )
 from repro.apps.apsp import (
@@ -39,6 +49,7 @@ from repro.apps.jacobi import (
     JacobiResult,
     SparseSystem,
     jacobi_solve,
+    jacobi_spec,
     make_diagonally_dominant_system,
 )
 from repro.apps.pagerank import (
@@ -47,6 +58,7 @@ from repro.apps.pagerank import (
     PageRankResult,
     pagerank,
     pagerank_reference,
+    pagerank_spec,
 )
 from repro.apps.sssp import (
     SsspBlockSpec,
@@ -54,6 +66,7 @@ from repro.apps.sssp import (
     SsspResult,
     sssp,
     sssp_reference,
+    sssp_spec,
 )
 from repro.apps.wordcount import (
     wordcount,
@@ -63,6 +76,11 @@ from repro.apps.wordcount import (
 )
 
 __all__ = [
+    "pagerank_spec",
+    "sssp_spec",
+    "kmeans_spec",
+    "components_spec",
+    "jacobi_spec",
     "pagerank",
     "pagerank_reference",
     "PageRankBlockSpec",

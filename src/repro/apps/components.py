@@ -30,6 +30,7 @@ __all__ = [
     "ComponentsBlockSpec",
     "ComponentsResult",
     "connected_components",
+    "components_spec",
     "components_reference",
 ]
 
@@ -155,6 +156,29 @@ def connected_components(
         converged=res.converged,
         sim_time=res.sim_time,
         result=res,
+    )
+
+
+def components_spec(
+    graph: DiGraph,
+    partition: Partition,
+    *,
+    mode: str = "eager",
+    config: "DriverConfig | None" = None,
+    name: "str | None" = None,
+) -> "JobSpec":
+    """A submittable connected-components job for
+    :meth:`~repro.core.Session.submit`; the final labels are
+    ``np.asarray(handle.result.state)``."""
+    from repro.core.session import JobSpec
+
+    cfg = config if config is not None else DriverConfig(mode=mode)
+    return JobSpec(
+        name=name if name is not None else "components",
+        config=cfg,
+        make_backend=lambda session: BlockBackend(
+            ComponentsBlockSpec(graph, partition),
+            cluster=session.cluster),
     )
 
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.cluster import SimCluster
 from repro.core import (
+    AdaptiveSyncPolicy,
     AsyncMapReduceSpec,
     BlockBackend,
     BlockSpec,
@@ -46,6 +47,7 @@ __all__ = [
     "KMeansBlockSpec",
     "KMeansResult",
     "kmeans",
+    "kmeans_spec",
     "kmeans_reference",
     "assign_points",
     "sse",
@@ -417,10 +419,25 @@ def kmeans(
     cluster: "SimCluster | None" = None,
     config: "DriverConfig | None" = None,
     seed: "int | np.random.Generator | None" = 0,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
 ) -> KMeansResult:
     """Cluster ``points`` into ``k`` groups, General or Eager formulation."""
     cfg = config if config is not None else DriverConfig(mode=mode)
-    spec = KMeansBlockSpec(
+    spec = _kmeans_block_spec(points, k, num_partitions=num_partitions,
+                              threshold=threshold, weighting=weighting,
+                              reshuffle_every=reshuffle_every, seed=seed,
+                              cfg=cfg)
+    res = IterationLoop(BlockBackend(spec, cluster=cluster), cfg,
+                        sync_policy=sync_policy).run()
+    return KMeansResult(centroids=np.asarray(res.state),
+                        global_iters=res.global_iters,
+                        converged=res.converged, sim_time=res.sim_time,
+                        result=res)
+
+
+def _kmeans_block_spec(points, k, *, num_partitions, threshold, weighting,
+                       reshuffle_every, seed, cfg) -> KMeansBlockSpec:
+    return KMeansBlockSpec(
         points, k,
         num_partitions=num_partitions,
         threshold=threshold,
@@ -429,11 +446,42 @@ def kmeans(
         oscillation_detection=(cfg.mode == "eager"),
         seed=seed,
     )
-    res = IterationLoop(BlockBackend(spec, cluster=cluster), cfg).run()
-    return KMeansResult(centroids=np.asarray(res.state),
-                        global_iters=res.global_iters,
-                        converged=res.converged, sim_time=res.sim_time,
-                        result=res)
+
+
+def kmeans_spec(
+    points: np.ndarray,
+    k: int,
+    *,
+    mode: str = "eager",
+    num_partitions: int = 52,
+    threshold: float = 1e-3,
+    weighting: str = "count",
+    reshuffle_every: int = 5,
+    config: "DriverConfig | None" = None,
+    seed: "int | np.random.Generator | None" = 0,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
+    name: "str | None" = None,
+) -> "JobSpec":
+    """A submittable K-Means job for :meth:`~repro.core.Session.submit`.
+
+    Same job :func:`kmeans` runs privately, as a
+    :class:`~repro.core.session.JobSpec`; the final centroids are
+    ``np.asarray(handle.result.state)``.
+    """
+    from repro.core.session import JobSpec
+
+    cfg = config if config is not None else DriverConfig(mode=mode)
+    return JobSpec(
+        name=name if name is not None else "kmeans",
+        config=cfg,
+        sync_policy=sync_policy,
+        make_backend=lambda session: BlockBackend(
+            _kmeans_block_spec(points, k, num_partitions=num_partitions,
+                               threshold=threshold, weighting=weighting,
+                               reshuffle_every=reshuffle_every, seed=seed,
+                               cfg=cfg),
+            cluster=session.cluster),
+    )
 
 
 def kmeans_reference(points: np.ndarray, k: int, *, threshold: float = 1e-3,

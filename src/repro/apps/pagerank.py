@@ -53,6 +53,7 @@ __all__ = [
     "PageRankKVSpec",
     "PageRankResult",
     "pagerank",
+    "pagerank_spec",
     "pagerank_reference",
 ]
 
@@ -378,6 +379,38 @@ def pagerank(
     return PageRankResult(ranks=ranks, global_iters=res.global_iters,
                           converged=res.converged, sim_time=res.sim_time,
                           result=res)
+
+
+def pagerank_spec(
+    graph: DiGraph,
+    partition: Partition,
+    *,
+    mode: str = "eager",
+    damping: float = 0.85,
+    tol: float = 1e-5,
+    config: "DriverConfig | None" = None,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
+    name: "str | None" = None,
+) -> "JobSpec":
+    """A submittable PageRank job for :meth:`~repro.core.Session.submit`.
+
+    Where :func:`pagerank` runs immediately on a private driver, this
+    describes the same (block-path) job so a multi-job
+    :class:`~repro.core.session.Session` can schedule it alongside
+    others on one shared cluster.  The final ranks are
+    ``np.asarray(handle.result.state)``.
+    """
+    from repro.core.session import JobSpec
+
+    cfg = config if config is not None else DriverConfig(mode=mode)
+    return JobSpec(
+        name=name if name is not None else "pagerank",
+        config=cfg,
+        sync_policy=sync_policy,
+        make_backend=lambda session: BlockBackend(
+            PageRankBlockSpec(graph, partition, damping=damping, tol=tol),
+            cluster=session.cluster),
+    )
 
 
 def pagerank_reference(graph: DiGraph, *, damping: float = 0.85,

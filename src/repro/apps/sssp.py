@@ -44,6 +44,7 @@ __all__ = [
     "SsspKVSpec",
     "SsspResult",
     "sssp",
+    "sssp_spec",
     "sssp_reference",
 ]
 
@@ -329,6 +330,35 @@ def sssp(
     return SsspResult(distances=dist, global_iters=res.global_iters,
                       converged=res.converged, sim_time=res.sim_time,
                       result=res)
+
+
+def sssp_spec(
+    graph: DiGraph,
+    partition: Partition,
+    *,
+    source: int = 0,
+    mode: str = "eager",
+    config: "DriverConfig | None" = None,
+    sync_policy: "AdaptiveSyncPolicy | None" = None,
+    name: "str | None" = None,
+) -> "JobSpec":
+    """A submittable SSSP job for :meth:`~repro.core.Session.submit`.
+
+    Block-path formulation of :func:`sssp` as a
+    :class:`~repro.core.session.JobSpec`; the final distances are
+    ``np.asarray(handle.result.state)``.
+    """
+    from repro.core.session import JobSpec
+
+    cfg = config if config is not None else DriverConfig(mode=mode)
+    return JobSpec(
+        name=name if name is not None else "sssp",
+        config=cfg,
+        sync_policy=sync_policy,
+        make_backend=lambda session: BlockBackend(
+            SsspBlockSpec(graph, partition, source=source),
+            cluster=session.cluster),
+    )
 
 
 def sssp_reference(graph: DiGraph, *, source: int = 0) -> np.ndarray:

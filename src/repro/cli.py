@@ -5,8 +5,17 @@
     python -m repro pagerank --graph A --scale 0.01 -k 8 --mode eager
     python -m repro sssp     --graph A --scale 0.01 -k 8 --source 0
     python -m repro kmeans   --rows 20000 --clusters 8 --threshold 0.01
+    python -m repro schedule --jobs pagerank,kmeans,sssp --policy fair
     python -m repro sweep    --figure 2            # any of 2..9
     python -m repro autotune --graph A --scale 0.01 --candidates 2,8,32
+
+``schedule`` multiplexes several heterogeneous iterative jobs onto ONE
+shared simulated cluster through the Session API
+(:mod:`repro.core.session`) under a chosen scheduling policy (FIFO /
+round-robin / fair-share) and reports per-job contention metrics.  The
+single-job subcommands accept ``--adaptive-sync`` to retune the
+local-iteration budget per round
+(:class:`~repro.core.AdaptiveSyncPolicy`).
 
 Every subcommand prints an ASCII report (the same tables the benchmark
 suite produces) and exits non-zero on failure.
@@ -42,18 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partitioner: multilevel/bfs/chunk/hash/random")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_adaptive_sync(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--adaptive-sync", action="store_true",
+                       help="retune the local-iteration budget per round "
+                            "(AdaptiveSyncPolicy) instead of the paper's "
+                            "fixed budget")
+
     p_pr = sub.add_parser("pagerank", help="PageRank (Figs 2-5 workload)")
     add_graph_args(p_pr)
     p_pr.add_argument("--mode", choices=["general", "eager", "both"],
                       default="both")
     p_pr.add_argument("--damping", type=float, default=0.85)
     p_pr.add_argument("--tol", type=float, default=1e-5)
+    add_adaptive_sync(p_pr)
 
     p_sp = sub.add_parser("sssp", help="Shortest path (Figs 6-7 workload)")
     add_graph_args(p_sp)
     p_sp.add_argument("--mode", choices=["general", "eager", "both"],
                       default="both")
     p_sp.add_argument("--source", type=int, default=0)
+    add_adaptive_sync(p_sp)
 
     p_km = sub.add_parser("kmeans", help="K-Means (Figs 8-9 workload)")
     p_km.add_argument("--rows", type=int, default=20_000)
@@ -63,6 +80,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_km.add_argument("--mode", choices=["general", "eager", "both"],
                       default="both")
     p_km.add_argument("--seed", type=int, default=0)
+    add_adaptive_sync(p_km)
+
+    p_sc = sub.add_parser(
+        "schedule",
+        help="run several jobs on ONE shared cluster (Session API)")
+    add_graph_args(p_sc)
+    p_sc.add_argument("--jobs", default="pagerank,kmeans,sssp",
+                      help="comma-separated job mix; any of "
+                           "pagerank/sssp/kmeans/components, repeatable "
+                           "(e.g. pagerank,pagerank,kmeans)")
+    p_sc.add_argument("--policy", choices=["fifo", "rr", "fair"],
+                      default="fair",
+                      help="scheduling policy: fifo (one job at a time), "
+                           "rr (round-robin time-slicing), fair "
+                           "(fair-share slot split)")
+    p_sc.add_argument("--mode", choices=["general", "eager"],
+                      default="eager")
+    p_sc.add_argument("--rows", type=int, default=5_000,
+                      help="points for the kmeans job")
+    p_sc.add_argument("--clusters", type=int, default=8,
+                      help="centroids for the kmeans job")
 
     p_sw = sub.add_parser("sweep", help="regenerate one figure's sweep")
     p_sw.add_argument("--figure", type=int, required=True,
@@ -102,6 +140,15 @@ def _report(title: str, rows: "list[list]") -> None:
                        "converged"], rows, title=title))
 
 
+def _sync_policy(args):
+    """Build the per-run AdaptiveSyncPolicy when --adaptive-sync is set."""
+    if not getattr(args, "adaptive_sync", False):
+        return None
+    from repro.core import AdaptiveSyncPolicy
+
+    return AdaptiveSyncPolicy()
+
+
 def _cmd_pagerank(args) -> int:
     from repro.apps import pagerank
     from repro.cluster import SimCluster
@@ -110,7 +157,7 @@ def _cmd_pagerank(args) -> int:
     rows = []
     for mode in _modes(args.mode):
         res = pagerank(g, part, mode=mode, damping=args.damping, tol=args.tol,
-                       cluster=SimCluster())
+                       cluster=SimCluster(), sync_policy=_sync_policy(args))
         rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
                      "yes" if res.converged else "no"])
     _report(f"PageRank on Graph {args.graph} "
@@ -125,7 +172,8 @@ def _cmd_sssp(args) -> int:
     g, part = _load_graph(args, weighted=True)
     rows = []
     for mode in _modes(args.mode):
-        res = sssp(g, part, source=args.source, mode=mode, cluster=SimCluster())
+        res = sssp(g, part, source=args.source, mode=mode, cluster=SimCluster(),
+                   sync_policy=_sync_policy(args))
         rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
                      "yes" if res.converged else "no"])
     _report(f"SSSP on Graph {args.graph} from source {args.source}", rows)
@@ -142,12 +190,67 @@ def _cmd_kmeans(args) -> int:
     for mode in _modes(args.mode):
         res = kmeans(pts, args.clusters, mode=mode, threshold=args.threshold,
                      num_partitions=args.partitions, cluster=SimCluster(),
-                     seed=args.seed)
+                     seed=args.seed, sync_policy=_sync_policy(args))
         rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
                      "yes" if res.converged else "no"])
         print(f"  {mode} SSE: {sse(pts, res.centroids):,.0f}")
     _report(f"K-Means on census sample ({args.rows} x 68, "
             f"k={args.clusters}, delta={args.threshold})", rows)
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.apps import (components_spec, kmeans_spec, pagerank_spec,
+                            sssp_spec)
+    from repro.cluster import SimCluster
+    from repro.core import Session
+    from repro.data import census_sample
+    from repro.graph import attach_random_weights
+    from repro.util import ascii_table
+
+    job_names = [j.strip() for j in args.jobs.split(",") if j.strip()]
+    if not job_names:
+        raise ValueError("--jobs must name at least one job")
+    unknown = set(job_names) - {"pagerank", "sssp", "kmeans", "components"}
+    if unknown:
+        raise ValueError(f"unknown jobs: {sorted(unknown)} "
+                         f"(expected pagerank/sssp/kmeans/components)")
+
+    g, part = _load_graph(args)
+    wg = attach_random_weights(g, seed=args.seed + 1)
+
+    def spec_for(job: str, idx: int):
+        label = f"{job}#{idx}"
+        if job == "pagerank":
+            return pagerank_spec(g, part, mode=args.mode, name=label)
+        if job == "sssp":
+            return sssp_spec(wg, part, mode=args.mode, name=label)
+        if job == "components":
+            return components_spec(g, part, mode=args.mode, name=label)
+        pts = census_sample(args.rows, seed=args.seed)
+        return kmeans_spec(pts, args.clusters, mode=args.mode,
+                           num_partitions=args.partitions, seed=args.seed,
+                           name=label)
+
+    with Session(cluster=SimCluster(), policy=args.policy) as session:
+        handles = [session.submit(spec_for(job, i))
+                   for i, job in enumerate(job_names)]
+        session.run()
+        rows = [
+            [h.name, h.rounds, f"{h.queue_wait:,.0f}",
+             f"{h.busy_seconds:,.0f}", f"{h.makespan:,.0f}",
+             f"{min(h.slot_shares):.2f}-{max(h.slot_shares):.2f}",
+             "yes" if h.result.converged else "no"]
+            for h in handles
+        ]
+        print(ascii_table(
+            ["job", "rounds", "queue wait (s)", "busy (s)", "makespan (s)",
+             "slot share", "converged"],
+            rows,
+            title=f"Session schedule: {len(handles)} jobs on one shared "
+                  f"cluster ({session.policy.name})"))
+        print(f"cluster makespan: {session.makespan():,.0f} simulated s; "
+              f"mean job latency: {session.mean_latency():,.0f} simulated s")
     return 0
 
 
@@ -202,6 +305,7 @@ _COMMANDS = {
     "pagerank": _cmd_pagerank,
     "sssp": _cmd_sssp,
     "kmeans": _cmd_kmeans,
+    "schedule": _cmd_schedule,
     "sweep": _cmd_sweep,
     "autotune": _cmd_autotune,
 }

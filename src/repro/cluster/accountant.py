@@ -39,12 +39,41 @@ class RoundAccountant:
         needed for the driver-level composites (:meth:`charge_map_phase`,
         :meth:`charge_global_sync`); the engine uses the accountant with
         ``config=None`` for its per-job primitive charges.
+    job:
+        Optional job name.  When several jobs share one cluster (see
+        :mod:`repro.core.session`) each runs through its *own*
+        accountant over the shared clock: the name prefixes every trace
+        label (``"jobname:iter3:shuffle"``) and :attr:`charged`
+        accumulates only this job's seconds, so per-job cost attribution
+        falls out of the shared timeline.
+
+    Attributes
+    ----------
+    charged:
+        Total simulated seconds charged through this accountant — the
+        per-job split of the shared cluster's clock advance.
+    slot_share:
+        Fraction of the cluster's slots the owning job currently holds
+        (set per round by the multi-job scheduler; 1.0 when the job has
+        the whole cluster).  Applied to every map/reduce phase scheduled
+        through this accountant.
     """
 
     def __init__(self, cluster: "SimCluster | None",
-                 config: "DriverConfig | None" = None) -> None:
+                 config: "DriverConfig | None" = None, *,
+                 job: "str | None" = None) -> None:
         self.cluster = cluster
         self.config = config
+        self.job = job
+        self.charged: float = 0.0
+        self.slot_share: float = 1.0
+
+    def _label(self, label: str) -> str:
+        return f"{self.job}:{label}" if self.job else label
+
+    def _count(self, seconds: float) -> float:
+        self.charged += seconds
+        return seconds
 
     @property
     def active(self) -> bool:
@@ -67,46 +96,57 @@ class RoundAccountant:
     def charge_job_startup(self, *, label: str = "job-startup") -> float:
         if self.cluster is None:
             return 0.0
-        return self.cluster.charge_job_startup(label=label)
+        return self._count(self.cluster.charge_job_startup(label=self._label(label)))
 
     def charge_shuffle(self, nbytes: float, *, label: str = "shuffle") -> float:
         if self.cluster is None:
             return 0.0
-        return self.cluster.charge_shuffle(nbytes, label=label)
+        return self._count(self.cluster.charge_shuffle(nbytes, label=self._label(label)))
 
     def charge_overlapped_shuffle(self, nbytes: float, *,
                                   overlap_seconds: float,
                                   label: str = "shuffle") -> float:
         if self.cluster is None:
             return 0.0
-        return self.cluster.charge_overlapped_shuffle(
-            nbytes, overlap_seconds=overlap_seconds, label=label)
+        return self._count(self.cluster.charge_overlapped_shuffle(
+            nbytes, overlap_seconds=overlap_seconds, label=self._label(label)))
 
     def charge_barrier(self, *, label: str = "barrier") -> float:
         if self.cluster is None:
             return 0.0
-        return self.cluster.charge_barrier(label=label)
+        return self._count(self.cluster.charge_barrier(label=self._label(label)))
 
     def charge_dfs_roundtrip(self, nbytes: float, *, label: str = "dfs") -> float:
         if self.cluster is None:
             return 0.0
-        return self.cluster.charge_dfs_roundtrip(nbytes, label=label)
+        return self._count(self.cluster.charge_dfs_roundtrip(nbytes, label=self._label(label)))
 
     def run_map_phase(self, task_costs: Sequence[float], *, label: str) -> float:
         """Schedule map tasks; returns the phase makespan."""
         if self.cluster is None:
             return 0.0
-        return self.cluster.run_map_phase(task_costs, label=label).makespan
+        return self._count(self.cluster.run_map_phase(
+            task_costs, label=self._label(label),
+            slot_share=self.slot_share).makespan)
 
     def run_reduce_phase(self, task_costs: Sequence[float], *, label: str) -> float:
         if self.cluster is None:
             return 0.0
-        return self.cluster.run_reduce_phase(task_costs, label=label).makespan
+        return self._count(self.cluster.run_reduce_phase(
+            task_costs, label=self._label(label),
+            slot_share=self.slot_share).makespan)
 
     def charge_fixed(self, label: str, seconds: float) -> float:
         if self.cluster is None:
             return 0.0
-        return self.cluster.charge_fixed(label, seconds)
+        return self._count(self.cluster.charge_fixed(self._label(label), seconds))
+
+    def charge_state_roundtrip(self, nbytes: float, *, store: str = "dfs",
+                               label: str = "state") -> float:
+        if self.cluster is None:
+            return 0.0
+        return self._count(self.cluster.charge_state_roundtrip(
+            nbytes, store=store, label=self._label(label)))
 
     # ------------------------------------------------------------------
     # Driver-level composites (need a DriverConfig)
@@ -151,16 +191,16 @@ class RoundAccountant:
             return 0.0
         config = self._config()
         start = self.cluster.clock
-        self.cluster.charge_job_startup(label=f"{label}:startup")
+        self.charge_job_startup(label=f"{label}:startup")
         if config.eager_schedule or config.mode == "general":
             costs = [self.gmap_task_cost(r, 0, r.local_iters) for r in reports]
-            self.cluster.run_map_phase(costs, label=f"{label}:map")
+            self.run_map_phase(costs, label=f"{label}:map")
             return self.cluster.clock - start
         max_rounds = max((r.local_iters for r in reports), default=0)
         for l in range(max_rounds):
             costs = [self.gmap_task_cost(r, l, l + 1)
                      for r in reports if l < r.local_iters]
-            self.cluster.run_map_phase(costs, label=f"{label}:map.l{l}")
+            self.run_map_phase(costs, label=f"{label}:map.l{l}")
         return self.cluster.clock - start
 
     def charge_global_sync(self, *, iteration: int, extra_bytes: int,
@@ -179,17 +219,17 @@ class RoundAccountant:
         config = self._config()
         start = self.cluster.clock
         if extra_bytes:
-            self.cluster.charge_shuffle(int(extra_bytes), label=f"{label}:shuffle+")
+            self.charge_shuffle(int(extra_bytes), label=f"{label}:shuffle+")
         r_tasks = num_reduce_tasks or self.cluster.total_reduce_slots
         per_task = self.cluster.cost_model.reduce_compute_seconds(reduce_ops) / r_tasks
-        self.cluster.run_reduce_phase([per_task] * r_tasks, label=f"{label}:reduce")
-        self.cluster.charge_barrier(label=f"{label}:barrier")
-        self.cluster.charge_state_roundtrip(state_bytes,
-                                            store=config.state_store,
-                                            label=f"{label}:state")
+        self.run_reduce_phase([per_task] * r_tasks, label=f"{label}:reduce")
+        self.charge_barrier(label=f"{label}:barrier")
+        self.charge_state_roundtrip(state_bytes,
+                                    store=config.state_store,
+                                    label=f"{label}:state")
         if (config.state_store == "online" and config.checkpoint_every
                 and (iteration + 1) % config.checkpoint_every == 0):
-            self.cluster.charge_fixed(
+            self.charge_fixed(
                 f"{label}:checkpoint",
                 self.cluster.cost_model.dfs_write_seconds(state_bytes))
         return self.cluster.clock - start
@@ -229,4 +269,4 @@ class RoundAccountant:
         """Racks run concurrently: the phase costs the slowest rack."""
         if self.cluster is None:
             return 0.0
-        return self.cluster.charge_fixed(label, max(rack_times, default=0.0))
+        return self.charge_fixed(label, max(rack_times, default=0.0))

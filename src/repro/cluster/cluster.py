@@ -97,14 +97,24 @@ class SimCluster:
     # Phase scheduling
     # ------------------------------------------------------------------
     def run_map_phase(self, task_costs: Sequence[float], *,
-                      label: str = "map") -> PhaseResult:
-        """Schedule map tasks (compute seconds each) onto map slots."""
-        return self._run_phase(task_costs, kind="map", label=label)
+                      label: str = "map",
+                      slot_share: float = 1.0) -> PhaseResult:
+        """Schedule map tasks (compute seconds each) onto map slots.
+
+        ``slot_share`` caps the phase to a fraction of the cluster's
+        slots (at least one) — how a multi-job scheduler models a job
+        holding only its share of the cluster while other jobs run
+        concurrently on the rest (see :mod:`repro.core.jobsched`).
+        """
+        return self._run_phase(task_costs, kind="map", label=label,
+                               slot_share=slot_share)
 
     def run_reduce_phase(self, task_costs: Sequence[float], *,
-                         label: str = "reduce") -> PhaseResult:
+                         label: str = "reduce",
+                         slot_share: float = 1.0) -> PhaseResult:
         """Schedule reduce tasks onto reduce slots."""
-        return self._run_phase(task_costs, kind="reduce", label=label)
+        return self._run_phase(task_costs, kind="reduce", label=label,
+                               slot_share=slot_share)
 
     def _slots(self, kind: str) -> list[tuple[int, int, float]]:
         """(node_id, slot_index, speed) for every slot of the given kind."""
@@ -116,13 +126,17 @@ class SimCluster:
         return out
 
     def _run_phase(self, task_costs: Sequence[float], *, kind: str,
-                   label: str) -> PhaseResult:
+                   label: str, slot_share: float = 1.0) -> PhaseResult:
         costs = [float(c) for c in task_costs]
         if any(c < 0 for c in costs):
             raise ValueError("task costs must be >= 0")
+        if not 0.0 < slot_share <= 1.0:
+            raise ValueError(f"slot_share must be in (0, 1], got {slot_share}")
         slots = self._slots(kind)
         if not slots:
             raise ValueError(f"cluster has no {kind} slots")
+        if slot_share < 1.0:
+            slots = slots[:max(1, round(len(slots) * slot_share))]
         dispatch = self.cost_model.task_dispatch_seconds
         start_clock = self.clock
         if not costs:

@@ -49,10 +49,9 @@ def _classify(phase: str) -> str:
 
 
 def _merge_label(phase: str) -> str:
-    """Collapse per-iteration labels (``iter7:map`` -> ``map``)."""
-    if ":" in phase:
-        return phase.split(":", 1)[1]
-    return phase
+    """Collapse per-iteration/per-job labels down to the phase name
+    (``iter7:map`` -> ``map``, ``jobname:iter7:map`` -> ``map``)."""
+    return phase.rsplit(":", 1)[-1]
 
 
 def phase_breakdown(cluster: SimCluster) -> "list[PhaseShare]":

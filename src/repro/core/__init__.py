@@ -2,21 +2,33 @@
 
 Public surface:
 
+* :class:`~repro.core.session.Session` — **the way to run iterative
+  jobs**: owns one shared :class:`~repro.cluster.SimCluster` and a
+  persistent engine runtime; ``session.submit(spec_or_backend)``
+  registers jobs (:class:`~repro.core.session.JobSpec` from the app
+  ``*_spec`` factories, or a bare backend) and ``session.run()`` drives
+  them all to convergence under a pluggable scheduling policy
+  (FIFO / round-robin / fair-share, :mod:`repro.core.jobsched`), with
+  per-job results and contention metrics on each
+  :class:`~repro.core.jobsched.JobHandle`.
 * :class:`~repro.core.loop.IterationLoop` — the single outer fixed-point
-  loop, parameterized by an :class:`~repro.core.loop.IterationBackend`
-  (engine / block / hierarchical) and an optional
-  :class:`~repro.core.loop.AdaptiveSyncPolicy`; the historical
-  ``run_iterative_*`` entry points are thin shims over it.
+  loop underneath, parameterized by an
+  :class:`~repro.core.loop.IterationBackend` (engine / block /
+  hierarchical) and an optional
+  :class:`~repro.core.loop.AdaptiveSyncPolicy`; re-entrant at round
+  granularity so sessions can interleave many jobs on one clock.
 * :class:`~repro.core.api.AsyncMapReduceSpec` — the §IV API
   (``lmap``/``lreduce``/``greduce`` + generated ``gmap``) running on the
-  real MapReduce engine via :func:`~repro.core.driver.run_iterative_kv`.
+  real MapReduce engine via an :class:`~repro.core.loop.EngineBackend`.
 * :class:`~repro.core.api.BlockSpec` — the vectorised per-partition
-  variant driven by :func:`~repro.core.driver.run_iterative_block`.
+  variant driven by a :class:`~repro.core.loop.BlockBackend`.
 * :class:`~repro.core.config.DriverConfig` with the two canonical
   configurations :data:`~repro.core.config.GENERAL` (baseline) and
   :data:`~repro.core.config.EAGER` (partial sync + eager scheduling).
 * Convergence criteria (inf-norm, unchanged, centroid-shift with
   oscillation detection) in :mod:`repro.core.convergence`.
+* Deprecated: the single-job ``run_iterative_{kv,block,hierarchical}``
+  entry points, now warning shims over a throwaway single-job session.
 """
 
 from repro.core.api import AsyncMapReduceSpec, BlockSpec, LocalSolveReport
@@ -47,6 +59,17 @@ from repro.core.hierarchy import (
     make_racks,
     run_iterative_hierarchical,
 )
+from repro.core.jobsched import (
+    FairSharePolicy,
+    FifoPolicy,
+    JobHandle,
+    RoundRobinPolicy,
+    RoundShare,
+    SchedulingPolicy,
+    SessionScheduler,
+    make_policy,
+)
+from repro.core.session import JobSpec, Session
 from repro.core.emitter import (
     GlobalReduceContext,
     LocalMapContext,
@@ -56,6 +79,16 @@ from repro.core.gmap import GmapFunction, GreduceFunction
 from repro.core.localmr import LocalRunResult, run_local_mapreduce
 
 __all__ = [
+    "Session",
+    "JobSpec",
+    "JobHandle",
+    "RoundShare",
+    "SessionScheduler",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "RoundRobinPolicy",
+    "FairSharePolicy",
+    "make_policy",
     "AsyncMapReduceSpec",
     "BlockSpec",
     "LocalSolveReport",

@@ -56,10 +56,13 @@ class DriverConfig:
         tolerance.
     checkpoint_every:
         With ``state_store="online"``: take a full DFS checkpoint of the
-        state every this many global iterations (0 disables — fast but
-        unrecoverable, the unresolved-fault-tolerance configuration the
-        paper warns about).  Ignored for the DFS store, which is durable
-        by construction.
+        state every this many global iterations (``None`` disables —
+        fast but unrecoverable, the unresolved-fault-tolerance
+        configuration the paper warns about).  Ignored for the DFS
+        store, which is durable by construction.  Must be a positive
+        integer or ``None``; zero and negative values are rejected at
+        construction rather than surfacing as a modulo error deep in
+        the accountant.
     """
 
     mode: str = "eager"
@@ -69,7 +72,7 @@ class DriverConfig:
     charge_local_ops_at: str = "local"
     record_history: bool = True
     state_store: str = "dfs"
-    checkpoint_every: int = 10
+    checkpoint_every: "int | None" = 10
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -87,8 +90,18 @@ class DriverConfig:
             raise ValueError(
                 f"state_store must be 'dfs' or 'online', got {self.state_store!r}"
             )
-        if self.checkpoint_every < 0:
-            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every is not None:
+            if (not isinstance(self.checkpoint_every, int)
+                    or isinstance(self.checkpoint_every, bool)):
+                raise ValueError(
+                    f"checkpoint_every must be a positive int or None, "
+                    f"got {self.checkpoint_every!r}"
+                )
+            if self.checkpoint_every <= 0:
+                raise ValueError(
+                    "checkpoint_every must be >= 1 "
+                    "(pass checkpoint_every=None to disable checkpointing)"
+                )
 
     @property
     def effective_local_iters(self) -> int:

@@ -1,27 +1,22 @@
-"""Historical entry points for the iterative driver — now thin shims.
+"""Historical entry points for the iterative driver — deprecated shims.
 
-The outer fixed-point loop of the paper's two-level scheme lives in
-:mod:`repro.core.loop`: one :class:`~repro.core.loop.IterationLoop`
-(pre-iteration hook, local work, global combine, convergence check,
-:class:`~repro.core.loop.RoundRecord` history) parameterized by a
-pluggable :class:`~repro.core.loop.IterationBackend`, with all
-simulated-cluster charging flowing through the audited
-:class:`~repro.cluster.accountant.RoundAccountant`.
+The outer fixed-point loop lives in :mod:`repro.core.loop`
+(:class:`~repro.core.loop.IterationLoop` over a pluggable
+:class:`~repro.core.loop.IterationBackend`), and the public way to run
+iterative jobs is the Session API (:mod:`repro.core.session`): build a
+:class:`~repro.core.session.Session`, ``submit`` backends or app specs,
+and let the session's scheduler drive them — one job or many — on one
+shared cluster.
 
-This module keeps the original function signatures for existing callers
-and delegates:
-
-* :func:`run_iterative_kv` -> :class:`~repro.core.loop.EngineBackend`
-  (record-at-a-time §IV API on the real MapReduce engine);
-* :func:`run_iterative_block` -> :class:`~repro.core.loop.BlockBackend`
-  (vectorised :class:`~repro.core.api.BlockSpec` path).
-
-Both accept an optional ``sync_policy``
-(:class:`~repro.core.loop.AdaptiveSyncPolicy`) to retune the
-local-iteration budget per round.
+The functions here keep the original single-job signatures for existing
+callers, each emitting a :class:`DeprecationWarning` and delegating to a
+throwaway single-job session; their results are pinned equal to the
+session path by the deprecation tests.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.cluster import SimCluster
 from repro.core.api import AsyncMapReduceSpec, BlockSpec
@@ -30,13 +25,31 @@ from repro.core.loop import (
     AdaptiveSyncPolicy,
     BlockBackend,
     EngineBackend,
-    IterationLoop,
+    IterationBackend,
     IterativeResult,
     RoundRecord,
 )
+from repro.core.session import Session
 from repro.engine import MapReduceRuntime
 
 __all__ = ["RoundRecord", "IterativeResult", "run_iterative_kv", "run_iterative_block"]
+
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; submit the job to a "
+        f"repro.core.session.Session instead (Session.submit)",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+def _run_single_job(backend: IterationBackend, config: DriverConfig, *,
+                    sync_policy: "AdaptiveSyncPolicy | None") -> IterativeResult:
+    """Run one backend through a throwaway single-job FIFO session."""
+    session = Session(cluster=backend.cluster, policy="fifo")
+    handle = session.submit(backend, config, sync_policy=sync_policy)
+    session.run()
+    return handle.result
 
 
 def run_iterative_kv(
@@ -50,14 +63,16 @@ def run_iterative_kv(
 ) -> IterativeResult:
     """Run the two-level scheme on the real engine until convergence.
 
-    Shim over :class:`~repro.core.loop.IterationLoop` with an
-    :class:`~repro.core.loop.EngineBackend`; see those classes for the
-    parameter semantics (a default runtime is owned by the run and
-    closed on return; a caller-supplied one is left open for reuse).
+    .. deprecated::
+        Use ``Session.submit`` with an
+        :class:`~repro.core.loop.EngineBackend` (or an app ``*_spec``
+        factory).  A default runtime is owned by the run and closed on
+        return; a caller-supplied one is left open for reuse.
     """
+    _deprecated("run_iterative_kv")
     backend = EngineBackend(spec, runtime=runtime, num_reducers=num_reducers,
                             eager_reduce=eager_reduce)
-    return IterationLoop(backend, config, sync_policy=sync_policy).run()
+    return _run_single_job(backend, config, sync_policy=sync_policy)
 
 
 def run_iterative_block(
@@ -70,11 +85,13 @@ def run_iterative_block(
 ) -> IterativeResult:
     """Run a vectorised :class:`BlockSpec` until global convergence.
 
-    Shim over :class:`~repro.core.loop.IterationLoop` with a
-    :class:`~repro.core.loop.BlockBackend`; when ``cluster`` is given,
-    every round charges through the audited
-    :class:`~repro.cluster.accountant.RoundAccountant` path.
+    .. deprecated::
+        Use ``Session.submit`` with a
+        :class:`~repro.core.loop.BlockBackend` (or an app ``*_spec``
+        factory); the session charges every round through the audited
+        per-job :class:`~repro.cluster.accountant.RoundAccountant`.
     """
+    _deprecated("run_iterative_block")
     backend = BlockBackend(spec, cluster=cluster,
                            num_reduce_tasks=num_reduce_tasks)
-    return IterationLoop(backend, config, sync_policy=sync_policy).run()
+    return _run_single_job(backend, config, sync_policy=sync_policy)

@@ -36,7 +36,6 @@ from repro.core.config import DriverConfig
 from repro.core.loop import (
     AdaptiveSyncPolicy,
     HierarchicalBackend,
-    IterationLoop,
     IterativeResult,
 )
 
@@ -108,11 +107,15 @@ def run_iterative_hierarchical(
 ) -> IterativeResult:
     """Run the three-level scheme (local / rack / global) to convergence.
 
-    Shim over :class:`~repro.core.loop.IterationLoop` with a
-    :class:`~repro.core.loop.HierarchicalBackend`; see that class for
-    the per-round structure and charging.
+    .. deprecated::
+        Use :meth:`repro.core.session.Session.submit` with a
+        :class:`~repro.core.loop.HierarchicalBackend`; see that class
+        for the per-round structure and charging.
     """
+    from repro.core.driver import _deprecated, _run_single_job
+
+    _deprecated("run_iterative_hierarchical")
     backend = HierarchicalBackend(spec, racks, hierarchy=hierarchy,
                                   cluster=cluster,
                                   num_reduce_tasks=num_reduce_tasks)
-    return IterationLoop(backend, config, sync_policy=sync_policy).run()
+    return _run_single_job(backend, config, sync_policy=sync_policy)

@@ -32,9 +32,14 @@ a seam the old triplicated drivers made impractical:
 :class:`AdaptiveSyncPolicy` retunes ``max_local_iters`` every round
 from the observed residual contraction.
 
-The historical entry points ``run_iterative_kv``, ``run_iterative_block``
-and ``run_iterative_hierarchical`` survive as thin shims over this
-module (see :mod:`repro.core.driver` and :mod:`repro.core.hierarchy`).
+The loop is re-entrant at round granularity (``start``/``step``/
+``finish``), which is what lets a multi-job
+:class:`~repro.core.session.Session` interleave many jobs' rounds on one
+shared cluster clock (:mod:`repro.core.jobsched`).  The historical
+entry points ``run_iterative_kv``, ``run_iterative_block`` and
+``run_iterative_hierarchical`` survive as deprecated shims over a
+single-job session (see :mod:`repro.core.driver` and
+:mod:`repro.core.hierarchy`).
 """
 
 from __future__ import annotations
@@ -127,10 +132,18 @@ class IterationBackend(abc.ABC):
     #: Set by :meth:`bind`; every simulated charge goes through it.
     accountant: RoundAccountant
 
-    def bind(self, config: DriverConfig) -> None:
-        """Attach the run's configuration and build the accountant."""
+    def bind(self, config: DriverConfig,
+             accountant: "RoundAccountant | None" = None) -> None:
+        """Attach the run's configuration and build the accountant.
+
+        A multi-job :class:`~repro.core.session.Session` passes its own
+        per-job ``accountant`` (labelled, over the shared cluster) so
+        every job's charges stay attributable on one timeline; solo runs
+        get a fresh private one.
+        """
         self.config = config
-        self.accountant = RoundAccountant(self.cluster, config)
+        self.accountant = (accountant if accountant is not None
+                           else RoundAccountant(self.cluster, config))
 
     @property
     def cluster(self):
@@ -233,7 +246,7 @@ class EngineBackend(IterationBackend):
                          name=f"iter{iteration}",
                          eager_reduce=self.eager_reduce),
         )
-        res = self.runtime.run(job, splits)
+        res = self.runtime.run(job, splits, accountant=self.accountant)
         return RoundOutcome(
             state=spec.state_from_output(res.output, state),
             local_iters=tuple(
@@ -497,6 +510,15 @@ class IterationLoop:
     history) and the round accounting; the backend owns the execution
     substrate and the synchronization discipline.
 
+    The loop is *re-entrant at round granularity*: :meth:`start` binds
+    the backend and builds the initial state, each :meth:`step` executes
+    exactly one global round, and :meth:`finish` closes the backend and
+    assembles the :class:`IterativeResult`.  :meth:`run` composes the
+    three for the classic run-to-convergence call, while a multi-job
+    :class:`~repro.core.session.Session` interleaves ``step`` calls of
+    many loops on one shared cluster clock (see
+    :mod:`repro.core.jobsched`).
+
     Parameters
     ----------
     backend:
@@ -507,13 +529,27 @@ class IterationLoop:
         Optional :class:`AdaptiveSyncPolicy` retuning the local-iteration
         budget per round; ``None`` uses the fixed
         ``config.effective_local_iters`` (the paper's behaviour).
+    accountant:
+        Optional pre-built :class:`~repro.cluster.accountant.RoundAccountant`
+        handed to :meth:`IterationBackend.bind` — how a session gives
+        each job its own labelled ledger over the shared cluster.
+        ``None`` (solo runs) lets the backend build a private one.
     """
 
     def __init__(self, backend: IterationBackend, config: DriverConfig, *,
-                 sync_policy: "AdaptiveSyncPolicy | None" = None) -> None:
+                 sync_policy: "AdaptiveSyncPolicy | None" = None,
+                 accountant: "RoundAccountant | None" = None) -> None:
         self.backend = backend
         self.config = config
         self.sync_policy = sync_policy
+        self._accountant = accountant
+        self._started = False
+        self._closed = False
+        self._converged = False
+        self._iters = 0
+        self._busy = 0.0
+        self._state: Any = None
+        self._history: "list[RoundRecord]" = []
 
     def _round_budget(self) -> int:
         if self.sync_policy is None:
@@ -523,47 +559,102 @@ class IterationLoop:
         self.sync_policy.budgets.append(budget)
         return budget
 
-    def run(self) -> IterativeResult:
+    # -- stepwise protocol ------------------------------------------------
+    def start(self) -> None:
+        """Bind the backend and build the initial state (idempotent)."""
+        if self._started:
+            return
+        self.backend.bind(self.config, self._accountant)
+        if self.sync_policy is not None:
+            self.sync_policy.reset()
+        self._state = self.backend.initial_state()
+        self._started = True
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def finished(self) -> bool:
+        """True once converged or the global-iteration cap is reached."""
+        return self._started and (self._converged
+                                  or self._iters >= self.config.max_global_iters)
+
+    @property
+    def global_iters(self) -> int:
+        """Global rounds executed so far."""
+        return self._iters
+
+    def step(self) -> bool:
+        """Execute exactly one global round; returns :attr:`finished`.
+
+        Safe to interleave with other loops' steps on the same simulated
+        cluster: the round's charges land between this call's entry and
+        exit clock readings, so per-round timing stays attributable no
+        matter what other jobs did to the clock in between.
+        """
+        if not self._started:
+            raise RuntimeError("IterationLoop.step() before start()")
+        if self.finished:
+            raise RuntimeError("IterationLoop.step() after the run finished")
         backend, config, policy = self.backend, self.config, self.sync_policy
-        backend.bind(config)
+        it = self._iters
+        hooked = backend.on_global_iteration(it, self._state)
+        if hooked is not None:
+            self._state = hooked
+        budget = self._round_budget()
+        round_start = backend.accountant.clock
+        outcome = backend.run_round(it, self._state, max_local_iters=budget)
+        done, residual = backend.global_converged(self._state, outcome.state)
+        self._iters = it + 1
+        self._busy += backend.accountant.clock - round_start
+        if config.record_history:
+            self._history.append(RoundRecord(
+                iteration=it,
+                residual=residual,
+                local_iters=outcome.local_iters,
+                sim_seconds=backend.accountant.clock - round_start,
+                shuffle_bytes=outcome.shuffle_bytes,
+            ))
         if policy is not None:
-            policy.reset()
-        state = backend.initial_state()
-        history: "list[RoundRecord]" = []
-        converged = False
-        iters = 0
-        start_clock = backend.accountant.clock
-        try:
-            for it in range(config.max_global_iters):
-                hooked = backend.on_global_iteration(it, state)
-                if hooked is not None:
-                    state = hooked
-                budget = self._round_budget()
-                round_start = backend.accountant.clock
-                outcome = backend.run_round(it, state, max_local_iters=budget)
-                done, residual = backend.global_converged(state, outcome.state)
-                iters = it + 1
-                if config.record_history:
-                    history.append(RoundRecord(
-                        iteration=it,
-                        residual=residual,
-                        local_iters=outcome.local_iters,
-                        sim_seconds=backend.accountant.clock - round_start,
-                        shuffle_bytes=outcome.shuffle_bytes,
-                    ))
-                if policy is not None:
-                    policy.observe(residual, local_iters=outcome.local_iters,
-                                   budget=budget)
-                state = outcome.state
-                if done:
-                    converged = True
-                    break
-        finally:
-            backend.close()
+            policy.observe(residual, local_iters=outcome.local_iters,
+                           budget=budget)
+        self._state = outcome.state
+        if done:
+            self._converged = True
+        return self.finished
+
+    def close(self) -> None:
+        """Close the backend exactly once (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.backend.close()
+
+    def finish(self) -> IterativeResult:
+        """Close the backend and assemble the run's result.
+
+        ``sim_time`` is the *busy* time — the simulated seconds this
+        run's own rounds advanced the clock.  For a solo run that equals
+        the clock delta across the run; under session interleaving it
+        excludes other jobs' rounds (their share of the timeline is a
+        contention metric on the :class:`~repro.core.jobsched.JobHandle`,
+        not part of this job's cost).
+        """
+        self.close()
         return IterativeResult(
-            state=state,
-            global_iters=iters,
-            converged=converged,
-            sim_time=backend.accountant.clock - start_clock,
-            history=history,
+            state=self._state,
+            global_iters=self._iters,
+            converged=self._converged,
+            sim_time=self._busy,
+            history=self._history,
         )
+
+    def run(self) -> IterativeResult:
+        """Start, step to convergence (or the cap), and finish."""
+        self.start()
+        try:
+            while not self.finished:
+                self.step()
+        finally:
+            self.close()
+        return self.finish()

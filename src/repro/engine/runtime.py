@@ -192,8 +192,17 @@ class MapReduceRuntime:
         self._discard_if_broken(pool, transient, exc)
 
     # ------------------------------------------------------------------
-    def run(self, job: Job, splits: "Sequence[Sequence[tuple[Any, Any]]]") -> JobResult:
-        """Run ``job`` over ``splits`` (one map task per split)."""
+    def run(self, job: Job, splits: "Sequence[Sequence[tuple[Any, Any]]]", *,
+            accountant=None) -> JobResult:
+        """Run ``job`` over ``splits`` (one map task per split).
+
+        ``accountant`` optionally routes this job's simulated charges
+        through a caller-owned
+        :class:`~repro.cluster.accountant.RoundAccountant` (over this
+        runtime's cluster) instead of a fresh anonymous one — how a
+        multi-job session attributes engine-path charges, applies the
+        scheduler's slot share, and prefixes trace labels per job.
+        """
         splits = [list(s) for s in splits]
         counters = Counters()
         conf = job.conf
@@ -241,7 +250,8 @@ class MapReduceRuntime:
             counters.merge(res.counters)
             output.extend(res.data)
 
-        sim_times = self._account(job, map_results, reduce_results, sbytes, output)
+        sim_times = self._account(job, map_results, reduce_results, sbytes,
+                                  output, accountant=accountant)
         return JobResult(output=output, counters=counters, sim_times=sim_times)
 
     # ------------------------------------------------------------------
@@ -371,18 +381,20 @@ class MapReduceRuntime:
     # ------------------------------------------------------------------
     def _account(self, job: Job, map_results: "list[TaskResult]",
                  reduce_results: "list[TaskResult]", sbytes: int,
-                 output: list) -> dict:
+                 output: list, *, accountant=None) -> dict:
         """Charge the simulated cluster for this job; returns the breakdown.
 
         All charges flow through the shared
         :class:`~repro.cluster.accountant.RoundAccountant` — the same
-        audited path the iterative drivers use.
+        audited path the iterative drivers use — either the caller's
+        (per-job attribution) or a fresh anonymous one.
         """
         if self.cluster is None:
             return {}
         from repro.cluster.accountant import RoundAccountant
 
-        acct = RoundAccountant(self.cluster)
+        acct = (accountant if accountant is not None
+                else RoundAccountant(self.cluster))
         cm = self.cluster.cost_model
         times: dict[str, float] = {}
         times["startup"] = acct.charge_job_startup(

@@ -179,6 +179,13 @@ class TestOnlineStateStore:
             DriverConfig(state_store="tape")
         with pytest.raises(ValueError):
             DriverConfig(checkpoint_every=-1)
+        with pytest.raises(ValueError):
+            DriverConfig(checkpoint_every=0)  # None disables, not 0
+        with pytest.raises(ValueError):
+            DriverConfig(checkpoint_every=2.5)
+        with pytest.raises(ValueError):
+            DriverConfig(charge_local_ops_at="gpu")
+        DriverConfig(checkpoint_every=None)  # the disable spelling
 
     def test_online_store_cheaper_than_dfs(self, setup):
         g, part = setup
@@ -189,7 +196,7 @@ class TestOnlineStateStore:
         online = run_iterative_block(
             PageRankBlockSpec(g, part),
             DriverConfig(mode="eager", state_store="online",
-                         checkpoint_every=0),
+                         checkpoint_every=None),
             cluster=SimCluster())
         assert online.global_iters == dfs.global_iters  # same algorithm
         assert online.sim_time < dfs.sim_time
@@ -199,7 +206,7 @@ class TestOnlineStateStore:
         no_ckpt = run_iterative_block(
             PageRankBlockSpec(g, part),
             DriverConfig(mode="eager", state_store="online",
-                         checkpoint_every=0),
+                         checkpoint_every=None),
             cluster=SimCluster())
         ckpt = run_iterative_block(
             PageRankBlockSpec(g, part),

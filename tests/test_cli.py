@@ -26,6 +26,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep"])
 
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.policy == "fair"
+        assert args.jobs == "pagerank,kmeans,sssp"
+
+    def test_schedule_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--policy", "lottery"])
+
+    def test_adaptive_sync_flag(self):
+        assert build_parser().parse_args(
+            ["pagerank", "--adaptive-sync"]).adaptive_sync
+        assert not build_parser().parse_args(["sssp"]).adaptive_sync
+        assert build_parser().parse_args(
+            ["kmeans", "--adaptive-sync"]).adaptive_sync
+
     def test_sweep_figure_range(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--figure", "10"])
@@ -59,6 +75,35 @@ class TestCommands:
                    "--candidates", "2,4"])
         assert rc == 0
         assert "best k" in capsys.readouterr().out
+
+    def test_schedule_runs_three_jobs_on_one_cluster(self, capsys):
+        rc = main(["schedule", "--jobs", "pagerank,kmeans,sssp",
+                   "--policy", "fair", "--scale", "0.003", "-k", "2",
+                   "--rows", "400", "--clusters", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 jobs on one shared cluster (fair)" in out
+        for job in ("pagerank#0", "kmeans#1", "sssp#2"):
+            assert job in out
+        assert "mean job latency" in out
+
+    def test_schedule_fifo_policy(self, capsys):
+        rc = main(["schedule", "--jobs", "sssp,components",
+                   "--policy", "fifo", "--scale", "0.003", "-k", "2"])
+        assert rc == 0
+        assert "(fifo)" in capsys.readouterr().out
+
+    def test_schedule_rejects_unknown_job(self, capsys):
+        rc = main(["schedule", "--jobs", "pagerank,teleport",
+                   "--scale", "0.003", "-k", "2"])
+        assert rc == 2
+        assert "unknown jobs" in capsys.readouterr().err
+
+    def test_pagerank_adaptive_sync_runs(self, capsys):
+        rc = main(["pagerank", "--graph", "A", "--scale", "0.003",
+                   "-k", "2", "--mode", "eager", "--adaptive-sync"])
+        assert rc == 0
+        assert "PageRank on Graph A" in capsys.readouterr().out
 
     def test_bad_candidates_reports_error(self, capsys):
         rc = main(["autotune", "--graph", "A", "--scale", "0.003",
