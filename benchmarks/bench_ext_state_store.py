@@ -7,22 +7,31 @@
     alternatives; however, issues of fault tolerance must be resolved."
 
 Compares General PageRank (many global iterations — the configuration
-that pays the most state round trips) across: the DFS store, the online
-store without checkpoints (fast, unrecoverable), and the online store
-with periodic DFS checkpoints (the resolved-fault-tolerance variant).
+that pays the most state round trips) across
+:class:`~repro.cluster.statestore.StateStore` backends: the replicated
+DFS, a single-tablet online store (the historical scalar model),
+a properly sharded 8-tablet online store, and the online store with
+periodic DFS checkpoints (the resolved-fault-tolerance variant).
+
+Emits its per-config simulated seconds into ``BENCH_state_store.json``
+(shared with ``bench_state_skew.py``) so the perf trajectory is
+machine-readable across PRs.
 """
 
 from __future__ import annotations
 
+from conftest import record_bench_json
 from repro.apps.pagerank import PageRankBlockSpec
 from repro.bench import get_graph, get_partition, graph_scale, make_cluster
+from repro.cluster import DFSStateStore, OnlineStateStore
 from repro.core import BlockBackend, DriverConfig, IterationLoop
 from repro.util import ascii_table
 
 VARIANTS = (
-    ("DFS (Hadoop baseline)", "dfs", None),
-    ("online, no checkpoints", "online", None),
-    ("online + checkpoint every 5", "online", 5),
+    ("DFS (Hadoop baseline)", DFSStateStore, None),
+    ("online, 1 tablet", lambda: OnlineStateStore(num_tablets=1), None),
+    ("online, 8 tablets", lambda: OnlineStateStore(num_tablets=8), None),
+    ("online, 8 tablets + ckpt/5", lambda: OnlineStateStore(num_tablets=8), 5),
 )
 
 
@@ -33,8 +42,8 @@ def test_extension_online_state_store(once):
 
     def run():
         out = {}
-        for name, store, ckpt in VARIANTS:
-            cfg = DriverConfig(mode="general", state_store=store,
+        for name, store_factory, ckpt in VARIANTS:
+            cfg = DriverConfig(mode="general", state_store=store_factory(),
                                checkpoint_every=ckpt)
             res = IterationLoop(
                 BlockBackend(PageRankBlockSpec(g, part),
@@ -48,12 +57,17 @@ def test_extension_online_state_store(once):
         ["state store", "global iters", "sim time (s)"],
         [[n, it, f"{t:.0f}"] for n, (it, t) in results.items()],
         title="Extension: inter-iteration state store (General PageRank)"))
+    record_bench_json("ext_state_store",
+                      {name: t for name, (_, t) in results.items()})
 
     it_dfs, t_dfs = results["DFS (Hadoop baseline)"]
-    it_fast, t_fast = results["online, no checkpoints"]
-    it_ckpt, t_ckpt = results["online + checkpoint every 5"]
-    # identical algorithm either way
-    assert it_dfs == it_fast == it_ckpt
-    # online store saves time; checkpoints give back part of the saving
-    assert t_fast < t_dfs
-    assert t_fast < t_ckpt < t_dfs
+    it_one, t_one = results["online, 1 tablet"]
+    it_many, t_many = results["online, 8 tablets"]
+    it_ckpt, t_ckpt = results["online, 8 tablets + ckpt/5"]
+    # identical algorithm whatever the store
+    assert it_dfs == it_one == it_many == it_ckpt
+    # online store saves time; tablets serve in parallel, so sharding
+    # saves more; checkpoints give back part of the saving
+    assert t_one < t_dfs
+    assert t_many <= t_one
+    assert t_many < t_ckpt < t_dfs

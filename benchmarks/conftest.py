@@ -16,7 +16,35 @@ Scale is controlled by ``REPRO_SCALE`` (default laptop-friendly; set
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
+
+#: Machine-readable perf artifact the state-store benchmarks write
+#: (per-config simulated seconds); the CI bench-smoke job uploads it so
+#: the perf trajectory is comparable across PRs.  Override the location
+#: with the BENCH_STATE_STORE_JSON env var.
+_BENCH_JSON_DEFAULT = "BENCH_state_store.json"
+
+
+def record_bench_json(section: str, values: "dict[str, float]") -> str:
+    """Merge one benchmark's ``{config: simulated seconds}`` mapping
+    into the shared ``BENCH_state_store.json`` artifact; returns the
+    path written."""
+    path = os.environ.get("BENCH_STATE_STORE_JSON", _BENCH_JSON_DEFAULT)
+    data: "dict[str, dict]" = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[section] = {k: round(float(v), 3) for k, v in values.items()}
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def run_once(benchmark, fn):

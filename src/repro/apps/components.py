@@ -92,7 +92,7 @@ class ComponentsBlockSpec(BlockSpec):
         if len(nodes) == 0:
             return LocalSolveReport(partition=part_id, updates=(nodes, nodes),
                                     local_iters=0, per_iter_ops=[],
-                                    shuffle_bytes=0)
+                                    shuffle_bytes=0, update_nbytes=0)
         # As in SSSP: the frozen cross-edge labels are a constant floor
         # applied inside each relaxation, so one local iteration is one
         # synchronous propagation round regardless of the partitioning.
@@ -113,9 +113,13 @@ class ComponentsBlockSpec(BlockSpec):
             if not changed:
                 break
         records = (out_all if max_local_iters == 1 else out_cut) + len(nodes)
+        # Frontier-driven state traffic, like SSSP: only labels lowered
+        # this round are rewritten through the state store.
+        changed = int(np.count_nonzero(x < state[nodes]))
         return LocalSolveReport(partition=part_id, updates=(nodes, x),
                                 local_iters=iters, per_iter_ops=per_iter_ops,
-                                shuffle_bytes=records * RECORD_BYTES)
+                                shuffle_bytes=records * RECORD_BYTES,
+                                update_nbytes=changed * 8)
 
     def global_combine(self, state, reports):
         new_state = state.copy()

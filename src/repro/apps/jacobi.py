@@ -191,7 +191,7 @@ class JacobiBlockSpec(BlockSpec):
         if len(nodes) == 0:
             return LocalSolveReport(partition=part_id, updates=(nodes, nodes),
                                     local_iters=0, per_iter_ops=[],
-                                    shuffle_bytes=0)
+                                    shuffle_bytes=0, update_nbytes=0)
         sysm = self.system
         # Frozen remote coupling: b_eff = b - R_ext x_ext.
         b_eff = sysm.b[nodes].copy()
@@ -213,9 +213,12 @@ class JacobiBlockSpec(BlockSpec):
             if delta < self.local_tol:
                 break
         records = len(nodes) + len(e_r)
+        # Dense update: the whole solution slice is rewritten through
+        # the state store each round (partition-size distribution).
         return LocalSolveReport(partition=part_id, updates=(nodes, x),
                                 local_iters=iters, per_iter_ops=per_iter_ops,
-                                shuffle_bytes=records * RECORD_BYTES)
+                                shuffle_bytes=records * RECORD_BYTES,
+                                update_nbytes=int(x.nbytes))
 
     def global_combine(self, state, reports):
         new_state = state.copy()

@@ -147,7 +147,7 @@ class PageRankBlockSpec(BlockSpec):
         if len(nodes) == 0:
             return LocalSolveReport(partition=part_id, updates=(nodes, nodes),
                                     local_iters=0, per_iter_ops=[],
-                                    shuffle_bytes=0)
+                                    shuffle_bytes=0, update_nbytes=0)
         d = self.damping
         x = state[nodes].copy()
         # Frozen external contributions from remote partitions.
@@ -181,9 +181,15 @@ class PageRankBlockSpec(BlockSpec):
             records = csr.out_edges + len(nodes)
         else:
             records = csr.out_cut_edges + len(nodes)
+        # State-store traffic: every rank in the partition's slice is
+        # rewritten each round (dense update), so the per-partition
+        # distribution is the partition-size profile — and the vector
+        # sums to state_nbytes exactly, keeping aggregate charges
+        # identical to the historical scalar accounting.
         return LocalSolveReport(partition=part_id, updates=(nodes, x),
                                 local_iters=iters, per_iter_ops=per_iter_ops,
-                                shuffle_bytes=records * RECORD_BYTES)
+                                shuffle_bytes=records * RECORD_BYTES,
+                                update_nbytes=int(x.nbytes))
 
     def global_combine(self, state, reports):
         new_state = state.copy()

@@ -126,7 +126,7 @@ class SsspBlockSpec(BlockSpec):
         if len(nodes) == 0:
             return LocalSolveReport(partition=part_id, updates=(nodes, nodes),
                                     local_iters=0, per_iter_ops=[],
-                                    shuffle_bytes=0)
+                                    shuffle_bytes=0, update_nbytes=0)
         # Frozen candidates over incoming cross edges: a constant floor
         # applied inside each relaxation so that a single local iteration
         # is exactly one synchronous Bellman-Ford round over *all* edges
@@ -154,9 +154,15 @@ class SsspBlockSpec(BlockSpec):
             records = pe.out_edges + len(nodes)
         else:
             records = pe.out_cut_edges + len(nodes)
+        # State-store traffic is frontier-driven: only distances that
+        # improved this round are (re)written, so partitions the wave
+        # is currently sweeping dominate the store's key range —
+        # SSSP's naturally skewed update distribution.
+        changed = int(np.count_nonzero(x < state[nodes]))
         return LocalSolveReport(partition=part_id, updates=(nodes, x),
                                 local_iters=iters, per_iter_ops=per_iter_ops,
-                                shuffle_bytes=records * RECORD_BYTES)
+                                shuffle_bytes=records * RECORD_BYTES,
+                                update_nbytes=changed * 8)
 
     def global_combine(self, state, reports):
         new_state = state.copy()

@@ -101,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="points for the kmeans job")
     p_sc.add_argument("--clusters", type=int, default=8,
                       help="centroids for the kmeans job")
+    p_sc.add_argument("--state-store", choices=["dfs", "online"],
+                      default="dfs",
+                      help="inter-round state store ALL jobs share: the "
+                           "replicated DFS, or the Bigtable-like online "
+                           "store (tablet-sharded; see --tablets)")
+    p_sc.add_argument("--tablets", type=int, default=8,
+                      help="tablet count of the shared online store "
+                           "(--state-store online)")
 
     p_sw = sub.add_parser("sweep", help="regenerate one figure's sweep")
     p_sw.add_argument("--figure", type=int, required=True,
@@ -202,7 +210,7 @@ def _cmd_kmeans(args) -> int:
 def _cmd_schedule(args) -> int:
     from repro.apps import (components_spec, kmeans_spec, pagerank_spec,
                             sssp_spec)
-    from repro.cluster import SimCluster
+    from repro.cluster import DFSStateStore, OnlineStateStore, SimCluster
     from repro.core import Session
     from repro.data import census_sample
     from repro.graph import attach_random_weights
@@ -232,7 +240,12 @@ def _cmd_schedule(args) -> int:
                            num_partitions=args.partitions, seed=args.seed,
                            name=label)
 
-    with Session(cluster=SimCluster(), policy=args.policy) as session:
+    # One store shared by every job: multi-job runs contend on the same
+    # tablets (an --state-store online run reports the tablet skew).
+    store = (OnlineStateStore(num_tablets=args.tablets)
+             if args.state_store == "online" else DFSStateStore())
+    with Session(cluster=SimCluster(), policy=args.policy,
+                 state_store=store) as session:
         handles = [session.submit(spec_for(job, i))
                    for i, job in enumerate(job_names)]
         session.run()
@@ -251,6 +264,9 @@ def _cmd_schedule(args) -> int:
                   f"cluster ({session.policy.name})"))
         print(f"cluster makespan: {session.makespan():,.0f} simulated s; "
               f"mean job latency: {session.mean_latency():,.0f} simulated s")
+        if args.state_store == "online":
+            print(f"shared online store: {store.num_tablets} tablets, "
+                  f"hottest-tablet load {store.imbalance():.2f}x the mean")
     return 0
 
 

@@ -4,10 +4,14 @@ This package provides the measurement substrate: an explicit
 :class:`~repro.cluster.costmodel.CostModel` with EC2-like and HPC-like
 presets, :class:`~repro.cluster.node.SimNode` machines with map/reduce
 slots, greedy list scheduling with a full event
-:class:`~repro.cluster.trace.Trace`, and a replicated
-:class:`~repro.cluster.dfs.SimDFS`.  All "time to converge" numbers in the
-figure benchmarks are simulated seconds produced here from *measured*
-operation counts, byte counts, and task counts.
+:class:`~repro.cluster.trace.Trace`, a replicated
+:class:`~repro.cluster.dfs.SimDFS`, and the partitioned inter-round
+state stores of :mod:`repro.cluster.statestore`
+(:class:`~repro.cluster.statestore.DFSStateStore` /
+tablet-sharded :class:`~repro.cluster.statestore.OnlineStateStore`).
+All "time to converge" numbers in the figure benchmarks are simulated
+seconds produced here from *measured* operation counts, byte counts,
+and task counts.
 """
 
 from repro.cluster.cluster import PhaseResult, SimCluster
@@ -22,6 +26,13 @@ from repro.cluster.costmodel import (
 from repro.cluster.dfs import SimDFS, estimate_nbytes
 from repro.cluster.kvstore import OnlineStoreModel, SimKVStore
 from repro.cluster.node import SimNode, ec2_nodes
+from repro.cluster.statestore import (
+    DFSStateStore,
+    OnlineStateStore,
+    StateStore,
+    even_split,
+    resolve_state_store,
+)
 from repro.cluster.report import (
     PhaseShare,
     format_breakdown,
@@ -43,6 +54,11 @@ __all__ = [
     "estimate_nbytes",
     "SimKVStore",
     "OnlineStoreModel",
+    "StateStore",
+    "DFSStateStore",
+    "OnlineStateStore",
+    "resolve_state_store",
+    "even_split",
     "SimNode",
     "PhaseShare",
     "phase_breakdown",

@@ -11,6 +11,14 @@ trip, periodic checkpoint, rack-local rounds) so all backends of
 :mod:`repro.core.loop` — and the engine's own per-job accounting —
 flow through one code path and cannot diverge again.
 
+Inter-round state is charged through a partitioned
+:class:`~repro.cluster.statestore.StateStore` (resolved from the
+config's ``state_store``, or injected by a session so many jobs contend
+on one store), and every bandwidth-bound charge — shuffle, DFS round
+trip, state round trip, checkpoint — honours :attr:`slot_share`, so a
+fair-share scheduler's concurrent jobs each see their slice of the
+network and of the store's throughput.
+
 Every method is a no-op returning ``0.0`` when no cluster is attached,
 so callers never branch on ``cluster is None``.
 """
@@ -21,6 +29,7 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # avoid a runtime repro.cluster <-> repro.core cycle
     from repro.cluster.cluster import SimCluster
+    from repro.cluster.statestore import StateStore
     from repro.core.config import DriverConfig
 
 __all__ = ["RoundAccountant"]
@@ -61,12 +70,34 @@ class RoundAccountant:
 
     def __init__(self, cluster: "SimCluster | None",
                  config: "DriverConfig | None" = None, *,
-                 job: "str | None" = None) -> None:
+                 job: "str | None" = None,
+                 state_store: "StateStore | None" = None) -> None:
         self.cluster = cluster
         self.config = config
         self.job = job
         self.charged: float = 0.0
         self.slot_share: float = 1.0
+        self._state_store = state_store
+
+    @property
+    def state_store(self) -> "StateStore":
+        """The partitioned store inter-round state charges go through.
+
+        Sessions inject a shared instance at construction (multi-job
+        contention on one set of tablets); otherwise the store is
+        resolved lazily from ``config.state_store`` — legacy strings
+        map to the charge-equivalent backends.
+        """
+        if self._state_store is None:
+            from repro.cluster.statestore import resolve_state_store
+
+            if self.config is None:
+                raise ValueError(
+                    "state charging needs a DriverConfig (or an injected "
+                    "StateStore)")
+            self._state_store = resolve_state_store(
+                self.config.state_store, self.cluster)
+        return self._state_store
 
     def _label(self, label: str) -> str:
         return f"{self.job}:{label}" if self.job else label
@@ -101,7 +132,8 @@ class RoundAccountant:
     def charge_shuffle(self, nbytes: float, *, label: str = "shuffle") -> float:
         if self.cluster is None:
             return 0.0
-        return self._count(self.cluster.charge_shuffle(nbytes, label=self._label(label)))
+        return self._count(self.cluster.charge_shuffle(
+            nbytes, label=self._label(label), share=self.slot_share))
 
     def charge_overlapped_shuffle(self, nbytes: float, *,
                                   overlap_seconds: float,
@@ -109,7 +141,8 @@ class RoundAccountant:
         if self.cluster is None:
             return 0.0
         return self._count(self.cluster.charge_overlapped_shuffle(
-            nbytes, overlap_seconds=overlap_seconds, label=self._label(label)))
+            nbytes, overlap_seconds=overlap_seconds,
+            label=self._label(label), share=self.slot_share))
 
     def charge_barrier(self, *, label: str = "barrier") -> float:
         if self.cluster is None:
@@ -119,7 +152,8 @@ class RoundAccountant:
     def charge_dfs_roundtrip(self, nbytes: float, *, label: str = "dfs") -> float:
         if self.cluster is None:
             return 0.0
-        return self._count(self.cluster.charge_dfs_roundtrip(nbytes, label=self._label(label)))
+        return self._count(self.cluster.charge_dfs_roundtrip(
+            nbytes, label=self._label(label), share=self.slot_share))
 
     def run_map_phase(self, task_costs: Sequence[float], *, label: str) -> float:
         """Schedule map tasks; returns the phase makespan."""
@@ -141,12 +175,51 @@ class RoundAccountant:
             return 0.0
         return self._count(self.cluster.charge_fixed(self._label(label), seconds))
 
-    def charge_state_roundtrip(self, nbytes: float, *, store: str = "dfs",
-                               label: str = "state") -> float:
+    def charge_state_round(self, partition_bytes: Sequence[float], *,
+                           label: str = "state") -> float:
+        """Charge one inter-round state round trip through the attached
+        :class:`~repro.cluster.statestore.StateStore`.
+
+        ``partition_bytes`` is the per-partition byte vector the round
+        writes (and the next round reads back); the store decides what
+        that costs — in aggregate for the DFS file, max-over-tablets
+        for the online store — scaled to the job's slot share.
+        """
         if self.cluster is None:
             return 0.0
-        return self._count(self.cluster.charge_state_roundtrip(
-            nbytes, store=store, label=self._label(label)))
+        t = self.state_store.round_trip(partition_bytes,
+                                        share=self.slot_share)
+        return self._count(self.cluster.charge_fixed(self._label(label), t))
+
+    def charge_state_checkpoint(self, partition_bytes: Sequence[float], *,
+                                label: str = "checkpoint") -> float:
+        """Charge the periodic durability checkpoint of a non-durable
+        state store (a full replicated DFS write of the state)."""
+        if self.cluster is None:
+            return 0.0
+        t = self.state_store.checkpoint(partition_bytes,
+                                        share=self.slot_share)
+        return self._count(self.cluster.charge_fixed(self._label(label), t))
+
+    def charge_state_tail(self, *, iteration: int,
+                          state_partition_bytes: Sequence[float],
+                          label: str) -> float:
+        """The inter-round state tail every backend's round ends with:
+        the state round trip plus, for non-durable stores, the periodic
+        durability checkpoint.  One code path shared by the block
+        composite (:meth:`charge_global_sync`) and the engine backend,
+        so the two cannot drift in when the checkpoint fires.
+        """
+        if self.cluster is None:
+            return 0.0
+        config = self._config()
+        start = self.cluster.clock
+        self.charge_state_round(state_partition_bytes, label=f"{label}:state")
+        if (not self.state_store.durable and config.checkpoint_every
+                and (iteration + 1) % config.checkpoint_every == 0):
+            self.charge_state_checkpoint(state_partition_bytes,
+                                         label=f"{label}:checkpoint")
+        return self.cluster.clock - start
 
     # ------------------------------------------------------------------
     # Driver-level composites (need a DriverConfig)
@@ -204,19 +277,22 @@ class RoundAccountant:
         return self.cluster.clock - start
 
     def charge_global_sync(self, *, iteration: int, extra_bytes: int,
-                           reduce_ops: float, state_bytes: int,
+                           reduce_ops: float,
+                           state_partition_bytes: Sequence[float],
                            num_reduce_tasks: "int | None" = None,
                            label: str) -> float:
         """Charge everything after the global combine, in the audited
         order: the combine's own ``extra_bytes`` shuffle, the reduce
-        phase, the barrier, the inter-iteration state round trip, and —
-        with the online store — the periodic durability checkpoint
+        phase, the barrier, the inter-iteration state round trip
+        (per-partition bytes through the attached
+        :class:`~repro.cluster.statestore.StateStore`), and — for
+        non-durable stores — the periodic durability checkpoint
         (§VIII's fault-tolerance caveat: a full replicated DFS write of
         the state every ``config.checkpoint_every`` iterations).
         """
         if self.cluster is None:
             return 0.0
-        config = self._config()
+        self._config()  # composites need a DriverConfig; fail before charging
         start = self.cluster.clock
         if extra_bytes:
             self.charge_shuffle(int(extra_bytes), label=f"{label}:shuffle+")
@@ -224,14 +300,9 @@ class RoundAccountant:
         per_task = self.cluster.cost_model.reduce_compute_seconds(reduce_ops) / r_tasks
         self.run_reduce_phase([per_task] * r_tasks, label=f"{label}:reduce")
         self.charge_barrier(label=f"{label}:barrier")
-        self.charge_state_roundtrip(state_bytes,
-                                    store=config.state_store,
-                                    label=f"{label}:state")
-        if (config.state_store == "online" and config.checkpoint_every
-                and (iteration + 1) % config.checkpoint_every == 0):
-            self.charge_fixed(
-                f"{label}:checkpoint",
-                self.cluster.cost_model.dfs_write_seconds(state_bytes))
+        self.charge_state_tail(iteration=iteration,
+                               state_partition_bytes=state_partition_bytes,
+                               label=label)
         return self.cluster.clock - start
 
     # ------------------------------------------------------------------

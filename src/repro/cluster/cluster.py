@@ -173,15 +173,22 @@ class SimCluster:
         self._charge(label, t)
         return t
 
-    def charge_shuffle(self, nbytes: float, *, label: str = "shuffle") -> float:
-        """Charge moving ``nbytes`` of intermediate data; returns seconds."""
-        t = self.cost_model.shuffle_seconds(nbytes)
+    def charge_shuffle(self, nbytes: float, *, label: str = "shuffle",
+                       share: float = 1.0) -> float:
+        """Charge moving ``nbytes`` of intermediate data; returns seconds.
+
+        ``share`` is the fraction of the cluster's network the calling
+        job holds — a fair-share scheduler's jobs shuffle concurrently,
+        each at its slice of the aggregate bandwidth.
+        """
+        t = self.cost_model.shuffle_seconds(nbytes, share=share)
         self._charge(label, t)
         return t
 
     def charge_overlapped_shuffle(self, nbytes: float, *,
                                   overlap_seconds: float,
-                                  label: str = "shuffle") -> float:
+                                  label: str = "shuffle",
+                                  share: float = 1.0) -> float:
         """Charge a shuffle whose transfer overlapped a concurrent phase.
 
         Streaming (eager reduce-side) shuffles copy map output while the
@@ -192,7 +199,7 @@ class SimCluster:
         """
         if overlap_seconds < 0:
             raise ValueError("overlap_seconds must be >= 0")
-        t = self.cost_model.shuffle_seconds(nbytes)
+        t = self.cost_model.shuffle_seconds(nbytes, share=share)
         residual = max(0.0, t - overlap_seconds)
         self._charge(label, residual)
         return residual
@@ -203,21 +210,28 @@ class SimCluster:
         self._charge(label, t)
         return t
 
-    def charge_dfs_roundtrip(self, nbytes: float, *, label: str = "dfs") -> float:
-        """Charge writing results to the DFS and reading them back (§VIII)."""
-        t = (self.cost_model.dfs_write_seconds(nbytes)
-             + self.cost_model.dfs_read_seconds(nbytes))
+    def charge_dfs_roundtrip(self, nbytes: float, *, label: str = "dfs",
+                             share: float = 1.0) -> float:
+        """Charge writing results to the DFS and reading them back
+        (§VIII); ``share`` scales the DFS bandwidth the job holds."""
+        t = (self.cost_model.dfs_write_seconds(nbytes, share=share)
+             + self.cost_model.dfs_read_seconds(nbytes, share=share))
         self._charge(label, t)
         return t
 
     def charge_state_roundtrip(self, nbytes: float, *, store: str = "dfs",
                                label: str = "state") -> float:
-        """Charge one inter-iteration state round trip.
+        """Charge one inter-iteration state round trip — legacy scalar
+        path.
 
         ``store="dfs"`` is Hadoop's behaviour (reduce output written to
         the replicated DFS, re-read by the next maps); ``store="online"``
         uses the Bigtable-like online store of §VIII's future-work
-        discussion (see :mod:`repro.cluster.kvstore`).
+        discussion.  Iterative drivers no longer call this: their
+        accountant routes **per-partition** state bytes through a
+        :class:`~repro.cluster.statestore.StateStore`, which reproduces
+        these exact numbers for the equivalent backend (DFS, or a
+        single-tablet online store) and models tablet skew beyond it.
         """
         if store == "dfs":
             return self.charge_dfs_roundtrip(nbytes, label=label)

@@ -36,7 +36,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["CostModel", "EC2_DEFAULTS", "HPC_DEFAULTS", "ZERO_COST", "scaled_model"]
+__all__ = ["CostModel", "EC2_DEFAULTS", "HPC_DEFAULTS", "ZERO_COST",
+           "scaled_model", "check_share"]
+
+
+def check_share(share: float) -> None:
+    """Validate a bandwidth/slot share (the fraction of a contended
+    resource a job holds); shared by every share-aware cost model."""
+    if not 0.0 < share <= 1.0:
+        raise ValueError(f"share must be in (0, 1], got {share}")
 
 
 @dataclass(frozen=True)
@@ -107,27 +115,38 @@ class CostModel:
         """Compute time of in-memory local map/reduce iterations."""
         return ops * self.local_op_seconds
 
-    def shuffle_seconds(self, nbytes: float) -> float:
-        """Time to move ``nbytes`` of intermediate data through the shuffle."""
+    def shuffle_seconds(self, nbytes: float, *, share: float = 1.0) -> float:
+        """Time to move ``nbytes`` of intermediate data through the shuffle.
+
+        ``share`` is the fraction of the cluster's aggregate network the
+        transfer may use — a multi-job scheduler grants each concurrent
+        job its slot share of the bandwidth (latency is per-transfer and
+        does not divide).
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        check_share(share)
         if nbytes == 0:
             return 0.0
-        return self.shuffle_latency_seconds + nbytes / self.shuffle_bandwidth_bps
+        return (self.shuffle_latency_seconds
+                + nbytes / (self.shuffle_bandwidth_bps * share))
 
-    def dfs_write_seconds(self, nbytes: float) -> float:
+    def dfs_write_seconds(self, nbytes: float, *, share: float = 1.0) -> float:
         """Time to persist ``nbytes`` to the DFS (replication and the
-        fixed commit/metadata cost included)."""
+        fixed commit/metadata cost included); ``share`` scales the
+        write bandwidth available to the caller."""
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        check_share(share)
         return (self.dfs_touch_seconds
-                + nbytes * self.dfs_replication / self.dfs_write_bps)
+                + nbytes * self.dfs_replication / (self.dfs_write_bps * share))
 
-    def dfs_read_seconds(self, nbytes: float) -> float:
+    def dfs_read_seconds(self, nbytes: float, *, share: float = 1.0) -> float:
         """Time to read ``nbytes`` back from the DFS."""
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
-        return nbytes / self.dfs_read_bps
+        check_share(share)
+        return nbytes / (self.dfs_read_bps * share)
 
 
 #: Table I testbed: 8 EC2 extra-large instances running Hadoop 0.20.1.

@@ -1,4 +1,5 @@
-"""An online state store — the paper's §VIII "System-level enhancements".
+"""Tablet-level primitives of the online store (§VIII "System-level
+enhancements").
 
     "Currently, the output from a reduction is written to the
     (distributed) file system (DFS) and must be accessed from the DFS by
@@ -6,13 +7,25 @@
     online data structures (for example, Bigtable) provides credible
     alternatives; however, issues of fault tolerance must be resolved."
 
-:class:`SimKVStore` models such a Bigtable-like store: much cheaper
-per-iteration state round trips than the replicated DFS (memtable write
-+ commit log rather than a 3x-replicated block write), at the price of
-weaker durability — so iterative drivers using it take a periodic DFS
-*checkpoint* to restore the fault-tolerance story (the knob the paper
-says "must be resolved").  The state-store ablation bench quantifies
-the tradeoff.
+This module supplies the two building blocks of that Bigtable
+substitute: :class:`OnlineStoreModel`, the cost constants of one tablet
+server (memtable write + commit log rather than a 3x-replicated block
+write, reads served from memory), and :class:`SimKVStore`, one tablet —
+a key -> object store with online-store time accounting and the
+DFS-checkpoint escape hatch for durability.
+
+The *state path* built from these primitives lives in
+:mod:`repro.cluster.statestore`: an
+:class:`~repro.cluster.statestore.OnlineStateStore` key-range-shards
+the inter-round state over N :class:`SimKVStore` tablets, each priced
+by one shared :class:`OnlineStoreModel`, and charges every round the
+time of its hottest tablet.  Iterative drivers never talk to a tablet
+directly — their :class:`~repro.cluster.accountant.RoundAccountant`
+routes per-partition state bytes through the attached
+:class:`~repro.cluster.statestore.StateStore`.  The weak-durability
+caveat is unchanged: non-durable stores take a periodic replicated DFS
+checkpoint (``DriverConfig.checkpoint_every``), and the state-store
+benchmarks quantify the tradeoff.
 """
 
 from __future__ import annotations
@@ -20,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.cluster.costmodel import CostModel
+from repro.cluster.costmodel import CostModel, check_share
 from repro.cluster.dfs import estimate_nbytes
 
 __all__ = ["OnlineStoreModel", "SimKVStore"]
@@ -48,19 +61,27 @@ class OnlineStoreModel:
         if self.op_latency_seconds < 0:
             raise ValueError("op_latency_seconds must be >= 0")
 
-    def write_seconds(self, nbytes: float) -> float:
+    def write_seconds(self, nbytes: float, *, share: float = 1.0) -> float:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
-        return self.op_latency_seconds + nbytes / self.write_bps
+        check_share(share)
+        return self.op_latency_seconds + nbytes / (self.write_bps * share)
 
-    def read_seconds(self, nbytes: float) -> float:
+    def read_seconds(self, nbytes: float, *, share: float = 1.0) -> float:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
-        return self.op_latency_seconds + nbytes / self.read_bps
+        check_share(share)
+        return self.op_latency_seconds + nbytes / (self.read_bps * share)
 
-    def roundtrip_seconds(self, nbytes: float) -> float:
-        """One iteration's state write + next iteration's read."""
-        return self.write_seconds(nbytes) + self.read_seconds(nbytes)
+    def roundtrip_seconds(self, nbytes: float, *, share: float = 1.0) -> float:
+        """One iteration's state write + next iteration's read.
+
+        ``share`` models a job holding only a fraction of the tablet
+        servers' throughput while other jobs of a session run
+        concurrently (per-operation latency does not divide).
+        """
+        return (self.write_seconds(nbytes, share=share)
+                + self.read_seconds(nbytes, share=share))
 
 
 @dataclass

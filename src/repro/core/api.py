@@ -50,6 +50,13 @@ class LocalSolveReport:
     per_iter_ops: list = field(default_factory=list)
     #: Bytes this partition ships through the global shuffle.
     shuffle_bytes: int = 0
+    #: Bytes of state this partition writes through the inter-round
+    #: state store (its real update volume — frontier-driven apps
+    #: report only the entries that changed, so skew is visible to a
+    #: tablet-sharded store).  ``None`` lets the framework fall back to
+    #: an even share of ``BlockSpec.state_nbytes``, preserving the
+    #: historical aggregate charge.
+    update_nbytes: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.local_iters < 0:
@@ -61,6 +68,8 @@ class LocalSolveReport:
             )
         if self.shuffle_bytes < 0:
             raise ValueError("shuffle_bytes must be >= 0")
+        if self.update_nbytes is not None and self.update_nbytes < 0:
+            raise ValueError("update_nbytes must be >= 0 or None")
 
     @property
     def total_ops(self) -> float:
@@ -186,8 +195,10 @@ class BlockSpec(abc.ABC):
         """Global termination; returns (converged, residual)."""
 
     def state_nbytes(self, state: Any) -> int:
-        """Size of the state written to/read from the DFS between
-        iterations (§VIII's inter-iteration round trip)."""
+        """Size of the state round-tripped through the state store
+        between iterations (§VIII).  When a spec's ``local_solve``
+        reports do not carry ``update_nbytes``, this total is split
+        evenly over the partitions before it reaches the store."""
         from repro.cluster.dfs import estimate_nbytes
 
         return estimate_nbytes(state)

@@ -1,13 +1,46 @@
-"""Configuration for the iterative partial-synchronization driver."""
+"""Configuration for the iterative partial-synchronization driver.
+
+``DriverConfig.state_store`` selects where inter-round state
+round-trips (§VIII).  It accepts a
+:class:`~repro.cluster.statestore.StateStore` instance, a zero-argument
+factory returning one, or — as the legacy spelling — the strings
+``"dfs"`` / ``"online"``, which map to the charge-equivalent backends
+(:class:`~repro.cluster.statestore.DFSStateStore`, single-tablet
+:class:`~repro.cluster.statestore.OnlineStateStore`).  The ``"online"``
+string warns once per process; pass an ``OnlineStateStore`` directly to
+choose the tablet count and get the partitioned hot-tablet behaviour.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.cluster.statestore import StateStore
 
 __all__ = ["DriverConfig", "GENERAL", "EAGER"]
 
 _MODES = ("general", "eager")
 _RATES = ("map", "local")
+
+#: Process-wide flag so the legacy ``state_store="online"`` string warns
+#: exactly once (mirrors the ``run_iterative_*`` shim pattern).
+_WARNED_ONLINE_STRING = False
+
+
+def _warn_online_string() -> None:
+    global _WARNED_ONLINE_STRING
+    if _WARNED_ONLINE_STRING:
+        return
+    _WARNED_ONLINE_STRING = True
+    warnings.warn(
+        "DriverConfig(state_store='online') is deprecated; pass a "
+        "repro.cluster.statestore.OnlineStateStore instance (or factory) "
+        "to choose the tablet count — the string maps to a single-tablet "
+        "store for charge compatibility",
+        DeprecationWarning, stacklevel=4,
+    )
 
 
 @dataclass(frozen=True)
@@ -47,22 +80,31 @@ class DriverConfig:
     record_history:
         Keep per-iteration records (residuals, iteration counts, times).
     state_store:
-        Where inter-iteration state round-trips (§VIII).  ``"dfs"`` is
-        Hadoop's behaviour — reduce output written to the replicated DFS
-        and re-read by the next maps.  ``"online"`` uses the
-        Bigtable-like online store the paper's future-work section
-        proposes (:mod:`repro.cluster.kvstore`), which is much cheaper
-        per iteration but needs periodic checkpoints for fault
-        tolerance.
+        Where inter-iteration state round-trips (§VIII) — a
+        :class:`~repro.cluster.statestore.StateStore` instance, a
+        zero-argument factory returning one, or a legacy string.
+        Backends charge **per-partition** state bytes through the
+        store: :class:`~repro.cluster.statestore.DFSStateStore` is
+        Hadoop's behaviour (one replicated DFS file of the aggregate,
+        durable by construction);
+        :class:`~repro.cluster.statestore.OnlineStateStore` is the
+        Bigtable-like store the paper's future-work section proposes —
+        key-range-sharded tablets served in parallel, a round costing
+        its hottest tablet, cheap per iteration but needing periodic
+        checkpoints for fault tolerance.  Passing one *instance* to
+        several jobs of a session makes them contend on the same
+        tablets.  The strings ``"dfs"`` / ``"online"`` remain for
+        compatibility and map to the charge-equivalent backends
+        (``"online"`` = one tablet; warns once per process).
     checkpoint_every:
-        With ``state_store="online"``: take a full DFS checkpoint of the
-        state every this many global iterations (``None`` disables —
-        fast but unrecoverable, the unresolved-fault-tolerance
-        configuration the paper warns about).  Ignored for the DFS
-        store, which is durable by construction.  Must be a positive
-        integer or ``None``; zero and negative values are rejected at
-        construction rather than surfacing as a modulo error deep in
-        the accountant.
+        With a non-durable store (the online store): take a full DFS
+        checkpoint of the state every this many global iterations
+        (``None`` disables — fast but unrecoverable, the
+        unresolved-fault-tolerance configuration the paper warns
+        about).  Ignored for the DFS store, which is durable by
+        construction.  Must be a positive integer or ``None``; zero and
+        negative values are rejected at construction rather than
+        surfacing as a modulo error deep in the accountant.
     """
 
     mode: str = "eager"
@@ -71,7 +113,7 @@ class DriverConfig:
     eager_schedule: bool = True
     charge_local_ops_at: str = "local"
     record_history: bool = True
-    state_store: str = "dfs"
+    state_store: "Union[str, StateStore, Callable[[], StateStore]]" = "dfs"
     checkpoint_every: "int | None" = 10
 
     def __post_init__(self) -> None:
@@ -86,9 +128,19 @@ class DriverConfig:
                 f"charge_local_ops_at must be one of {_RATES}, "
                 f"got {self.charge_local_ops_at!r}"
             )
-        if self.state_store not in ("dfs", "online"):
+        if isinstance(self.state_store, str):
+            if self.state_store not in ("dfs", "online"):
+                raise ValueError(
+                    f"state_store must be 'dfs', 'online', a StateStore "
+                    f"instance or a factory, got {self.state_store!r}"
+                )
+            if self.state_store == "online":
+                _warn_online_string()
+        elif not (isinstance(self.state_store, StateStore)
+                  or callable(self.state_store)):
             raise ValueError(
-                f"state_store must be 'dfs' or 'online', got {self.state_store!r}"
+                f"state_store must be 'dfs', 'online', a StateStore "
+                f"instance or a factory, got {self.state_store!r}"
             )
         if self.checkpoint_every is not None:
             if (not isinstance(self.checkpoint_every, int)

@@ -50,11 +50,13 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.cluster.accountant import RoundAccountant
+from repro.cluster.statestore import even_split
 from repro.core.api import AsyncMapReduceSpec, BlockSpec, LocalSolveReport
 from repro.core.config import DriverConfig
 from repro.core.gmap import GmapFunction, GreduceFunction, local_iter_counter
 from repro.engine import Job, JobConf, MapReduceRuntime
 from repro.engine.counters import SHUFFLE_BYTES
+from repro.engine.shuffle import shuffle_bytes as _measure_output_bytes
 
 __all__ = [
     "RoundRecord",
@@ -81,6 +83,9 @@ class RoundRecord:
     sim_seconds: float
     #: Bytes shipped through this round's global shuffle.
     shuffle_bytes: int
+    #: Per-partition bytes routed through the inter-round state store
+    #: (one entry per partition; the shape every backend reports).
+    state_partition_bytes: tuple = ()
 
 
 @dataclass
@@ -114,6 +119,8 @@ class RoundOutcome:
     #: Bytes shipped through this round's global shuffle (combine
     #: ``extra_bytes`` included).
     shuffle_bytes: int
+    #: Per-partition bytes this round wrote through the state store.
+    state_partition_bytes: tuple = ()
 
 
 # ----------------------------------------------------------------------
@@ -247,6 +254,17 @@ class EngineBackend(IterationBackend):
                          eager_reduce=self.eager_reduce),
         )
         res = self.runtime.run(job, splits, accountant=self.accountant)
+        # The record-at-a-time path has no per-key partition attribution
+        # for the reduce output, so the state it round-trips is spread
+        # evenly — the same shape (one entry per partition, aggregate
+        # preserved) the block backends report.  The shared accountant
+        # tail also fires the non-durable store's periodic checkpoint,
+        # exactly when the block path would.
+        state_pb = even_split(_measure_output_bytes([[res.output]]),
+                              self._parts)
+        self.accountant.charge_state_tail(iteration=iteration,
+                                          state_partition_bytes=state_pb,
+                                          label=f"iter{iteration}")
         return RoundOutcome(
             state=spec.state_from_output(res.output, state),
             local_iters=tuple(
@@ -254,6 +272,7 @@ class EngineBackend(IterationBackend):
                 for p in range(self._parts)
             ),
             shuffle_bytes=res.counters.get(SHUFFLE_BYTES),
+            state_partition_bytes=state_pb,
         )
 
     def close(self) -> None:
@@ -272,8 +291,11 @@ class BlockBackend(IterationBackend):
     phase (gmap task costs from reported per-iteration op counts,
     honouring ``config.eager_schedule``), the shuffle of reported
     boundary bytes, the combine's ``extra_bytes`` shuffle, the reduce
-    phase, the barrier, the inter-iteration state round trip, and the
-    online store's periodic checkpoint — all through the accountant.
+    phase, the barrier, the inter-iteration state round trip — the
+    **per-partition** update bytes through the config's
+    :class:`~repro.cluster.statestore.StateStore`, so a tablet-sharded
+    online store sees the real skew — and a non-durable store's
+    periodic checkpoint, all through the accountant.
     """
 
     def __init__(self, spec: BlockSpec, *, cluster=None,
@@ -309,14 +331,31 @@ class BlockBackend(IterationBackend):
         return self._finish_round(iteration, state, reports,
                                   tuple(r.local_iters for r in reports))
 
+    def _state_partition_bytes(self, new_state: Any,
+                               final_reports: "list[LocalSolveReport]"
+                               ) -> tuple:
+        """Per-partition bytes this round routes through the state store.
+
+        Specs that measure their real update volume report it per
+        partition (``LocalSolveReport.update_nbytes``) — that is where
+        frontier skew becomes visible to a tablet-sharded store.  When
+        any report omits it, the combined state's total size is split
+        evenly, preserving the historical aggregate charge exactly.
+        """
+        by_part = sorted(final_reports, key=lambda r: r.partition)
+        if by_part and all(r.update_nbytes is not None for r in by_part):
+            return tuple(int(r.update_nbytes) for r in by_part)
+        return even_split(int(self.spec.state_nbytes(new_state)),
+                          len(by_part))
+
     def _finish_round(self, iteration: int, state: Any,
                       final_reports: "list[LocalSolveReport]",
                       local_iters: tuple) -> RoundOutcome:
         """The global synchronization tail every round ends with: the
         reports' shuffle, the global combine, its ``extra_bytes``
-        shuffle, reduce, barrier, state round trip, and the periodic
-        checkpoint.  Shared with the hierarchical backend so the two
-        cannot drift apart in what they charge."""
+        shuffle, reduce, barrier, the per-partition state round trip,
+        and the periodic checkpoint.  Shared with the hierarchical
+        backend so the two cannot drift apart in what they charge."""
         spec = self.spec
         label = f"iter{iteration}"
         shuffle_total = int(sum(r.shuffle_bytes for r in final_reports))
@@ -324,12 +363,13 @@ class BlockBackend(IterationBackend):
         new_state, reduce_ops, extra_bytes = spec.global_combine(
             state, final_reports)
         shuffle_total += int(extra_bytes)
+        state_pb = self._state_partition_bytes(new_state, final_reports)
         if self.accountant.active:
             self.accountant.charge_global_sync(
                 iteration=iteration,
                 extra_bytes=int(extra_bytes),
                 reduce_ops=reduce_ops,
-                state_bytes=spec.state_nbytes(new_state),
+                state_partition_bytes=state_pb,
                 num_reduce_tasks=self.num_reduce_tasks,
                 label=label,
             )
@@ -337,6 +377,7 @@ class BlockBackend(IterationBackend):
             state=new_state,
             local_iters=local_iters,
             shuffle_bytes=shuffle_total,
+            state_partition_bytes=state_pb,
         )
 
 
@@ -615,6 +656,7 @@ class IterationLoop:
                 local_iters=outcome.local_iters,
                 sim_seconds=backend.accountant.clock - round_start,
                 shuffle_bytes=outcome.shuffle_bytes,
+                state_partition_bytes=outcome.state_partition_bytes,
             ))
         if policy is not None:
             policy.observe(residual, local_iters=outcome.local_iters,

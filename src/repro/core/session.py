@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.cluster.accountant import RoundAccountant
+from repro.cluster.statestore import StateStore, resolve_state_store
 from repro.core.config import DriverConfig
 from repro.core.jobsched import JobHandle, SchedulingPolicy, SessionScheduler
 from repro.core.loop import AdaptiveSyncPolicy, IterationBackend, IterationLoop
@@ -78,6 +79,15 @@ class Session:
     policy:
         Scheduling policy: ``"fifo"`` / ``"rr"`` / ``"fair"`` or a
         :class:`~repro.core.jobsched.SchedulingPolicy` instance.
+    state_store:
+        Optional shared :class:`~repro.cluster.statestore.StateStore`
+        every job's inter-round state goes through — multi-job runs
+        then contend on the same tablets, and the store's per-tablet
+        load statistics aggregate across jobs.  ``None`` (default)
+        resolves each job's ``config.state_store``; legacy string specs
+        still share one store instance per session (``"dfs"`` jobs one
+        DFS store, ``"online"`` jobs one single-tablet online store),
+        while a config carrying an explicit instance/factory keeps it.
 
     Use as a context manager to release the runtime's worker pool::
 
@@ -87,12 +97,37 @@ class Session:
     """
 
     def __init__(self, *, cluster=None, runtime=None,
-                 policy: "str | SchedulingPolicy" = "fifo") -> None:
+                 policy: "str | SchedulingPolicy" = "fifo",
+                 state_store: "StateStore | None" = None) -> None:
         self.cluster = cluster
         self._runtime = runtime
         self._owns_runtime = False
         self.scheduler = SessionScheduler(policy, cluster=cluster)
         self._next_id = 0
+        if state_store is not None and not isinstance(state_store, StateStore):
+            raise TypeError(
+                f"state_store must be a StateStore instance or None, "
+                f"got {type(state_store).__name__}")
+        self.state_store = state_store
+        #: Legacy-string stores, one shared instance per spelling.
+        self._string_stores: "dict[str, StateStore]" = {}
+
+    def _store_for(self, config: DriverConfig) -> StateStore:
+        """The state store a submitted job charges through.
+
+        Explicit instances/factories in the job's config win; legacy
+        strings resolve to the session-level override (if any) or to one
+        session-shared instance per string, so every job submitted with
+        the default config contends on the same store.
+        """
+        spec = config.state_store
+        if not isinstance(spec, str):
+            return resolve_state_store(spec, self.cluster)
+        if self.state_store is not None:
+            return self.state_store.bind(self.cluster)
+        if spec not in self._string_stores:
+            self._string_stores[spec] = resolve_state_store(spec, self.cluster)
+        return self._string_stores[spec]
 
     # -- shared resources ----------------------------------------------
     @property
@@ -156,7 +191,8 @@ class Session:
                                       for j in self.scheduler.jobs):
             policy = copy.deepcopy(policy)
         self._next_id += 1
-        accountant = RoundAccountant(self.cluster, cfg, job=jname)
+        accountant = RoundAccountant(self.cluster, cfg, job=jname,
+                                     state_store=self._store_for(cfg))
         loop = IterationLoop(backend, cfg, sync_policy=policy,
                              accountant=accountant)
         handle = JobHandle(job_id=job_id, name=jname, priority=priority,

@@ -416,7 +416,12 @@ class MapReduceRuntime:
             label=f"{job.conf.name}:reduce")
         times["barrier"] = acct.charge_barrier(
             label=f"{job.conf.name}:barrier")
-        out_bytes = shuffle_bytes([[output]])
-        times["dfs"] = acct.charge_dfs_roundtrip(
-            out_bytes, label=f"{job.conf.name}:dfs")
+        if acct.config is None:
+            # Standalone job: its output round-trips the DFS.  Iterative
+            # drivers pass a DriverConfig-carrying accountant and charge
+            # the inter-round state themselves, through the config's
+            # partitioned StateStore (see EngineBackend.run_round).
+            out_bytes = shuffle_bytes([[output]])
+            times["dfs"] = acct.charge_dfs_roundtrip(
+                out_bytes, label=f"{job.conf.name}:dfs")
         return times

@@ -1,0 +1,479 @@
+"""Tests for the partitioned StateStore subsystem (§VIII state path).
+
+Pins the refactor's load-bearing guarantees:
+
+* **Charge equivalence** — with uniform partitions and a single tablet,
+  the partitioned charging reproduces the historical scalar
+  ``charge_state_roundtrip`` numbers charge-for-charge (both backends,
+  unit-level and end-to-end through an IterationLoop run).
+* **Shape equivalence** — kv/block/hierarchical backends all report the
+  same per-partition byte shape (one entry per partition, every round).
+* **Skew** — a skewed byte vector's round time is strictly dominated by
+  the hottest tablet, and more tablets shrink it.
+* **Sharing** — a session's jobs charge one store instance; slot shares
+  scale bandwidth-bound charges (the shuffle/DFS slot-share fix).
+* **Deprecation** — ``DriverConfig(state_store="online")`` keeps
+  working but warns once per process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRankBlockSpec, PageRankKVSpec
+from repro.apps.sssp import SsspBlockSpec
+from repro.cluster import (
+    DFSStateStore,
+    EC2_DEFAULTS,
+    OnlineStateStore,
+    OnlineStoreModel,
+    RoundAccountant,
+    SimCluster,
+    StateStore,
+    even_split,
+    resolve_state_store,
+)
+from repro.core import (
+    BlockBackend,
+    DriverConfig,
+    EngineBackend,
+    HierarchicalBackend,
+    HierarchyConfig,
+    IterationLoop,
+    Session,
+    make_racks,
+)
+from repro.core import config as config_module
+from repro.graph import (
+    attach_random_weights,
+    multilevel_partition,
+    preferential_attachment,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = preferential_attachment(300, num_conn=3, locality_prob=0.92,
+                                community_mean=40, seed=7)
+    part = multilevel_partition(g, 4, seed=0)
+    return g, part
+
+
+# ----------------------------------------------------------------------
+# Helpers / unit level
+# ----------------------------------------------------------------------
+
+class TestEvenSplit:
+    def test_preserves_total_exactly(self):
+        for total, parts in ((0, 3), (10, 3), (1 << 20, 7), (5, 8)):
+            shares = even_split(total, parts)
+            assert len(shares) == parts
+            assert sum(shares) == total
+            assert max(shares) - min(shares) <= 1
+
+    def test_edge_cases(self):
+        assert even_split(100, 0) == ()
+        with pytest.raises(ValueError):
+            even_split(-1, 2)
+        with pytest.raises(ValueError):
+            even_split(1, -1)
+
+
+class TestDFSStateStore:
+    def test_matches_legacy_scalar_charge(self):
+        """Charge-for-charge: any split summing to the old scalar."""
+        cm = EC2_DEFAULTS
+        store = DFSStateStore(cost_model=cm)
+        total = 1 << 20
+        legacy = cm.dfs_write_seconds(total) + cm.dfs_read_seconds(total)
+        for pb in ((total,), even_split(total, 4), (total - 5, 5)):
+            assert store.round_trip(pb) == pytest.approx(legacy)
+
+    def test_durable_no_checkpoint(self):
+        store = DFSStateStore(cost_model=EC2_DEFAULTS)
+        assert store.durable
+        assert store.checkpoint((1 << 20,)) == 0.0
+
+    def test_bind_adopts_cluster_model(self):
+        cl = SimCluster()
+        store = DFSStateStore().bind(cl)
+        assert store.cost_model is cl.cost_model
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            DFSStateStore(cost_model=EC2_DEFAULTS).round_trip((-1, 5))
+
+
+class TestOnlineStateStoreSharding:
+    def test_single_tablet_matches_legacy_scalar(self):
+        model = OnlineStoreModel()
+        store = OnlineStateStore(num_tablets=1, model=model)
+        total = 1 << 20
+        for pb in ((total,), even_split(total, 4)):
+            assert store.round_trip(pb) == pytest.approx(
+                model.roundtrip_seconds(total))
+
+    def test_uniform_bytes_balance_exactly(self):
+        store = OnlineStateStore(num_tablets=4, model=OnlineStoreModel())
+        tb = store.shard_bytes([100] * 8)
+        assert tb == pytest.approx([200.0] * 4)
+
+    def test_key_ranges_shard_skew(self):
+        # partition 0 is hot: with 2 tablets its whole range lands on
+        # tablet 0; with 8 tablets it spreads over tablets 0-1.
+        pb = [800, 0, 0, 0]
+        t2 = OnlineStateStore(num_tablets=2).shard_bytes(pb)
+        assert t2 == pytest.approx([800.0, 0.0])
+        t8 = OnlineStateStore(num_tablets=8).shard_bytes(pb)
+        assert t8 == pytest.approx([400.0, 400.0] + [0.0] * 6)
+
+    def test_more_tablets_speed_up_uniform_rounds(self):
+        model = OnlineStoreModel()
+        pb = even_split(1 << 24, 8)
+        t1 = OnlineStateStore(1, model=model).round_trip(pb)
+        t8 = OnlineStateStore(8, model=model).round_trip(pb)
+        assert t8 < t1  # tablets serve in parallel
+
+    def test_round_time_strictly_dominated_by_hottest_tablet(self):
+        model = OnlineStoreModel()
+        store = OnlineStateStore(num_tablets=4, model=model)
+        pb = [512 << 20, 1 << 10, 1 << 10, 1 << 10]  # hot partition 0
+        t = store.round_trip(pb)
+        per_tablet = store.last_round_tablet_seconds
+        assert t == pytest.approx(max(per_tablet))
+        assert max(per_tablet) > 10 * sorted(per_tablet)[-2]
+
+    def test_skew_slower_than_uniform_same_total(self):
+        model = OnlineStoreModel()
+        total = 1 << 24
+        uniform = OnlineStateStore(4, model=model).round_trip(
+            even_split(total, 4))
+        skewed = OnlineStateStore(4, model=model).round_trip(
+            (total - 300, 100, 100, 100))
+        assert skewed > uniform
+
+    def test_stats_accumulate_and_imbalance(self):
+        store = OnlineStateStore(num_tablets=2, model=OnlineStoreModel())
+        assert store.imbalance() == 1.0
+        store.round_trip((600, 200))
+        assert store.rounds == 1
+        assert store.bytes_written == 800 and store.bytes_read == 800
+        assert store.tablet_bytes == [1200, 400]  # write + read per tablet
+        assert store.imbalance() == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineStateStore(num_tablets=0)
+        with pytest.raises(ValueError):
+            OnlineStateStore(2).round_trip((-5,))
+
+    def test_checkpoint_prices_full_replicated_write(self):
+        store = OnlineStateStore(2, model=OnlineStoreModel(),
+                                 cost_model=EC2_DEFAULTS)
+        pb = (1 << 20, 1 << 10)
+        assert not store.durable
+        assert store.checkpoint(pb) == pytest.approx(
+            EC2_DEFAULTS.dfs_write_seconds(sum(pb)))
+
+
+class TestResolveStateStore:
+    def test_strings_map_to_equivalent_backends(self):
+        cl = SimCluster()
+        dfs = resolve_state_store("dfs", cl)
+        online = resolve_state_store("online", cl)
+        assert isinstance(dfs, DFSStateStore)
+        assert isinstance(online, OnlineStateStore)
+        assert online.num_tablets == 1  # legacy scalar equivalence
+        assert online.model is cl.online_model
+
+    def test_instances_and_factories_pass_through(self):
+        cl = SimCluster()
+        inst = OnlineStateStore(4)
+        assert resolve_state_store(inst, cl) is inst
+        made = resolve_state_store(lambda: OnlineStateStore(2), cl)
+        assert isinstance(made, OnlineStateStore) and made.num_tablets == 2
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_state_store("tape", None)
+        with pytest.raises(TypeError):
+            resolve_state_store(42, None)
+        with pytest.raises(TypeError):
+            resolve_state_store(lambda: "not a store", None)
+
+
+# ----------------------------------------------------------------------
+# End-to-end charge equivalence (the pinned acceptance criterion)
+# ----------------------------------------------------------------------
+
+def _state_events(cluster):
+    return [e for e in cluster.trace.events if e.phase.endswith(":state")]
+
+
+class TestChargeEquivalence:
+    """With uniform partitions and one tablet the partitioned charging
+    reproduces the old scalar ``state_round_trip`` numbers exactly."""
+
+    def _run(self, workload, store_spec):
+        g, part = workload
+        cl = SimCluster()
+        cfg = DriverConfig(mode="eager", state_store=store_spec,
+                           checkpoint_every=None)
+        res = IterationLoop(
+            BlockBackend(PageRankBlockSpec(g, part), cluster=cl), cfg).run()
+        return res, cl
+
+    def test_dfs_store_reproduces_scalar_charges(self, workload):
+        g, part = workload
+        res, cl = self._run(workload, DFSStateStore())
+        nbytes = g.num_nodes * 8  # the full rank vector, every round
+        expected = (EC2_DEFAULTS.dfs_write_seconds(nbytes)
+                    + EC2_DEFAULTS.dfs_read_seconds(nbytes))
+        events = _state_events(cl)
+        assert len(events) == res.global_iters
+        for e in events:
+            assert e.end - e.start == pytest.approx(expected)
+        # and the threaded per-partition vector sums to the old scalar
+        for r in res.history:
+            assert sum(r.state_partition_bytes) == nbytes
+            assert len(r.state_partition_bytes) == part.k
+
+    def test_single_tablet_online_reproduces_scalar_charges(self, workload):
+        g, part = workload
+        res, cl = self._run(workload, OnlineStateStore(num_tablets=1))
+        nbytes = g.num_nodes * 8
+        expected = cl.online_model.roundtrip_seconds(nbytes)
+        for e in _state_events(cl):
+            assert e.end - e.start == pytest.approx(expected)
+
+    @pytest.mark.parametrize("legacy,modern", [
+        ("dfs", DFSStateStore),
+        ("online", lambda: OnlineStateStore(num_tablets=1)),
+    ])
+    def test_legacy_strings_equal_modern_instances(self, workload,
+                                                   legacy, modern):
+        old, _ = self._run(workload, legacy)
+        new, _ = self._run(workload, modern())
+        assert old.global_iters == new.global_iters
+        assert old.sim_time == pytest.approx(new.sim_time)
+        assert [r.sim_seconds for r in old.history] == pytest.approx(
+            [r.sim_seconds for r in new.history])
+
+    def test_checkpoints_unchanged_through_store(self, workload):
+        res, cl = self._run(workload, DFSStateStore())
+        g, part = workload
+        cfg = DriverConfig(mode="eager",
+                           state_store=OnlineStateStore(num_tablets=1),
+                           checkpoint_every=2)
+        ckpt_cl = SimCluster()
+        IterationLoop(BlockBackend(PageRankBlockSpec(g, part),
+                                   cluster=ckpt_cl), cfg).run()
+        ckpts = [e for e in ckpt_cl.trace.events
+                 if e.phase.endswith(":checkpoint")]
+        assert ckpts
+        nbytes = g.num_nodes * 8
+        for e in ckpts:
+            assert e.end - e.start == pytest.approx(
+                EC2_DEFAULTS.dfs_write_seconds(nbytes))
+
+
+class TestBackendShapeEquivalence:
+    """kv / block / hierarchical backends all report the same
+    per-partition byte shape: one entry per partition, every round."""
+
+    def test_all_backends_same_shape(self, workload):
+        g, part = workload
+        cfg = DriverConfig(mode="eager")
+        block = IterationLoop(
+            BlockBackend(PageRankBlockSpec(g, part), cluster=SimCluster()),
+            cfg).run()
+        hier = IterationLoop(
+            HierarchicalBackend(PageRankBlockSpec(g, part),
+                                make_racks(part.k, 2),
+                                hierarchy=HierarchyConfig(inner_rounds=1),
+                                cluster=SimCluster()), cfg).run()
+        kv = IterationLoop(
+            EngineBackend(PageRankKVSpec(g, part), num_reducers=2),
+            DriverConfig(mode="eager", max_global_iters=3)).run()
+        for res in (block, hier, kv):
+            for r in res.history:
+                assert len(r.state_partition_bytes) == part.k
+                assert all(b >= 0 for b in r.state_partition_bytes)
+        # hierarchy with one inner round is the block path, byte for byte
+        assert [r.state_partition_bytes for r in hier.history] == \
+               [r.state_partition_bytes for r in block.history]
+
+    def test_engine_path_fires_checkpoints_like_block_path(self, workload):
+        """The kv path charges the non-durable store's periodic
+        checkpoint through the same accountant tail as the block path
+        (the pre-fix engine path silently skipped it)."""
+        g, part = workload
+        cl = SimCluster()
+        from repro.engine import MapReduceRuntime
+
+        cfg = DriverConfig(mode="eager",
+                           state_store=OnlineStateStore(num_tablets=1),
+                           checkpoint_every=2, max_global_iters=4)
+        with MapReduceRuntime("serial", cluster=cl) as rt:
+            res = IterationLoop(
+                EngineBackend(PageRankKVSpec(g, part), runtime=rt,
+                              num_reducers=2), cfg).run()
+        ckpts = [e for e in cl.trace.events
+                 if e.phase.endswith(":checkpoint")]
+        assert len(ckpts) == res.global_iters // 2
+
+    def test_frontier_apps_report_skewed_updates(self, workload):
+        g, _ = workload
+        wg = attach_random_weights(g, low=1.0, high=10.0, seed=11)
+        wpart = multilevel_partition(wg, 4, seed=0)
+        res = IterationLoop(
+            BlockBackend(SsspBlockSpec(wg, wpart, source=0),
+                         cluster=SimCluster()),
+            DriverConfig(mode="eager")).run()
+        vectors = [r.state_partition_bytes for r in res.history]
+        # frontier-driven: the update volume varies across partitions
+        # and across rounds (unlike the dense pagerank profile)
+        assert any(len(set(v)) > 1 for v in vectors)
+        # the final round's wave has receded: fewer bytes than the first
+        assert sum(vectors[-1]) < sum(vectors[0])
+
+
+# ----------------------------------------------------------------------
+# Slot-share scaling (the ROADMAP shuffle/DFS gap)
+# ----------------------------------------------------------------------
+
+class TestSlotShareScaling:
+    def test_bandwidth_charges_scale_with_share(self):
+        def charges(share):
+            cl = SimCluster()
+            acct = RoundAccountant(cl, DriverConfig(mode="eager"))
+            acct.slot_share = share
+            return (acct.charge_shuffle(16 << 20),
+                    acct.charge_dfs_roundtrip(16 << 20),
+                    acct.charge_state_round((16 << 20,)))
+
+        full = charges(1.0)
+        half = charges(0.5)
+        for f, h in zip(full, half):
+            assert h > f
+        # the bandwidth term exactly doubles (latency terms do not)
+        cm = EC2_DEFAULTS
+        assert half[0] - full[0] == pytest.approx(
+            (16 << 20) / cm.shuffle_bandwidth_bps)
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            EC2_DEFAULTS.shuffle_seconds(1.0, share=0.0)
+        with pytest.raises(ValueError):
+            EC2_DEFAULTS.dfs_write_seconds(1.0, share=1.5)
+        with pytest.raises(ValueError):
+            OnlineStoreModel().write_seconds(1.0, share=-0.1)
+
+    def test_fair_share_session_pays_contended_bandwidth(self, workload):
+        """Two concurrent fair-share jobs see half the network, so each
+        round (shuffle + state incl.) costs more than a solo run's."""
+        from repro.apps import pagerank_spec
+
+        g, part = workload
+        solo = IterationLoop(
+            BlockBackend(PageRankBlockSpec(g, part), cluster=SimCluster()),
+            DriverConfig(mode="eager")).run()
+        session = Session(cluster=SimCluster(), policy="fair")
+        h1 = session.submit(pagerank_spec(g, part))
+        session.submit(pagerank_spec(g, part))
+        session.run()
+        for solo_r, fair_r in zip(solo.history, h1.result.history):
+            # identical math, strictly costlier rounds under contention
+            assert fair_r.residual == solo_r.residual
+            if h1.round_shares[fair_r.iteration].slot_share < 1.0:
+                assert fair_r.sim_seconds > solo_r.sim_seconds
+
+
+# ----------------------------------------------------------------------
+# Session-level sharing
+# ----------------------------------------------------------------------
+
+class TestSessionSharedStore:
+    def test_default_config_jobs_share_one_store(self, workload):
+        from repro.apps import pagerank_spec
+
+        g, part = workload
+        session = Session(cluster=SimCluster(), policy="rr")
+        h1 = session.submit(pagerank_spec(g, part))
+        h2 = session.submit(pagerank_spec(g, part))
+        assert h1.accountant.state_store is h2.accountant.state_store
+        session.run()
+        store = h1.accountant.state_store
+        assert store.rounds == h1.rounds + h2.rounds
+
+    def test_explicit_session_store_contends_on_tablets(self, workload):
+        from repro.apps import pagerank_spec, sssp_spec
+
+        g, part = workload
+        wg = attach_random_weights(g, low=1.0, high=10.0, seed=11)
+        wpart = multilevel_partition(wg, 4, seed=0)
+        store = OnlineStateStore(num_tablets=4)
+        session = Session(cluster=SimCluster(), policy="fair",
+                          state_store=store)
+        h1 = session.submit(pagerank_spec(g, part))
+        h2 = session.submit(sssp_spec(wg, wpart, source=0))
+        session.run()
+        # both jobs' state flowed through the SAME tablets
+        assert h1.accountant.state_store is store
+        assert h2.accountant.state_store is store
+        assert store.rounds == h1.rounds + h2.rounds
+        assert sum(store.tablet_bytes) > 0
+
+    def test_config_instance_wins_over_session_cache(self, workload):
+        g, part = workload
+        private = OnlineStateStore(num_tablets=2)
+        session = Session(cluster=SimCluster())
+        h = session.submit(
+            BlockBackend(PageRankBlockSpec(g, part)),
+            DriverConfig(mode="eager", state_store=private,
+                         max_global_iters=2))
+        session.run()
+        assert h.accountant.state_store is private
+        assert private.rounds == h.rounds
+
+    def test_session_store_type_checked(self):
+        with pytest.raises(TypeError, match="StateStore"):
+            Session(state_store="online")
+
+
+# ----------------------------------------------------------------------
+# Deprecation hygiene
+# ----------------------------------------------------------------------
+
+class TestDeprecation:
+    def test_online_string_warns_once(self, monkeypatch):
+        monkeypatch.setattr(config_module, "_WARNED_ONLINE_STRING", False)
+        with pytest.warns(DeprecationWarning, match="OnlineStateStore"):
+            DriverConfig(state_store="online")
+        # second construction is silent (once per process)
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            DriverConfig(state_store="online")
+
+    def test_dfs_string_stays_silent(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            DriverConfig(state_store="dfs")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="state_store"):
+            DriverConfig(state_store="tape")
+        with pytest.raises(ValueError, match="state_store"):
+            DriverConfig(state_store=42)
+        # instances and factories are accepted
+        DriverConfig(state_store=DFSStateStore())
+        DriverConfig(state_store=lambda: OnlineStateStore(4))
+
+    def test_state_store_is_a_statestore(self):
+        assert isinstance(DFSStateStore(), StateStore)
+        assert isinstance(OnlineStateStore(), StateStore)

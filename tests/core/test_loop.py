@@ -242,7 +242,8 @@ class TestRoundAccountant:
         assert acct.charge_shuffle(1 << 20) == 0.0
         assert acct.charge_map_phase([], label="x") == 0.0
         assert acct.charge_global_sync(iteration=0, extra_bytes=64,
-                                       reduce_ops=1.0, state_bytes=100,
+                                       reduce_ops=1.0,
+                                       state_partition_bytes=(100,),
                                        label="x") == 0.0
 
     def test_composites_require_config(self):
@@ -256,7 +257,8 @@ class TestRoundAccountant:
             acct = RoundAccountant(cl, config)
             for it in range(4):
                 acct.charge_global_sync(iteration=it, extra_bytes=0,
-                                        reduce_ops=100.0, state_bytes=1 << 16,
+                                        reduce_ops=100.0,
+                                        state_partition_bytes=(1 << 16,),
                                         label=f"iter{it}")
             return cl.clock, cl.trace.phases()
 
