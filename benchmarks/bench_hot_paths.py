@@ -1,0 +1,212 @@
+"""Benchmark — columnar shuffle fast path vs the object path.
+
+Not a paper figure: this measures the *engine's own* per-record
+interpreter tax, the overhead ISSUE 5 targets.  The workload is an
+iterative PageRank sweep whose per-partition contribution math is
+vectorised identically in both variants — so the measured difference is
+purely the engine path: per-pair emission, per-key hash routing,
+dict-of-lists grouping, per-object byte estimation and a per-key Python
+reduce on the object path, versus one ``emit_block`` per task,
+vectorised FNV-1a routing, sort-based grouping, dtype-math byte
+accounting and a segmented array reduce on the columnar path — plus the
+map-side combiner (§V-B's partial aggregation) collapsing each
+partition's contributions to one record per target before the shuffle.
+
+Grouped output is pinned byte-identical between the paths (the columnar
+shuffle is an optimisation, not a different shuffle), and the CI gate
+fails if the columnar path is ever *slower* than the object path.  At
+full scale (``REPRO_SCALE`` >= 1) the headline assertion is the ISSUE's
+acceptance bar: columnar+combiner at least 3x faster end to end.
+
+Results land in ``BENCH_hot_paths.json`` (uploaded by the bench-smoke
+CI job) so the engine-path perf trajectory is comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import record_hot_paths_json
+from repro.engine import (
+    HashPartitioner,
+    Job,
+    JobConf,
+    MapReduceRuntime,
+    run_map_task,
+    shuffle,
+)
+from repro.util import ascii_table
+
+_QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+
+def _scale() -> float:
+    s = os.environ.get("REPRO_SCALE", "")
+    if s in ("", "full"):
+        return 1.0
+    return float(s)
+
+
+SCALE = _scale()
+#: Nodes / edges of the synthetic web graph (PageRank-shaped traffic).
+NODES = max(2_000, int(30_000 * SCALE))
+EDGES_PER_NODE = 4
+PARTS = 8
+REDUCERS = 8
+ITERS = 3 if _QUICK else 6
+REPEATS = 1 if _QUICK else 2
+DAMPING = 0.85
+
+
+def _workload(seed: int = 0):
+    """Per-partition edge arrays: (src, dst, damped inv-outdegree, nodes).
+
+    Node ids are contiguous chunks per partition (crawl-order locality);
+    edges are uniform random, so most are cut edges — the
+    shuffle-dominated regime of the paper's general formulation.
+    """
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, NODES, NODES * EDGES_PER_NODE)
+    dst = rng.integers(0, NODES, NODES * EDGES_PER_NODE)
+    outdeg = np.bincount(src, minlength=NODES).astype(np.float64)
+    inv_out = np.where(outdeg > 0, 1.0 / np.maximum(outdeg, 1), 0.0)
+    bounds = np.linspace(0, NODES, PARTS + 1).astype(np.int64)
+    layout = []
+    for p in range(PARTS):
+        lo, hi = bounds[p], bounds[p + 1]
+        mask = (src >= lo) & (src < hi)
+        layout.append((src[mask], dst[mask],
+                       DAMPING * inv_out[src[mask]],
+                       np.arange(lo, hi, dtype=np.int64)))
+    return layout
+
+
+class _ObjectMap:
+    """Today's engine idiom: one ctx.emit per intermediate record."""
+
+    def __init__(self, layout) -> None:
+        self.layout = layout
+
+    def __call__(self, part_id, ranks, ctx) -> None:
+        src, dst, dinv, nodes = self.layout[part_id]
+        contrib = ranks[src] * dinv          # identical vectorised compute
+        for k, v in zip(dst.tolist(), contrib.tolist()):
+            ctx.emit(k, v)
+        base = 1.0 - DAMPING
+        for k in nodes.tolist():
+            ctx.emit(k, base)
+
+
+class _ColumnarMap:
+    """The fast path: the same records as two typed batches."""
+
+    def __init__(self, layout) -> None:
+        self.layout = layout
+
+    def __call__(self, part_id, ranks, ctx) -> None:
+        src, dst, dinv, nodes = self.layout[part_id]
+        contrib = ranks[src] * dinv          # identical vectorised compute
+        ctx.emit_block(dst, contrib)
+        ctx.emit_block(nodes, np.full(len(nodes), 1.0 - DAMPING))
+
+
+def _run_variant(layout, *, columnar: bool, combine: bool
+                 ) -> "tuple[float, np.ndarray]":
+    """Time ITERS synchronous PageRank sweeps through the engine."""
+    map_fn = (_ColumnarMap if columnar else _ObjectMap)(layout)
+    job = Job(map_fn=map_fn, reduce_fn="sum",
+              combine_fn="sum" if combine else None,
+              conf=JobConf(num_reducers=REDUCERS, columnar=columnar))
+    ranks = np.ones(NODES, dtype=np.float64)
+    with MapReduceRuntime("serial") as rt:
+        t0 = time.perf_counter()
+        for _ in range(ITERS):
+            res = rt.run(job, [[(p, ranks)] for p in range(PARTS)])
+            new = np.zeros(NODES, dtype=np.float64)
+            if res.columnar_output is not None:
+                out = res.columnar_output
+                new[out.keys] = out.values
+            else:
+                ks, vs = zip(*res.output)
+                new[np.fromiter(ks, np.int64, len(ks))] = np.fromiter(
+                    vs, np.float64, len(vs))
+            ranks = new
+        dt = time.perf_counter() - t0
+    return dt, ranks
+
+
+def _pin_grouped_output_identical(layout) -> None:
+    """The acceptance pin: columnar groups byte-identical to the object
+    path, with the combiner both off and on."""
+    ranks = np.ones(NODES, dtype=np.float64)
+    for combine in (None, "sum"):
+        per_path = []
+        for columnar in (True, False):
+            cls = _ColumnarMap if columnar else _ObjectMap
+            results = [
+                run_map_task(p, 0, [(p, ranks)], cls(layout), combine,
+                             HashPartitioner(), REDUCERS, None, columnar)
+                for p in range(2)  # two partitions exercise the merge
+            ]
+            per_path.append(shuffle([r.data for r in results], REDUCERS))
+        assert per_path[0] == per_path[1], (
+            f"columnar groups diverged from object path (combine={combine})")
+
+
+def test_columnar_fast_path(once):
+    layout = _workload()
+    _pin_grouped_output_identical(layout)
+
+    variants = [
+        ("object", False, False),
+        ("object+combine", False, True),
+        ("columnar", True, False),
+        ("columnar+combine", True, True),
+    ]
+
+    def run():
+        times = {name: float("inf") for name, _, _ in variants}
+        ranks = {}
+        for _ in range(REPEATS):
+            for name, columnar, combine in variants:
+                dt, r = _run_variant(layout, columnar=columnar,
+                                     combine=combine)
+                times[name] = min(times[name], dt)
+                ranks[name] = r
+        return times, ranks
+
+    times, ranks = once(run)
+
+    # Same iterates on every path (the shuffle is an execution detail).
+    for name in ("object+combine", "columnar", "columnar+combine"):
+        assert np.allclose(ranks[name], ranks["object"], rtol=1e-9), name
+
+    speedup = {name: times["object"] / max(times[name], 1e-12)
+               for name, _, _ in variants}
+    rows = [[name, f"{times[name]:.3f}", f"{speedup[name]:.2f}x"]
+            for name, _, _ in variants]
+    print()
+    print(ascii_table(
+        ["engine path", "wall time (s)", "speedup vs object"], rows,
+        title=f"Shuffle hot paths: iterative PageRank sweep, "
+              f"{NODES:,} nodes x {ITERS} iters, {PARTS} maps -> "
+              f"{REDUCERS} reducers"))
+
+    record_hot_paths_json("pagerank_sweep", {
+        **{name: times[name] for name, _, _ in variants},
+        "speedup_columnar": speedup["columnar"],
+        "speedup_columnar_combine": speedup["columnar+combine"],
+    })
+
+    # CI gate: the fast path must never lose to the object path.
+    assert times["columnar"] <= times["object"], (
+        f"columnar slower than object: {times}")
+    assert times["columnar+combine"] <= times["object"], (
+        f"columnar+combine slower than object: {times}")
+    # Headline acceptance bar at full scale: >= 3x end to end.
+    if SCALE >= 1.0 and not _QUICK:
+        assert speedup["columnar+combine"] >= 3.0, (
+            f"expected >=3x, got {speedup['columnar+combine']:.2f}x")

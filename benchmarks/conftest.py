@@ -21,18 +21,16 @@ import os
 
 import pytest
 
-#: Machine-readable perf artifact the state-store benchmarks write
-#: (per-config simulated seconds); the CI bench-smoke job uploads it so
-#: the perf trajectory is comparable across PRs.  Override the location
-#: with the BENCH_STATE_STORE_JSON env var.
+#: Machine-readable perf artifacts the benchmarks write (per-config
+#: seconds); the CI bench-smoke job uploads them so the perf trajectory
+#: is comparable across PRs.  Override locations with the env vars.
 _BENCH_JSON_DEFAULT = "BENCH_state_store.json"
+_HOT_PATHS_JSON_DEFAULT = "BENCH_hot_paths.json"
 
 
-def record_bench_json(section: str, values: "dict[str, float]") -> str:
-    """Merge one benchmark's ``{config: simulated seconds}`` mapping
-    into the shared ``BENCH_state_store.json`` artifact; returns the
-    path written."""
-    path = os.environ.get("BENCH_STATE_STORE_JSON", _BENCH_JSON_DEFAULT)
+def _merge_json(path: str, section: str, values: "dict[str, float]") -> str:
+    """Merge one benchmark's ``{config: seconds}`` mapping into a shared
+    JSON artifact; returns the path written."""
     data: "dict[str, dict]" = {}
     if os.path.exists(path):
         try:
@@ -40,11 +38,25 @@ def record_bench_json(section: str, values: "dict[str, float]") -> str:
                 data = json.load(fh)
         except (OSError, ValueError):
             data = {}
-    data[section] = {k: round(float(v), 3) for k, v in values.items()}
+    data[section] = {k: round(float(v), 4) for k, v in values.items()}
     with open(path, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
+
+
+def record_bench_json(section: str, values: "dict[str, float]") -> str:
+    """State-store artifact (simulated seconds per config)."""
+    return _merge_json(
+        os.environ.get("BENCH_STATE_STORE_JSON", _BENCH_JSON_DEFAULT),
+        section, values)
+
+
+def record_hot_paths_json(section: str, values: "dict[str, float]") -> str:
+    """Engine hot-path artifact (wall-clock seconds per config)."""
+    return _merge_json(
+        os.environ.get("BENCH_HOT_PATHS_JSON", _HOT_PATHS_JSON_DEFAULT),
+        section, values)
 
 
 def run_once(benchmark, fn):

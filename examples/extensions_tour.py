@@ -12,22 +12,32 @@ one PageRank workload:
    inter-iteration state instead of the DFS, with the fault-tolerance
    caveat handled by periodic checkpoints.
 
+Plus one enhancement of our own runtime rather than the paper's design:
+
+4. **Columnar shuffle fast path** — a custom engine job that ships
+   typed ``(int64, float64)`` batches with a map-side combiner instead
+   of one Python object per record, and how an iterative spec opts in.
+
 Run:  python examples/extensions_tour.py
 """
 
 from __future__ import annotations
 
-from repro.apps.pagerank import PageRankBlockSpec
+import numpy as np
+
+from repro.apps.pagerank import PageRankBlockSpec, PageRankKVSpec
 from repro.cluster import DFSStateStore, OnlineStateStore, SimCluster
 from repro.core import (
     BlockBackend,
     DriverConfig,
+    EngineBackend,
     HierarchicalBackend,
     HierarchyConfig,
     Session,
     autotune_partitions,
     make_racks,
 )
+from repro.engine import Job, JobConf, MapReduceRuntime
 from repro.graph import make_paper_graph, multilevel_partition
 from repro.util import ascii_table
 
@@ -97,6 +107,54 @@ def main() -> None:
     print()
     print(ascii_table(["state store", "sim time (s)"], rows,
                       title="3. Inter-iteration state store"))
+
+    # ------------------------------------------------------------------
+    # 4. Columnar shuffle fast path + map-side combiner.
+    #
+    # A custom engine job opts in simply by emitting typed batches
+    # (``ctx.emit_block``) and naming its aggregations: strings like
+    # "sum" run vectorised on the columnar path and through
+    # arithmetic-identical wrappers on the object path, so
+    # ``JobConf(columnar=False)`` is a drop-in oracle for the same job.
+    # ------------------------------------------------------------------
+    def degree_mass_map(part_id, nodes, ctx):
+        # one typed batch instead of len(nodes) Python pairs
+        ctx.emit_block(graph.out_degree()[nodes] % 7,
+                       np.ones(len(nodes)))
+
+    chunk = np.array_split(np.arange(graph.num_nodes), 4)
+    job = Job(map_fn=degree_mass_map, reduce_fn="sum", combine_fn="sum")
+    with MapReduceRuntime("serial") as rt:
+        fast = rt.run(job, [[(p, c)] for p, c in enumerate(chunk)])
+        oracle_conf = JobConf(columnar=False)
+        oracle = rt.run(Job(degree_mass_map, "sum", combine_fn="sum",
+                            conf=oracle_conf),
+                        [[(p, c)] for p, c in enumerate(chunk)])
+    assert fast.output == oracle.output  # byte-identical result
+
+    # Iterative specs opt in by declaring the columnar hooks
+    # (supports_columnar / gmap_emit_columnar / columnar_reduce /
+    # columnar_combine); EngineBackend then routes every global
+    # iteration through the fast path automatically — columnar=False
+    # keeps the object path as the oracle.
+    import time
+
+    t0 = time.perf_counter()
+    fast_pr = run_single(EngineBackend(PageRankKVSpec(graph, partition)),
+                         DriverConfig(mode="eager"))
+    t_fast = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    slow_pr = run_single(EngineBackend(PageRankKVSpec(graph, partition),
+                                       columnar=False),
+                         DriverConfig(mode="eager"))
+    t_slow = time.perf_counter() - t0
+    print()
+    print(ascii_table(
+        ["engine path", "global iters", "wall time (s)"],
+        [["columnar + combiner", fast_pr.global_iters, f"{t_fast:.2f}"],
+         ["object (oracle)", slow_pr.global_iters, f"{t_slow:.2f}"]],
+        title="4. Columnar shuffle fast path (PageRankKVSpec opts in; "
+              "map-side combiner pre-folds contributions)"))
 
 
 if __name__ == "__main__":

@@ -223,7 +223,18 @@ class PageRankKVSpec(AsyncMapReduceSpec):
     partition (the off-line locality-enhancing step).
 
     Global state: ``ranks`` dict ``node -> (rank, ext_contrib)``.
+
+    The spec opts into the engine's columnar shuffle fast path: the
+    gmap's boundary data becomes ``(node, (rank, contribution))`` rows —
+    a rank record ``(rank, 0)`` from the owning partition plus one
+    ``(0, contribution)`` row per outgoing cut edge — so ``greduce``
+    collapses to a per-key segmented **sum** and the map-side ``"sum"``
+    combiner (§V-B's partial aggregation) pre-folds each partition's
+    contributions to one row per remote target before the shuffle.
     """
+
+    supports_columnar = True
+    columnar_combine = "sum"
 
     def __init__(self, graph: DiGraph, partition: Partition, *,
                  damping: float = 0.85, tol: float = 1e-5) -> None:
@@ -244,6 +255,8 @@ class PageRankKVSpec(AsyncMapReduceSpec):
             same = assign[succ] == assign[u]
             self._internal_adj[u] = succ[same].tolist()
             self._external_adj[u] = succ[~same].tolist()
+        #: part_id -> static emission arrays for the columnar gmap.
+        self._col_cache: dict = {}
 
     # -- iteration plumbing ----------------------------------------------
     def initial_state(self) -> dict:
@@ -328,6 +341,50 @@ class PageRankKVSpec(AsyncMapReduceSpec):
         new_state = dict(prev_state)
         new_state.update(output)
         return new_state
+
+    # -- columnar fast path ------------------------------------------------
+    def _columnar_arrays(self, part_id: int):
+        """Static per-partition emission structure (built once).
+
+        ``nodes`` are the partition's node ids in table order,
+        ``ext_src`` the *local index* of each outgoing cut edge's source
+        (repeated per edge) and ``ext_dst`` its remote target, so the
+        per-round contribution vector is one gather-multiply.
+        """
+        cached = self._col_cache.get(part_id)
+        if cached is None:
+            nodes = self.partition.parts()[part_id].astype(np.int64)
+            node_list = [int(u) for u in nodes]
+            counts = [len(self._external_adj[u]) for u in node_list]
+            ext_dst = np.fromiter(
+                (v for u in node_list for v in self._external_adj[u]),
+                dtype=np.int64, count=sum(counts))
+            ext_src = np.repeat(np.arange(len(node_list)), counts)
+            cached = (nodes, node_list, ext_src, ext_dst,
+                      self._inv_outdeg[nodes])
+            self._col_cache[part_id] = cached
+        return cached
+
+    def gmap_emit_columnar(self, table: dict, part_id: int):
+        """Same records as :meth:`gmap_emit`, as typed rows: the owning
+        rank record is ``(rank, 0)``, each cut-edge contribution
+        ``(0, rank/outdeg)`` — so a per-key sum yields exactly
+        ``(rank, ext_contrib)``."""
+        nodes, node_list, ext_src, ext_dst, inv_out = \
+            self._columnar_arrays(part_id)
+        ranks = np.fromiter((table[u][0] for u in node_list),
+                            dtype=np.float64, count=len(node_list))
+        contrib = ranks[ext_src] * inv_out[ext_src]
+        keys = np.concatenate([nodes, ext_dst])
+        rows = np.zeros((len(keys), 2), dtype=np.float64)
+        rows[:len(nodes), 0] = ranks
+        rows[len(nodes):, 1] = contrib
+        return keys, rows
+
+    def columnar_reduce(self):
+        return "sum"
+    # state_from_columnar: the base default (materialise + dict update)
+    # is exactly this spec's state_from_output semantics.
 
 
 # ----------------------------------------------------------------------

@@ -191,6 +191,15 @@ class SsspBlockSpec(BlockSpec):
 # Record-at-a-time (§IV API) implementation
 # ----------------------------------------------------------------------
 
+def _sssp_columnar_finish(keys: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Vectorised greduce epilogue: fold the cross-edge floor into the
+    distance column (``dist = min(dist, ext_best)``).  Top-level so the
+    process-pool executors can pickle the reduce spec."""
+    rows = rows.copy()
+    rows[:, 0] = np.minimum(rows[:, 0], rows[:, 1])
+    return rows
+
+
 class SsspKVSpec(AsyncMapReduceSpec):
     """SSSP through lmap/lreduce/greduce on the real engine.
 
@@ -199,7 +208,18 @@ class SsspKVSpec(AsyncMapReduceSpec):
     boundaries; ``ext_best`` is the best known distance via cross edges,
     frozen during local iterations.  Global state: ``node -> (dist,
     ext_best)``.
+
+    Columnar fast path: boundary records become ``(node, (dist, d))``
+    rows — the owner's distance record is ``(dist, inf)``, each
+    cross-edge relaxation candidate ``(inf, dist + w)`` — reduced by a
+    per-key segmented **min** (exact, so the columnar run is
+    bit-identical to the classic path) with a vectorised epilogue
+    folding the cross-edge floor into the distance.  The map-side
+    ``"min"`` combiner ships one row per remote target per partition.
     """
+
+    supports_columnar = True
+    columnar_combine = "min"
 
     def __init__(self, graph: DiGraph, partition: Partition, *,
                  source: int = 0) -> None:
@@ -217,6 +237,8 @@ class SsspKVSpec(AsyncMapReduceSpec):
             same = assign[succ] == assign[u]
             self._internal_adj[u] = list(zip(succ[same].tolist(), w[same].tolist()))
             self._external_adj[u] = list(zip(succ[~same].tolist(), w[~same].tolist()))
+        #: part_id -> static emission arrays for the columnar gmap.
+        self._col_cache: dict = {}
 
     def initial_state(self) -> dict:
         """Source at 0, rest unreached; cross-edge floors consistent with
@@ -301,6 +323,49 @@ class SsspKVSpec(AsyncMapReduceSpec):
         new_state = dict(prev_state)
         new_state.update(output)
         return new_state
+
+    # -- columnar fast path ------------------------------------------------
+    def _columnar_arrays(self, part_id: int):
+        """Static per-partition emission structure (built once)."""
+        cached = self._col_cache.get(part_id)
+        if cached is None:
+            nodes = self.partition.parts()[part_id].astype(np.int64)
+            node_list = [int(u) for u in nodes]
+            counts = [len(self._external_adj[u]) for u in node_list]
+            total = sum(counts)
+            ext_dst = np.fromiter(
+                (v for u in node_list for v, _ in self._external_adj[u]),
+                dtype=np.int64, count=total)
+            ext_w = np.fromiter(
+                (w for u in node_list for _, w in self._external_adj[u]),
+                dtype=np.float64, count=total)
+            ext_src = np.repeat(np.arange(len(node_list)), counts)
+            cached = (nodes, node_list, ext_src, ext_dst, ext_w)
+            self._col_cache[part_id] = cached
+        return cached
+
+    def gmap_emit_columnar(self, table: dict, part_id: int):
+        """Same records as :meth:`gmap_emit`, as typed rows: the owner's
+        distance record is ``(dist, inf)``, each finite-source cross
+        edge a ``(inf, dist + w)`` relaxation candidate."""
+        nodes, node_list, ext_src, ext_dst, ext_w = \
+            self._columnar_arrays(part_id)
+        dists = np.fromiter((table[u][0] for u in node_list),
+                            dtype=np.float64, count=len(node_list))
+        live = np.isfinite(dists[ext_src])
+        cand = dists[ext_src[live]] + ext_w[live]
+        keys = np.concatenate([nodes, ext_dst[live]])
+        rows = np.full((len(keys), 2), np.inf, dtype=np.float64)
+        rows[:len(nodes), 0] = dists
+        rows[len(nodes):, 1] = cand
+        return keys, rows
+
+    def columnar_reduce(self):
+        from repro.engine import ColumnarReduce
+
+        return ColumnarReduce("min", finish=_sssp_columnar_finish)
+    # state_from_columnar: the base default (materialise + dict update)
+    # is exactly this spec's state_from_output semantics.
 
 
 # ----------------------------------------------------------------------

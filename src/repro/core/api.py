@@ -83,7 +83,24 @@ class AsyncMapReduceSpec(abc.ABC):
     plumbing.  The framework generates ``gmap`` from ``lmap`` +
     ``lreduce`` exactly as Figure 1 prescribes (see
     :mod:`repro.core.localmr` and :mod:`repro.core.gmap`).
+
+    Array-valued specs may additionally opt into the engine's
+    **columnar shuffle fast path** (:mod:`repro.engine.columnar`) by
+    setting :attr:`supports_columnar` and implementing the
+    ``*_columnar`` hooks: the gmap then ships its boundary data as typed
+    ``(int64 key, float64 row)`` batches, the global reduce runs as one
+    segmented array aggregation (with a map-side combiner pre-folding
+    duplicates per partition — the paper's partial-aggregation lever,
+    §V-B), and byte accounting is dtype itemsize math.  The classic
+    ``gmap_emit``/``greduce`` path stays intact as the fallback and the
+    equivalence oracle (``EngineBackend(..., columnar=False)``).
     """
+
+    #: Set True when the spec implements the columnar hooks below.
+    supports_columnar: bool = False
+    #: Named map-side combiner ("sum"/"min"/"max") applied to the
+    #: columnar gmap output before the shuffle; None ships raw records.
+    columnar_combine: "str | None" = None
 
     # -- the four user functions (§IV) ---------------------------------
     @abc.abstractmethod
@@ -156,6 +173,31 @@ class AsyncMapReduceSpec(abc.ABC):
         centroids — Hadoop would use the distributed cache / job
         configuration) pull it from the table here.  Default: no-op.
         """
+
+    # -- columnar fast-path hooks (opt-in, see supports_columnar) -------
+    def gmap_emit_columnar(self, table: dict, part_id: int
+                           ) -> "tuple[Any, Any]":
+        """Typed ``(keys, value_rows)`` arrays the gmap ships to the
+        global reduce at local convergence — the vectorised counterpart
+        of :meth:`gmap_emit` (same logical records, array layout)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the columnar path")
+
+    def columnar_reduce(self) -> Any:
+        """The global reduce as a declarative spec the engine can run
+        vectorised: an aggregation name or a
+        :class:`~repro.engine.columnar.ColumnarReduce`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the columnar path")
+
+    def state_from_columnar(self, block: Any, prev_state: Any) -> Any:
+        """Fold a columnar job's output block into the next state.
+
+        Default materialises the block and defers to
+        :meth:`state_from_output`; array-state specs override this to
+        stay object-free end to end.
+        """
+        return self.state_from_output(block.to_pairs(), prev_state)
 
 
 class BlockSpec(abc.ABC):

@@ -42,14 +42,20 @@ class GmapFunction:
     The engine hands it ``(part_id, xs)`` records; it runs the local
     MapReduce to local convergence (or to 1 iteration for the general
     baseline) and emits the spec's boundary/output pairs for the global
-    reduce.
+    reduce — as one typed batch (``ctx.emit_block``) when the columnar
+    fast path is on, or pair-at-a-time otherwise.
     """
 
-    def __init__(self, spec: AsyncMapReduceSpec, max_local_iters: int) -> None:
+    def __init__(self, spec: AsyncMapReduceSpec, max_local_iters: int, *,
+                 columnar: bool = False) -> None:
         if max_local_iters < 1:
             raise ValueError("max_local_iters must be >= 1")
+        if columnar and not getattr(spec, "supports_columnar", False):
+            raise ValueError(
+                f"{type(spec).__name__} does not support the columnar path")
         self.spec = spec
         self.max_local_iters = max_local_iters
+        self.columnar = columnar
 
     def __call__(self, part_id: Any, xs: "list[tuple[Any, Any]]", ctx: Any) -> None:
         result = run_local_mapreduce(self.spec, xs,
@@ -58,6 +64,10 @@ class GmapFunction:
         ctx.incr(local_iter_counter(part_id), result.local_iters)
         ctx.incr(LOCAL_OPS_COUNTER, int(result.total_ops))
         ctx.add_ops(result.total_ops)
+        if self.columnar:
+            keys, values = self.spec.gmap_emit_columnar(result.table, part_id)
+            ctx.emit_block(keys, values)
+            return
         for k, v in self.spec.gmap_emit(result.table, part_id):
             ctx.emit(k, v)
 

@@ -211,16 +211,32 @@ class EngineBackend(IterationBackend):
         Run each global iteration's job through the engine's streaming
         pipeline (see :class:`~repro.engine.JobConf`); identical
         results, overlapped shuffle.
+    columnar:
+        Route each job through the engine's columnar shuffle fast path
+        (typed batches, vectorised routing/grouping, map-side combiner
+        — see :mod:`repro.engine.columnar`).  ``None`` (default) opts in
+        automatically when the spec supports it; ``False`` forces the
+        classic object path — the fallback and the oracle the
+        equivalence tests compare against.
     """
 
     def __init__(self, spec: AsyncMapReduceSpec, *,
                  runtime: "MapReduceRuntime | None" = None,
-                 num_reducers: int = 8, eager_reduce: bool = False) -> None:
+                 num_reducers: int = 8, eager_reduce: bool = False,
+                 columnar: "bool | None" = None) -> None:
         self.spec = spec
         self.owns_runtime = runtime is None
         self.runtime = runtime if runtime is not None else MapReduceRuntime("serial")
         self.num_reducers = num_reducers
         self.eager_reduce = eager_reduce
+        # getattr: duck-typed specs that predate the columnar hooks
+        # simply stay on the object path.
+        if columnar is None:
+            columnar = getattr(spec, "supports_columnar", False)
+        elif columnar and not getattr(spec, "supports_columnar", False):
+            raise ValueError(
+                f"{type(spec).__name__} does not support the columnar path")
+        self.columnar = bool(columnar)
         self._greduce = GreduceFunction(spec)
         self._parts = spec.num_partitions()
 
@@ -247,26 +263,38 @@ class EngineBackend(IterationBackend):
             [(p, spec.partition_input(p, state))] for p in range(self._parts)
         ]
         job = Job(
-            map_fn=GmapFunction(spec, max_local_iters),
-            reduce_fn=self._greduce,
+            map_fn=GmapFunction(spec, max_local_iters,
+                                columnar=self.columnar),
+            reduce_fn=(spec.columnar_reduce() if self.columnar
+                       else self._greduce),
+            combine_fn=(spec.columnar_combine if self.columnar else None),
             conf=JobConf(num_reducers=self.num_reducers,
                          name=f"iter{iteration}",
                          eager_reduce=self.eager_reduce),
         )
         res = self.runtime.run(job, splits, accountant=self.accountant)
+        if res.columnar_output is not None:
+            out_bytes = res.columnar_output.nbytes
+            new_state = spec.state_from_columnar(res.columnar_output, state)
+        else:
+            # Reduce tasks measured their output bytes worker-side; the
+            # full estimate scan stays as the oracle for results from
+            # before that measurement existed.
+            out_bytes = res.output_nbytes or _measure_output_bytes(
+                [[res.output]])
+            new_state = spec.state_from_output(res.output, state)
         # The record-at-a-time path has no per-key partition attribution
         # for the reduce output, so the state it round-trips is spread
         # evenly — the same shape (one entry per partition, aggregate
         # preserved) the block backends report.  The shared accountant
         # tail also fires the non-durable store's periodic checkpoint,
         # exactly when the block path would.
-        state_pb = even_split(_measure_output_bytes([[res.output]]),
-                              self._parts)
+        state_pb = even_split(out_bytes, self._parts)
         self.accountant.charge_state_tail(iteration=iteration,
                                           state_partition_bytes=state_pb,
                                           label=f"iter{iteration}")
         return RoundOutcome(
-            state=spec.state_from_output(res.output, state),
+            state=new_state,
             local_iters=tuple(
                 res.counters.get(local_iter_counter(p))
                 for p in range(self._parts)

@@ -10,6 +10,15 @@ for startup, phase makespans, shuffle bytes, barrier, and the DFS round
 trip — producing the simulated-time axis of the paper's figures.
 """
 
+from repro.engine.columnar import (
+    ColumnarBlock,
+    ColumnarGroups,
+    ColumnarReduce,
+    combine_columnar,
+    group_columnar,
+    hash_buckets,
+    route_columnar,
+)
 from repro.engine.counters import Counters
 from repro.engine.faults import FaultPlan, SimulatedTaskFailure
 from repro.engine.job import Job, JobConf
@@ -27,6 +36,13 @@ from repro.engine.shuffle import ShuffleBuffer, shuffle, shuffle_bytes
 from repro.engine.task import TaskContext, TaskResult, run_map_task, run_reduce_task
 
 __all__ = [
+    "ColumnarBlock",
+    "ColumnarGroups",
+    "ColumnarReduce",
+    "combine_columnar",
+    "group_columnar",
+    "hash_buckets",
+    "route_columnar",
     "Job",
     "JobConf",
     "JobResult",

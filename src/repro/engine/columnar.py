@@ -1,0 +1,463 @@
+"""Columnar shuffle fast path: typed record batches through the engine.
+
+The object-at-a-time engine spends most of its wall-clock on per-record
+interpreter work: one ``partitioner(k, R)`` call and one list append to
+route every pair, one ``dict.setdefault`` to group it, and two
+``estimate_nbytes`` calls to measure it.  For the array-valued iterative
+apps the paper cares about (PageRank, SSSP, Jacobi, k-means) every one
+of those records is an ``(int64 key, float64 row)`` — so the whole
+shuffle can run on NumPy instead:
+
+* :class:`ColumnarBlock` — one task's typed batch: an int64 key array
+  plus a float64 value array (``(n,)`` or ``(n, w)`` for multi-column
+  rows).  Byte accounting is dtype itemsize math (``arr.nbytes``),
+  which coincides exactly with :func:`~repro.cluster.dfs.estimate_nbytes`'s
+  8-bytes-per-number estimate for the materialised pairs.
+* :func:`route_columnar` — vectorised partition routing: one FNV-1a
+  hash sweep (:func:`hash_buckets`, bit-identical to
+  :class:`~repro.engine.partitioner.HashPartitioner`), a stable argsort
+  and bincount-derived slices instead of a per-pair append loop.
+* :func:`combine_columnar` — the map-side combiner (the paper's partial
+  aggregation lever, §V-B): sort-based grouping plus a segmented
+  ``ufunc.reduceat``, so pre-aggregatable apps ship one value per key
+  per partition across the shuffle.
+* :class:`ColumnarGroups` — reduce-side grouping by ``np.argsort`` +
+  ``np.unique`` index slices instead of dict-of-lists; aggregates with
+  the same segmented primitive and can materialise the exact
+  object-path ``groups()`` output on demand (the oracle contract the
+  equivalence tests pin).
+
+Determinism mirrors the object path record for record: stable sorts
+preserve (map task index, emission order) within every bucket and every
+key group, and unsorted group order follows first emission — so
+materialising a columnar shuffle is *byte-identical* to running the
+same logical pairs through the object path.
+
+Floating-point note: both the columnar and the object-path spellings of
+the built-in aggregations ("sum" / "min" / "max") funnel through
+:func:`segment_aggregate`, so the two paths perform additions in the
+same association order and combined values compare equal bitwise, not
+just approximately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.engine.partitioner import HashPartitioner, _FNV_OFFSET, _FNV_PRIME
+
+__all__ = [
+    "ColumnarBlock",
+    "ColumnarGroups",
+    "ColumnarReduce",
+    "AGG_UFUNCS",
+    "hash_buckets",
+    "route_columnar",
+    "combine_columnar",
+    "group_columnar",
+    "segment_aggregate",
+    "resolve_agg",
+    "object_combiner",
+    "object_reducer",
+    "as_columnar_reduce",
+]
+
+#: Built-in aggregations usable as map-side combiners and reduce ops.
+AGG_UFUNCS: "dict[str, np.ufunc]" = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def resolve_agg(agg: str) -> np.ufunc:
+    """Look up a named aggregation; raises ``ValueError`` on unknowns."""
+    try:
+        return AGG_UFUNCS[agg]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregation {agg!r}; choose from {sorted(AGG_UFUNCS)}"
+        ) from None
+
+
+class ColumnarBlock:
+    """A typed batch of (key, value) records.
+
+    Keys are int64, values float64 — either a flat ``(n,)`` vector or an
+    ``(n, w)`` row matrix for multi-column values (e.g. PageRank's
+    ``(rank, contribution)`` rows).  Inputs are coerced/validated once at
+    construction so every later operation is a plain array op.
+    """
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: Any, values: Any) -> None:
+        keys = np.asarray(keys)
+        if keys.dtype == object or not (
+                keys.size == 0 or np.issubdtype(keys.dtype, np.integer)):
+            # A forced int64 cast would silently truncate float keys,
+            # merging records the object path keeps distinct.
+            raise TypeError(
+                f"keys must be integers, got dtype {keys.dtype}")
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+        if values.ndim not in (1, 2):
+            raise ValueError(
+                f"values must be (n,) or (n, w), got shape {values.shape}")
+        if values.shape[0] != keys.shape[0]:
+            raise ValueError(
+                f"{keys.shape[0]} keys but {values.shape[0]} value rows")
+        self.keys = keys
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def width(self) -> int:
+        """Value columns per record (1 for flat value vectors)."""
+        return 1 if self.values.ndim == 1 else int(self.values.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Shuffle bytes of this batch, from dtype itemsize math.
+
+        Equals ``shuffle_bytes`` over the materialised pairs (8 bytes
+        per key + 8 per value number), with no per-object traversal.
+        """
+        return int(self.keys.nbytes + self.values.nbytes)
+
+    @classmethod
+    def empty(cls, width: int = 1) -> "ColumnarBlock":
+        shape = (0,) if width == 1 else (0, width)
+        return cls(np.empty(0, dtype=np.int64),
+                   np.empty(shape, dtype=np.float64))
+
+    @classmethod
+    def concat(cls, blocks: "Sequence[ColumnarBlock]") -> "ColumnarBlock":
+        """Concatenate batches in order (emission / map-index order)."""
+        blocks = list(blocks)
+        if not blocks:
+            return cls.empty()
+        if len(blocks) == 1:
+            return blocks[0]
+        widths = {b.width for b in blocks}
+        if len(widths) > 1:
+            raise ValueError(
+                f"cannot concat blocks of mixed value widths {sorted(widths)}")
+        return cls(np.concatenate([b.keys for b in blocks]),
+                   np.concatenate([b.values for b in blocks], axis=0))
+
+    def to_pairs(self) -> "list[tuple[int, Any]]":
+        """Materialise the batch as object-path pairs.
+
+        The oracle contract: ``(int key, float value)`` for flat values,
+        ``(int key, (float, ...) tuple)`` for rows — exactly what an
+        object-path map emitting the same records would produce.
+        """
+        ks = self.keys.tolist()
+        if self.values.ndim == 1:
+            return list(zip(ks, self.values.tolist()))
+        return list(zip(ks, map(tuple, self.values.tolist())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnarBlock(n={len(self)}, width={self.width})"
+
+
+# ----------------------------------------------------------------------
+# Vectorised routing
+# ----------------------------------------------------------------------
+
+def hash_buckets(keys: np.ndarray, num_reducers: int) -> np.ndarray:
+    """Vectorised ``stable_hash(int(k)) % num_reducers`` for int64 keys.
+
+    Replays :func:`~repro.engine.partitioner.stable_hash`'s FNV-1a over
+    the same 17 bytes (type prefix + 16-byte little-endian two's
+    complement) with whole-array xor/multiply sweeps, so the bucket of
+    every key is identical to the object path's ``HashPartitioner`` —
+    the property the columnar/object equivalence tests pin.
+    """
+    if num_reducers <= 0:
+        raise ValueError("num_reducers must be > 0")
+    k = np.ascontiguousarray(keys, dtype=np.int64)
+    bits = k.view(np.uint64)
+    h = np.full(k.shape, _FNV_OFFSET, dtype=np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    mask = np.uint64(0xFF)
+    h ^= np.uint64(0x02)  # stable_hash's int type prefix
+    h *= prime
+    for shift in range(0, 64, 8):
+        h ^= (bits >> np.uint64(shift)) & mask
+        h *= prime
+    # Bytes 8..15 of the 128-bit little-endian encoding: pure sign
+    # extension of the int64 (0x00 for >= 0, 0xFF for < 0).
+    ext = np.where(k < 0, mask, np.uint64(0))
+    for _ in range(8):
+        h ^= ext
+        h *= prime
+    return (h % np.uint64(num_reducers)).astype(np.int64)
+
+
+def route_columnar(block: ColumnarBlock, num_reducers: int,
+                   partitioner: "Callable[[Any, int], int] | None" = None,
+                   ) -> "list[ColumnarBlock]":
+    """Split one batch into per-reducer sub-batches (vectorised).
+
+    A (default) :class:`HashPartitioner` routes with one vectorised hash
+    sweep; any other partitioner is honoured through a per-key fallback
+    call (correct, but not the fast path).  The stable sort keeps each
+    bucket's records in emission order — the object path's append order.
+    """
+    if num_reducers < 1:
+        raise ValueError("num_reducers must be >= 1")
+    # Exact type check: a HashPartitioner subclass may override __call__
+    # and must be honoured through the per-key fallback.
+    if partitioner is None or type(partitioner) is HashPartitioner:
+        buckets = hash_buckets(block.keys, num_reducers)
+    else:
+        buckets = np.fromiter(
+            (partitioner(int(k), num_reducers) for k in block.keys),
+            dtype=np.int64, count=len(block))
+        if len(buckets) and not (0 <= buckets.min()
+                                 and buckets.max() < num_reducers):
+            # The object path's buckets[p].append would raise IndexError
+            # for a broken partitioner; match that loudness instead of
+            # silently dropping the out-of-range records.
+            raise IndexError(
+                f"partitioner returned bucket outside [0, {num_reducers})")
+    order = np.argsort(buckets, kind="stable")
+    counts = np.bincount(buckets, minlength=num_reducers)
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    sk = block.keys[order]
+    sv = block.values[order]
+    return [
+        ColumnarBlock(sk[bounds[r]: bounds[r + 1]],
+                      sv[bounds[r]: bounds[r + 1]])
+        for r in range(num_reducers)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Segmented aggregation (shared by combiner, reduce, and the oracle)
+# ----------------------------------------------------------------------
+
+def segment_aggregate(values: np.ndarray, starts: np.ndarray,
+                      ufunc: np.ufunc) -> np.ndarray:
+    """Reduce contiguous key segments of ``values`` with ``ufunc``.
+
+    ``starts`` are ascending segment start indices (each segment runs to
+    the next start, the last to the end).  2-D values reduce per column
+    on contiguous copies so the arithmetic — and therefore the exact
+    floating-point result — is the plain 1-D ``ufunc.reduceat``, which
+    the object-path aggregation wrappers reuse for bitwise parity.
+    """
+    if len(starts) == 0:
+        return values[:0].copy()
+    if values.ndim == 1:
+        return ufunc.reduceat(values, starts)
+    cols = [ufunc.reduceat(np.ascontiguousarray(values[:, j]), starts)
+            for j in range(values.shape[1])]
+    return np.stack(cols, axis=1)
+
+
+def _group_layout(keys: np.ndarray, sort_keys: bool
+                  ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Sort-based grouping: ``(order, unique_keys, starts, out_order)``.
+
+    ``order`` stably sorts the records by key (so values within a key
+    stay in emission order); ``unique_keys``/``starts`` index the sorted
+    layout; ``out_order`` permutes groups into output order — ascending
+    key when ``sort_keys``, else first-emission order (the object
+    path's dict insertion order).
+    """
+    order = np.argsort(keys, kind="stable")
+    uk, starts = np.unique(keys[order], return_index=True)
+    if sort_keys or len(uk) == 0:
+        out_order = np.arange(len(uk))
+    else:
+        out_order = np.argsort(order[starts], kind="stable")
+    return order, uk, starts, out_order
+
+
+def combine_columnar(block: ColumnarBlock, agg: str) -> ColumnarBlock:
+    """Map-side combine: one aggregated value row per distinct key.
+
+    Output keys follow first-emission order, matching the object-path
+    combiner's dict insertion order so the routed buckets stay
+    byte-identical between the two paths.
+    """
+    if len(block) == 0:
+        return block
+    ufunc = resolve_agg(agg)
+    order, uk, starts, out_order = _group_layout(block.keys, sort_keys=False)
+    rows = segment_aggregate(block.values[order], starts, ufunc)
+    return ColumnarBlock(uk[out_order], rows[out_order])
+
+
+# ----------------------------------------------------------------------
+# Reduce-side grouping
+# ----------------------------------------------------------------------
+
+@dataclass
+class ColumnarGroups:
+    """One reducer's key-grouped columnar input.
+
+    ``values`` holds every record in sorted-key layout (stable within a
+    key, i.e. (map index, emission order)); group ``i`` of the *output*
+    order covers ``values[starts[order[i]] : + counts[order[i]]]``.
+    """
+
+    #: Distinct keys, in sorted-key layout order.
+    keys: np.ndarray
+    #: All value rows, key-grouped (sorted-key layout).
+    values: np.ndarray
+    #: Start index of each group in ``values`` (sorted-key layout).
+    starts: np.ndarray
+    #: Record count of each group.
+    counts: np.ndarray
+    #: Output permutation over groups (identity when keys are sorted).
+    order: np.ndarray
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.keys)
+
+    @property
+    def num_records(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def width(self) -> int:
+        return 1 if self.values.ndim == 1 else int(self.values.shape[1])
+
+    def aggregate(self, agg: str) -> "tuple[np.ndarray, np.ndarray]":
+        """Reduce every group with a named aggregation (vectorised).
+
+        Returns ``(keys, rows)`` in output group order.
+        """
+        ufunc = resolve_agg(agg)
+        rows = segment_aggregate(self.values, self.starts, ufunc)
+        return self.keys[self.order], rows[self.order]
+
+    def to_pairs(self) -> "list[tuple[int, list]]":
+        """Materialise the object-path ``groups()[r]`` structure.
+
+        Byte-identical to feeding the same logical pairs through the
+        object :class:`~repro.engine.shuffle.ShuffleBuffer`: same key
+        order, same value order, same Python types.
+        """
+        keys = self.keys.tolist()
+        starts = self.starts.tolist()
+        counts = self.counts.tolist()
+        if self.values.ndim == 1:
+            vals = self.values.tolist()
+            return [
+                (keys[g], vals[starts[g]: starts[g] + counts[g]])
+                for g in self.order.tolist()
+            ]
+        vals = [tuple(row) for row in self.values.tolist()]
+        return [
+            (keys[g], vals[starts[g]: starts[g] + counts[g]])
+            for g in self.order.tolist()
+        ]
+
+
+def group_columnar(blocks: "Sequence[ColumnarBlock]", *,
+                   sort_keys: bool = True) -> ColumnarGroups:
+    """Group one reducer's blocks (in map-task order) by key."""
+    merged = ColumnarBlock.concat(blocks)
+    order, uk, starts, out_order = _group_layout(merged.keys, sort_keys)
+    counts = np.diff(np.append(starts, len(merged)))
+    return ColumnarGroups(keys=uk, values=merged.values[order],
+                          starts=starts, counts=counts, order=out_order)
+
+
+# ----------------------------------------------------------------------
+# Declarative reduce + object-path oracles
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnarReduce:
+    """A declarative reduce the engine can run vectorised.
+
+    ``agg`` names the per-group aggregation; ``finish`` is an optional
+    vectorised epilogue ``(keys, rows) -> rows`` applied after it (e.g.
+    SSSP folding its cross-edge floor into the distance column).  Must
+    be a picklable top-level callable for the process executors.
+    """
+
+    agg: str
+    finish: "Callable[[np.ndarray, np.ndarray], np.ndarray] | None" = None
+
+    def __post_init__(self) -> None:
+        resolve_agg(self.agg)
+
+
+def as_columnar_reduce(reduce_fn: Any) -> "ColumnarReduce | None":
+    """Coerce a job's reduce spec to :class:`ColumnarReduce` if declarative.
+
+    Strings name a bare aggregation; callables (classic reduce
+    functions) return ``None`` — they need materialised groups.
+    """
+    if isinstance(reduce_fn, ColumnarReduce):
+        return reduce_fn
+    if isinstance(reduce_fn, str):
+        return ColumnarReduce(reduce_fn)
+    return None
+
+
+def _materialise_row(row: np.ndarray) -> Any:
+    return float(row) if row.ndim == 0 else tuple(float(x) for x in row)
+
+
+class _ObjectAgg:
+    """Object-path spelling of a named aggregation (combiner flavour).
+
+    Funnels through :func:`segment_aggregate` so combined values are
+    bitwise identical to the columnar path's.  Picklable (plain class +
+    string state) for the process executors.
+    """
+
+    def __init__(self, agg: str) -> None:
+        resolve_agg(agg)
+        self.agg = agg
+
+    def _reduce_values(self, values: list) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64)
+        return segment_aggregate(arr, np.array([0]), resolve_agg(self.agg))[0]
+
+    def __call__(self, key: Any, values: list, ctx: Any) -> None:
+        ctx.emit(key, _materialise_row(self._reduce_values(values)))
+
+
+class _ObjectReduce(_ObjectAgg):
+    """Object-path spelling of a :class:`ColumnarReduce` (finish included)."""
+
+    def __init__(self, cr: ColumnarReduce) -> None:
+        super().__init__(cr.agg)
+        self.finish = cr.finish
+
+    def __call__(self, key: Any, values: list, ctx: Any) -> None:
+        row = self._reduce_values(values)
+        if self.finish is not None:
+            keys = np.asarray([key], dtype=np.int64)
+            row = np.asarray(self.finish(keys, row[None]))[0]
+        ctx.emit(key, _materialise_row(np.asarray(row)))
+
+
+def object_combiner(combine_fn: Any) -> Any:
+    """Resolve a combine spec for the object path (strings -> oracle fn)."""
+    if isinstance(combine_fn, str):
+        return _ObjectAgg(combine_fn)
+    return combine_fn
+
+
+def object_reducer(reduce_fn: Any) -> Any:
+    """Resolve a reduce spec for the object path (declarative -> oracle fn)."""
+    cr = as_columnar_reduce(reduce_fn)
+    return _ObjectReduce(cr) if cr is not None else reduce_fn

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.engine.columnar import ColumnarReduce, resolve_agg
 from repro.engine.partitioner import HashPartitioner, Partitioner
 
 __all__ = ["JobConf", "Job"]
@@ -49,6 +50,13 @@ class JobConf:
     #: the map phase.  Output is byte-identical either way; only the
     #: schedule (and the simulated time) changes.
     eager_reduce: bool = False
+    #: Allow the columnar fast path when map tasks emit typed batches
+    #: (``ctx.emit_block``): vectorised routing/combining/grouping and
+    #: dtype-math byte accounting.  ``False`` forces such jobs through
+    #: the object path (materialised pairs) — the oracle the columnar
+    #: equivalence tests compare against.  Output is byte-identical
+    #: either way.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.num_reducers < 1:
@@ -59,18 +67,34 @@ class JobConf:
 
 @dataclass
 class Job:
-    """User functions + configuration, ready for a runtime to execute."""
+    """User functions + configuration, ready for a runtime to execute.
+
+    ``reduce_fn`` and ``combine_fn`` also accept *declarative* specs:
+    a named aggregation string (``"sum"`` / ``"min"`` / ``"max"``) or,
+    for the reduce, a :class:`~repro.engine.columnar.ColumnarReduce`.
+    Declarative specs run vectorised on the columnar path and through
+    arithmetic-identical object wrappers on the classic path, so the
+    same job definition executes either way.
+    """
 
     map_fn: MapFn
-    reduce_fn: ReduceFn
-    combine_fn: "ReduceFn | None" = None
+    reduce_fn: "ReduceFn | str | ColumnarReduce"
+    combine_fn: "ReduceFn | str | None" = None
     conf: JobConf = field(default_factory=JobConf)
     partitioner: Partitioner = field(default_factory=HashPartitioner)
 
     def __post_init__(self) -> None:
         if not callable(self.map_fn):
             raise TypeError("map_fn must be callable")
-        if not callable(self.reduce_fn):
-            raise TypeError("reduce_fn must be callable")
-        if self.combine_fn is not None and not callable(self.combine_fn):
-            raise TypeError("combine_fn must be callable or None")
+        if isinstance(self.reduce_fn, str):
+            resolve_agg(self.reduce_fn)
+        elif not (callable(self.reduce_fn)
+                  or isinstance(self.reduce_fn, ColumnarReduce)):
+            raise TypeError(
+                "reduce_fn must be callable, a named aggregation, or a "
+                "ColumnarReduce")
+        if isinstance(self.combine_fn, str):
+            resolve_agg(self.combine_fn)
+        elif self.combine_fn is not None and not callable(self.combine_fn):
+            raise TypeError(
+                "combine_fn must be callable, a named aggregation, or None")

@@ -43,14 +43,14 @@ that.
 from __future__ import annotations
 
 import concurrent.futures
-from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.cluster import SimCluster
+from repro.engine.columnar import ColumnarBlock
 from repro.engine.counters import Counters, SHUFFLE_BYTES, TASK_RETRIES
 from repro.engine.faults import FaultPlan, SimulatedTaskFailure
 from repro.engine.job import Job
-from repro.engine.shuffle import ShuffleBuffer, shuffle_bytes
+from repro.engine.shuffle import ShuffleBuffer
 from repro.engine.task import TaskResult, run_map_task, run_reduce_task
 
 __all__ = ["JobResult", "MapReduceRuntime", "JobFailedError"]
@@ -62,16 +62,37 @@ class JobFailedError(RuntimeError):
     """A task exhausted its attempts; the job cannot complete."""
 
 
-@dataclass
 class JobResult:
-    """Everything a completed job hands back."""
+    """Everything a completed job hands back.
 
-    #: Final output pairs, concatenated over reducers (key-sorted per
-    #: reducer when the job requests sorting).
-    output: list
-    counters: Counters = field(default_factory=Counters)
-    #: Simulated seconds, split by phase (empty without a cluster).
-    sim_times: dict = field(default_factory=dict)
+    Columnar jobs return their output as one typed block
+    (:attr:`columnar_output`); the classic :attr:`output` pair list is
+    materialised lazily on first access, so array-consuming callers
+    (e.g. a columnar-capable iterative spec) never pay for it.
+    """
+
+    def __init__(self, output: "list | None" = None,
+                 counters: "Counters | None" = None,
+                 sim_times: "dict | None" = None, *,
+                 columnar_output: "ColumnarBlock | None" = None,
+                 output_nbytes: int = 0) -> None:
+        self._output = output
+        #: Typed output block (columnar jobs only; None otherwise).
+        self.columnar_output = columnar_output
+        self.counters = counters if counters is not None else Counters()
+        #: Simulated seconds, split by phase (empty without a cluster).
+        self.sim_times = sim_times if sim_times is not None else {}
+        #: Output bytes, measured worker-side by the reduce tasks.
+        self.output_nbytes = int(output_nbytes)
+
+    @property
+    def output(self) -> list:
+        """Final output pairs, concatenated over reducers (key-sorted per
+        reducer when the job requests sorting)."""
+        if self._output is None:
+            self._output = (self.columnar_output.to_pairs()
+                            if self.columnar_output is not None else [])
+        return self._output
 
     @property
     def sim_time_total(self) -> float:
@@ -222,6 +243,7 @@ class MapReduceRuntime:
             make_args=lambda i, attempt: (
                 i, attempt, splits[i], job.map_fn, job.combine_fn,
                 job.partitioner, conf.num_reducers, self.fault_plan,
+                conf.columnar,
             ),
             runner=run_map_task,
             max_attempts=conf.max_attempts,
@@ -233,26 +255,44 @@ class MapReduceRuntime:
 
         sbytes = sum(res.nbytes for res in map_results)
         counters.incr(SHUFFLE_BYTES, sbytes)
-        grouped = buffer.groups()
+        # Columnar shuffles hand reducers grouped arrays (declarative
+        # reduces run vectorised; callable reduces materialise the exact
+        # object groups worker-side).  Object shuffles group as before.
+        grouped = (buffer.columnar_groups() if buffer.columnar
+                   else buffer.groups())
 
         reduce_results = run_phase(
             phase="reduce",
             count=conf.num_reducers,
             make_args=lambda i, attempt: (
                 i, attempt, grouped[i], job.reduce_fn, self.fault_plan,
+                self.cluster is not None,  # output bytes feed the charges
             ),
             runner=run_reduce_task,
             max_attempts=conf.max_attempts,
             counters=counters,
         )
-        output: list = []
+        output: "list | None" = None
+        columnar_output: "ColumnarBlock | None" = None
+        out_nbytes = 0
+        out_blocks: "list[ColumnarBlock]" = []
         for res in reduce_results:
             counters.merge(res.counters)
-            output.extend(res.data)
+            out_nbytes += res.nbytes
+            if isinstance(res.data, ColumnarBlock):
+                out_blocks.append(res.data)
+        if len(out_blocks) == len(reduce_results) and reduce_results:
+            columnar_output = ColumnarBlock.concat(out_blocks)
+        else:
+            output = []
+            for res in reduce_results:
+                output.extend(res.data)
 
         sim_times = self._account(job, map_results, reduce_results, sbytes,
-                                  output, accountant=accountant)
-        return JobResult(output=output, counters=counters, sim_times=sim_times)
+                                  out_nbytes, accountant=accountant)
+        return JobResult(output=output, counters=counters,
+                         sim_times=sim_times, columnar_output=columnar_output,
+                         output_nbytes=out_nbytes)
 
     # ------------------------------------------------------------------
     def _run_tasks(self, *, phase: str, count: int, make_args, runner,
@@ -381,7 +421,7 @@ class MapReduceRuntime:
     # ------------------------------------------------------------------
     def _account(self, job: Job, map_results: "list[TaskResult]",
                  reduce_results: "list[TaskResult]", sbytes: int,
-                 output: list, *, accountant=None) -> dict:
+                 out_nbytes: int, *, accountant=None) -> dict:
         """Charge the simulated cluster for this job; returns the breakdown.
 
         All charges flow through the shared
@@ -417,11 +457,13 @@ class MapReduceRuntime:
         times["barrier"] = acct.charge_barrier(
             label=f"{job.conf.name}:barrier")
         if acct.config is None:
-            # Standalone job: its output round-trips the DFS.  Iterative
-            # drivers pass a DriverConfig-carrying accountant and charge
-            # the inter-round state themselves, through the config's
-            # partitioned StateStore (see EngineBackend.run_round).
-            out_bytes = shuffle_bytes([[output]])
+            # Standalone job: its output round-trips the DFS, charged
+            # from the bytes the reduce tasks measured worker-side
+            # (shuffle_bytes stays available as the direct-caller
+            # oracle).  Iterative drivers pass a DriverConfig-carrying
+            # accountant and charge the inter-round state themselves,
+            # through the config's partitioned StateStore (see
+            # EngineBackend.run_round).
             times["dfs"] = acct.charge_dfs_roundtrip(
-                out_bytes, label=f"{job.conf.name}:dfs")
+                out_nbytes, label=f"{job.conf.name}:dfs")
         return times

@@ -12,6 +12,15 @@ eager reduce-side consumption, §V-B.2).  :func:`shuffle` is the batch
 wrapper kept for the barrier path and for direct callers; it feeds a
 buffer in a single pass over the map outputs.
 
+The buffer speaks both engine representations.  Object buckets (pair
+lists) merge into per-reducer dict tables one pair at a time — the
+reference path.  Columnar buckets
+(:class:`~repro.engine.columnar.ColumnarBlock`) merge by appending whole
+blocks in map-task order; grouping happens once at seal time with a
+stable sort + ``np.unique`` index slices (:meth:`ShuffleBuffer.columnar_groups`),
+and :meth:`ShuffleBuffer.groups` materialises output *byte-identical*
+to the object path — the oracle contract the equivalence tests pin.
+
 Determinism: within a group, values arrive ordered by (map task index,
 emission order) — the buffer reorders out-of-order completions
 internally — and groups are key-sorted when the job asks for it, so job
@@ -25,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.cluster.dfs import estimate_nbytes
+from repro.engine.columnar import ColumnarBlock, ColumnarGroups, group_columnar
 
 __all__ = ["ShuffleBuffer", "shuffle", "shuffle_bytes"]
 
@@ -36,6 +46,10 @@ class ShuffleBuffer:
     buffer holds out-of-order contributions aside and merges them into
     the per-reducer tables strictly in map-task-index order, so the
     grouped output is byte-identical to a serial post-barrier shuffle.
+
+    The representation (object pair lists vs columnar blocks) is
+    detected from the first map task's buckets; all map tasks of one
+    shuffle must agree.
 
     Parameters
     ----------
@@ -57,6 +71,10 @@ class ShuffleBuffer:
         self.num_reducers = num_reducers
         self.sort_keys = sort_keys
         self._tables: list[dict[Any, list]] = [{} for _ in range(num_reducers)]
+        #: Columnar mode: per-reducer blocks, merged in map-index order.
+        self._blocks: list[list[ColumnarBlock]] = [[] for _ in range(num_reducers)]
+        #: None until the first add decides the representation.
+        self._columnar: "bool | None" = None
         #: Out-of-order contributions parked until their predecessors land.
         self._parked: dict[int, Sequence] = {}
         #: Next map index to merge (everything below is already merged).
@@ -72,12 +90,19 @@ class ShuffleBuffer:
         """True once every map task's buckets have been merged."""
         return self._next == self.num_maps
 
+    @property
+    def columnar(self) -> bool:
+        """True when this shuffle carries columnar blocks."""
+        return bool(self._columnar)
+
     def add(self, map_index: int,
-            buckets: "Sequence[Sequence[tuple[Any, Any]]]") -> None:
+            buckets: "Sequence[Sequence[tuple[Any, Any]] | ColumnarBlock]") -> None:
         """Consume one finished map task's per-reducer buckets.
 
         Validates the bucket count once per map task (the batch
-        :func:`shuffle` used to re-check it R times).
+        :func:`shuffle` used to re-check it R times).  In-order arrivals
+        — the common case under the streaming pipeline — merge directly
+        without the parked-dict round trip.
         """
         if not 0 <= map_index < self.num_maps:
             raise ValueError(
@@ -89,25 +114,78 @@ class ShuffleBuffer:
                 f"map task produced {len(buckets)} buckets, "
                 f"expected {self.num_reducers}"
             )
-        self._parked[map_index] = buckets
-        while self._next in self._parked:
-            ready = self._parked.pop(self._next)
-            for table, bucket in zip(self._tables, ready):
-                for k, v in bucket:
-                    table.setdefault(k, []).append(v)
+        # An all-empty contribution is representation-neutral: a map
+        # task that emitted nothing (empty split, drained frontier)
+        # merges as a no-op in either mode instead of dragging the
+        # shuffle into its default representation and crashing the mix
+        # check.  Only tasks with records decide/validate the mode.
+        if any(len(b) for b in buckets):
+            columnar = isinstance(buckets[0], ColumnarBlock)
+            if self._columnar is None:
+                self._columnar = columnar
+            elif columnar != self._columnar:
+                raise ValueError(
+                    "cannot mix columnar and object map outputs in one "
+                    "shuffle")
+        if map_index == self._next:
+            self._merge(buckets)
             self._next += 1
+            while self._next in self._parked:
+                self._merge(self._parked.pop(self._next))
+                self._next += 1
+        else:
+            self._parked[map_index] = buckets
 
-    def groups(self) -> "list[list[tuple[Any, list]]]":
-        """Seal the buffer and return per-reducer grouped inputs.
+    def _merge(self, buckets: Sequence) -> None:
+        """Fold one map task's buckets into the per-reducer state."""
+        if not any(len(b) for b in buckets):
+            return  # representation-neutral no-op (see add())
+        if self._columnar:
+            for held, block in zip(self._blocks, buckets):
+                held.append(block)
+            return
+        for table, bucket in zip(self._tables, buckets):
+            # Hot loop: dict.get with locals beats setdefault (which
+            # allocates a fresh list per call even for existing keys).
+            get = table.get
+            for k, v in bucket:
+                vs = get(k)
+                if vs is None:
+                    table[k] = [v]
+                else:
+                    vs.append(v)
 
-        ``groups()[r]`` is a list of ``(key, values)`` with all values
-        for that key across all map tasks, in deterministic order.
-        """
+    def _check_complete(self) -> None:
         if not self.complete:
             raise RuntimeError(
                 f"shuffle incomplete: {self._next}/{self.num_maps} "
                 "map tasks consumed"
             )
+
+    def columnar_groups(self) -> "list[ColumnarGroups]":
+        """Seal a columnar shuffle and return per-reducer grouped arrays.
+
+        Grouping is sort-based (stable argsort + ``np.unique`` index
+        slices), so each group's value rows sit in (map task index,
+        emission order) — the object path's exact value order.
+        """
+        self._check_complete()
+        if not self._columnar:
+            raise RuntimeError(
+                "columnar_groups() on an object-mode shuffle; use groups()")
+        return [group_columnar(blocks, sort_keys=self.sort_keys)
+                for blocks in self._blocks]
+
+    def groups(self) -> "list[list[tuple[Any, list]]]":
+        """Seal the buffer and return per-reducer grouped inputs.
+
+        ``groups()[r]`` is a list of ``(key, values)`` with all values
+        for that key across all map tasks, in deterministic order —
+        byte-identical whether the shuffle ran object or columnar.
+        """
+        self._check_complete()
+        if self._columnar:
+            return [g.to_pairs() for g in self.columnar_groups()]
         out: list[list[tuple[Any, list]]] = []
         for table in self._tables:
             keys = sorted(table) if self.sort_keys else list(table)
@@ -116,7 +194,7 @@ class ShuffleBuffer:
 
 
 def shuffle(
-    map_buckets: "Sequence[Sequence[Sequence[tuple[Any, Any]]]]",
+    map_buckets: "Sequence[Sequence[Sequence[tuple[Any, Any]] | ColumnarBlock]]",
     num_reducers: int,
     *,
     sort_keys: bool = True,
@@ -126,7 +204,8 @@ def shuffle(
     Parameters
     ----------
     map_buckets:
-        ``map_buckets[m][r]`` is the list of (k, v) pairs map task ``m``
+        ``map_buckets[m][r]`` is the list of (k, v) pairs — or the
+        :class:`~repro.engine.columnar.ColumnarBlock` — map task ``m``
         assigned to reducer ``r``.
     num_reducers:
         Number of reduce partitions R.
@@ -147,12 +226,21 @@ def shuffle(
 
 
 def shuffle_bytes(
-    map_buckets: "Sequence[Sequence[Sequence[tuple[Any, Any]]]]",
+    map_buckets: "Sequence[Sequence[Sequence[tuple[Any, Any]] | ColumnarBlock]]",
 ) -> int:
-    """Total estimated bytes of intermediate data crossing the shuffle."""
+    """Total estimated bytes of intermediate data crossing the shuffle.
+
+    The oracle / fallback measurement: tasks measure their own bytes
+    worker-side (``TaskResult.nbytes`` — dtype itemsize math on the
+    columnar path) and the driver reuses those, so this full scan only
+    runs for direct callers and in the tests pinning the two equal.
+    """
     total = 0
     for m_bucket in map_buckets:
         for bucket in m_bucket:
+            if isinstance(bucket, ColumnarBlock):
+                total += bucket.nbytes
+                continue
             for k, v in bucket:
                 total += estimate_nbytes(k) + estimate_nbytes(v)
     return total

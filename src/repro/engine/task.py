@@ -6,6 +6,17 @@ picklable functions so the process-pool executor can ship them to
 workers; they return a :class:`TaskResult` carrying the emitted data,
 counters and the operation count the cost model charges for.
 
+Two data representations flow through the runners:
+
+* **Object path** — the classic one-pair-at-a-time flow (``ctx.emit``),
+  any hashable key / any value.  The reference semantics and the oracle.
+* **Columnar path** — map functions emit typed array batches
+  (``ctx.emit_block``); routing, map-side combining, grouping and byte
+  accounting all run as whole-array NumPy ops (see
+  :mod:`repro.engine.columnar`).  ``JobConf.columnar=False`` forces a
+  columnar-emitting job back through the object path (materialised
+  pairs), which is how the equivalence tests cross-check the two.
+
 Failure injection happens *inside* the runner (so it behaves identically
 under every executor) via a :class:`~repro.engine.faults.FaultPlan`
 consulted with the task's id and attempt number.  Recovery is Hadoop's
@@ -18,6 +29,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
+from repro.engine.columnar import (
+    ColumnarBlock,
+    ColumnarGroups,
+    as_columnar_reduce,
+    combine_columnar,
+    object_combiner,
+    object_reducer,
+    route_columnar,
+)
 from repro.engine.counters import (
     COMBINE_INPUT_RECORDS,
     COMBINE_OUTPUT_RECORDS,
@@ -44,19 +66,31 @@ class TaskContext:
     task; per-record bookkeeping is done by the runner.
     """
 
-    __slots__ = ("task_id", "attempt", "counters", "_out", "_ops")
+    __slots__ = ("task_id", "attempt", "counters", "_out", "_blocks", "_ops")
 
     def __init__(self, task_id: str, attempt: int) -> None:
         self.task_id = task_id
         self.attempt = attempt
         self.counters = Counters()
         self._out: list[tuple[Any, Any]] = []
+        self._blocks: list[ColumnarBlock] = []
         self._ops: float = 0.0
 
     def emit(self, key: Any, value: Any) -> None:
         """Emit one output pair (the paper's ``Emit``/``EmitIntermediate``)."""
         self._out.append((key, value))
         self._ops += 1.0
+
+    def emit_block(self, keys: Any, values: Any) -> None:
+        """Emit a typed batch of records in one call (the columnar path).
+
+        ``keys`` is an int64-coercible array, ``values`` a float64 array
+        of shape ``(n,)`` or ``(n, w)``.  Counts one operation per
+        record, exactly like ``len(keys)`` individual :meth:`emit` calls.
+        """
+        block = ColumnarBlock(keys, values)
+        self._blocks.append(block)
+        self._ops += float(len(block))
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment an application counter."""
@@ -77,6 +111,11 @@ class TaskContext:
         return self._out
 
     @property
+    def columnar_output(self) -> "list[ColumnarBlock]":
+        """Batches emitted via :meth:`emit_block`, in emission order."""
+        return self._blocks
+
+    @property
     def ops(self) -> float:
         return self._ops
 
@@ -87,13 +126,17 @@ class TaskResult:
 
     task_id: str
     attempt: int
-    #: For map tasks: buckets[r] = list of (k, v) for reducer r.
-    #: For reduce tasks: the emitted output pairs.
+    #: For map tasks: buckets[r] = (k, v) list — or a
+    #: :class:`~repro.engine.columnar.ColumnarBlock` — for reducer r.
+    #: For reduce tasks: the emitted output pairs (or output block).
     data: Any
     counters: Counters = field(default_factory=Counters)
     ops: float = 0.0
-    #: Estimated bytes this task contributes to the shuffle (map tasks
-    #: only; measured worker-side so the scan runs in parallel).
+    #: Estimated bytes this task's data occupies on the wire — shuffle
+    #: bytes for map tasks, output bytes for reduce tasks.  Measured
+    #: worker-side (dtype itemsize math on the columnar path, an
+    #: ``estimate_nbytes`` scan on the object path) so the driver never
+    #: re-scans the same data.
     nbytes: int = 0
 
 
@@ -106,11 +149,17 @@ def run_map_task(
     partitioner: Any,
     num_reducers: int,
     fault_plan: "FaultPlan | None" = None,
+    columnar: bool = True,
 ) -> TaskResult:
     """Execute one map task attempt over its input split.
 
     Applies ``map_fn`` to every record, optionally combines, then
-    partitions the intermediate pairs into per-reducer buckets.
+    partitions the intermediate pairs into per-reducer buckets.  A map
+    function that emits columnar batches takes the vectorised route —
+    whole-array combine + hash routing, dtype-math byte measurement —
+    unless ``columnar`` is False, in which case the batches are
+    materialised into pairs and run through the object path (the
+    oracle used by the equivalence tests).
     """
     task_id = f"m{task_index}"
     if fault_plan is not None:
@@ -120,11 +169,23 @@ def run_map_task(
         ctx.counters.incr(MAP_INPUT_RECORDS)
         ctx.add_ops(1.0)
         map_fn(key, value, ctx)
-    ctx.counters.incr(MAP_OUTPUT_RECORDS, len(ctx.output))
 
     pairs = ctx.output
+    if ctx.columnar_output:
+        if pairs:
+            raise RuntimeError(
+                f"map task {task_id} mixed emit() and emit_block() output; "
+                "a task must use one representation"
+            )
+        block = ColumnarBlock.concat(ctx.columnar_output)
+        if columnar:
+            return _finish_columnar_map(task_id, attempt, ctx, block,
+                                        combine_fn, partitioner, num_reducers)
+        pairs = block.to_pairs()
+
+    ctx.counters.incr(MAP_OUTPUT_RECORDS, len(pairs))
     if combine_fn is not None:
-        pairs = _apply_combiner(pairs, combine_fn, ctx)
+        pairs = _apply_combiner(pairs, object_combiner(combine_fn), ctx)
 
     buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(num_reducers)]
     for k, v in pairs:
@@ -133,6 +194,31 @@ def run_map_task(
     return TaskResult(task_id=task_id, attempt=attempt, data=buckets,
                       counters=ctx.counters, ops=ctx.ops,
                       nbytes=shuffle_bytes([buckets]))
+
+
+def _finish_columnar_map(task_id: str, attempt: int, ctx: TaskContext,
+                         block: ColumnarBlock, combine_fn: Any,
+                         partitioner: Any, num_reducers: int) -> TaskResult:
+    """Vectorised tail of a columnar map task: combine, route, measure."""
+    ctx.counters.incr(MAP_OUTPUT_RECORDS, len(block))
+    if combine_fn is not None:
+        if not isinstance(combine_fn, str):
+            raise TypeError(
+                "columnar map output requires a named combiner "
+                f"('sum'/'min'/'max'), got {type(combine_fn).__name__}"
+            )
+        n_in = len(block)
+        block = combine_columnar(block, combine_fn)
+        ctx.counters.incr(COMBINE_INPUT_RECORDS, n_in)
+        ctx.counters.incr(COMBINE_OUTPUT_RECORDS, len(block))
+        # Mirrors the object combiner's cost: one op per input record
+        # (the group scans) plus one per emitted record.
+        ctx.add_ops(float(n_in + len(block)))
+    buckets = route_columnar(block, num_reducers, partitioner)
+    ctx.counters.incr(MAP_OPS, int(ctx.ops))
+    return TaskResult(task_id=task_id, attempt=attempt, data=buckets,
+                      counters=ctx.counters, ops=ctx.ops,
+                      nbytes=block.nbytes)
 
 
 def _apply_combiner(pairs: "list[tuple[Any, Any]]", combine_fn: Any,
@@ -155,15 +241,37 @@ def _apply_combiner(pairs: "list[tuple[Any, Any]]", combine_fn: Any,
 def run_reduce_task(
     task_index: int,
     attempt: int,
-    groups: "list[tuple[Any, list]]",
+    groups: "list[tuple[Any, list]] | ColumnarGroups",
     reduce_fn: Any,
     fault_plan: "FaultPlan | None" = None,
+    measure_output: bool = True,
 ) -> TaskResult:
-    """Execute one reduce task attempt over its grouped input."""
+    """Execute one reduce task attempt over its grouped input.
+
+    Columnar grouped input with a declarative reduce (a named
+    aggregation or :class:`~repro.engine.columnar.ColumnarReduce`) runs
+    as one segmented array reduction; a classic callable reduce gets
+    the groups materialised worker-side (so even custom reduces keep
+    the columnar shuffle transport).  Object grouped input runs the
+    classic per-group loop, resolving declarative reduces to their
+    object-path oracle spelling.
+
+    ``measure_output`` asks the task to estimate its output bytes
+    worker-side (``TaskResult.nbytes``); the runtime disables it for
+    cluster-less object-path runs, where nothing consumes the value and
+    the per-object scan would be pure overhead (the columnar path
+    measures for free either way).
+    """
     task_id = f"r{task_index}"
     if fault_plan is not None:
         fault_plan.maybe_fail("reduce", task_index, attempt)
+    if isinstance(groups, ColumnarGroups):
+        cr = as_columnar_reduce(reduce_fn)
+        if cr is not None:
+            return _run_columnar_reduce(task_id, attempt, groups, cr)
+        groups = groups.to_pairs()
     ctx = TaskContext(task_id, attempt)
+    reduce_fn = object_reducer(reduce_fn)
     for key, values in groups:
         ctx.counters.incr(REDUCE_INPUT_GROUPS)
         ctx.counters.incr(REDUCE_INPUT_RECORDS, len(values))
@@ -171,5 +279,25 @@ def run_reduce_task(
         reduce_fn(key, values, ctx)
     ctx.counters.incr(REDUCE_OUTPUT_RECORDS, len(ctx.output))
     ctx.counters.incr(REDUCE_OPS, int(ctx.ops))
+    nbytes = shuffle_bytes([[ctx.output]]) if measure_output else 0
     return TaskResult(task_id=task_id, attempt=attempt, data=ctx.output,
-                      counters=ctx.counters, ops=ctx.ops)
+                      counters=ctx.counters, ops=ctx.ops, nbytes=nbytes)
+
+
+def _run_columnar_reduce(task_id: str, attempt: int, groups: ColumnarGroups,
+                         cr: Any) -> TaskResult:
+    """Vectorised reduce: segmented aggregation + optional epilogue."""
+    ctx = TaskContext(task_id, attempt)
+    keys, rows = groups.aggregate(cr.agg)
+    if cr.finish is not None:
+        rows = np.asarray(cr.finish(keys, rows), dtype=np.float64)
+    out = ColumnarBlock(keys, rows)
+    ctx.counters.incr(REDUCE_INPUT_GROUPS, groups.num_groups)
+    ctx.counters.incr(REDUCE_INPUT_RECORDS, groups.num_records)
+    # Cost parity with the object loop: one op per input record (the
+    # group scans) plus one per emitted record.
+    ctx.add_ops(float(groups.num_records + len(out)))
+    ctx.counters.incr(REDUCE_OUTPUT_RECORDS, len(out))
+    ctx.counters.incr(REDUCE_OPS, int(ctx.ops))
+    return TaskResult(task_id=task_id, attempt=attempt, data=out,
+                      counters=ctx.counters, ops=ctx.ops, nbytes=out.nbytes)

@@ -401,17 +401,17 @@ def _refine_bisection(g: _UGraph, side: np.ndarray, target0: float,
                 new_w0 = w0 + g.vw[u]
             if not (lo0 <= new_w0 <= hi0):
                 continue
-            # Flip u and patch gains of u and its neighbours.
+            # Flip u and patch gains of u and its neighbours (whole-
+            # neighbourhood array update; np.add.at handles repeated
+            # neighbour entries exactly like the per-edge loop did).
             side[u] ^= 1
             w0 = new_w0
             gain[u] = -gain[u]
             lo_i, hi_i = g.ptr[u], g.ptr[u + 1]
-            for i in range(lo_i, hi_i):
-                v = g.nbr[i]
-                if side[v] == side[u]:
-                    gain[v] -= 2 * g.w[i]
-                else:
-                    gain[v] += 2 * g.w[i]
+            nbrs = g.nbr[lo_i:hi_i]
+            ws = g.w[lo_i:hi_i]
+            np.add.at(gain, nbrs,
+                      np.where(side[nbrs] == side[u], -2.0 * ws, 2.0 * ws))
             moved_any = True
         if not moved_any:
             break

@@ -1,0 +1,136 @@
+"""End-to-end tests: the engine path's columnar fast lane vs the oracle.
+
+``EngineBackend`` auto-opts columnar-capable specs (PageRank, SSSP) into
+typed-batch shuffles with map-side combiners; ``columnar=False`` forces
+the historical object path.  These tests pin that the fast lane changes
+*nothing observable* — same fixed point, same round structure — except
+the shuffle volume, which the combiner strictly shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRankKVSpec, pagerank_reference
+from repro.apps.sssp import SsspKVSpec, sssp_reference
+from repro.cluster import SimCluster
+from repro.core import DriverConfig, EngineBackend, IterationLoop
+from repro.engine import MapReduceRuntime
+from repro.graph import (
+    attach_random_weights,
+    multilevel_partition,
+    preferential_attachment,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = preferential_attachment(200, num_conn=2, locality_prob=0.9,
+                                community_mean=25, seed=11)
+    part = multilevel_partition(g, 3, seed=0)
+    wg = attach_random_weights(g, seed=2)
+    return g, part, wg
+
+
+def _run(spec, *, columnar, mode="eager", runtime=None, **cfg):
+    backend = EngineBackend(spec, columnar=columnar, runtime=runtime)
+    return IterationLoop(backend, DriverConfig(mode=mode, **cfg)).run()
+
+
+class TestPageRankColumnar:
+    def test_auto_opt_in(self, setup):
+        g, part, _ = setup
+        assert EngineBackend(PageRankKVSpec(g, part)).columnar is True
+        assert EngineBackend(PageRankKVSpec(g, part),
+                             columnar=False).columnar is False
+
+    def test_same_fixed_point_as_object_path(self, setup):
+        g, part, _ = setup
+        fast = _run(PageRankKVSpec(g, part), columnar=True)
+        oracle = _run(PageRankKVSpec(g, part), columnar=False)
+        assert fast.converged and oracle.converged
+        assert fast.global_iters == oracle.global_iters
+        ra = np.array([fast.state[u][0] for u in range(g.num_nodes)])
+        rb = np.array([oracle.state[u][0] for u in range(g.num_nodes)])
+        assert np.allclose(ra, rb)
+        assert np.allclose(ra, pagerank_reference(g), atol=1e-3)
+
+    def test_combiner_ships_fewer_shuffle_bytes(self, setup):
+        """The partial-aggregation lever (§V-B): every RoundRecord of a
+        combiner-enabled columnar run crosses the shuffle with fewer
+        bytes than the object path's tagged records."""
+        g, part, _ = setup
+        fast = _run(PageRankKVSpec(g, part), columnar=True)
+        oracle = _run(PageRankKVSpec(g, part), columnar=False)
+        assert len(fast.history) == len(oracle.history)
+        for rec_f, rec_o in zip(fast.history, oracle.history):
+            assert 0 < rec_f.shuffle_bytes < rec_o.shuffle_bytes
+
+    def test_round_records_shape_compatible(self, setup):
+        g, part, _ = setup
+        spec = PageRankKVSpec(g, part)
+        res = _run(spec, columnar=True)
+        for rec in res.history:
+            assert len(rec.local_iters) == spec.num_partitions()
+            assert all(li >= 1 for li in rec.local_iters)
+            assert len(rec.state_partition_bytes) == spec.num_partitions()
+            assert sum(rec.state_partition_bytes) > 0
+
+    def test_general_mode(self, setup):
+        g, part, _ = setup
+        res = _run(PageRankKVSpec(g, part), columnar=True, mode="general",
+                   max_global_iters=3)
+        for rec in res.history:
+            assert rec.local_iters == (1, 1, 1)
+
+    def test_sim_time_accumulates_on_cluster(self, setup):
+        g, part, _ = setup
+        cl = SimCluster()
+        rt = MapReduceRuntime("serial", cluster=cl)
+        res = _run(PageRankKVSpec(g, part), columnar=True, runtime=rt)
+        assert res.sim_time == pytest.approx(cl.clock)
+        assert res.sim_time > 0
+
+    def test_threads_executor_matches_serial(self, setup):
+        g, part, _ = setup
+        serial = _run(PageRankKVSpec(g, part), columnar=True)
+        with MapReduceRuntime("threads", workers=2) as rt:
+            threaded = _run(PageRankKVSpec(g, part), columnar=True,
+                            runtime=rt)
+        assert threaded.global_iters == serial.global_iters
+        ra = np.array([serial.state[u][0] for u in range(g.num_nodes)])
+        rb = np.array([threaded.state[u][0] for u in range(g.num_nodes)])
+        assert np.array_equal(ra, rb)
+
+    def test_non_columnar_spec_cannot_force_opt_in(self, setup):
+        g, part, _ = setup
+
+        class Stripped(PageRankKVSpec):
+            supports_columnar = False
+
+        with pytest.raises(ValueError, match="columnar"):
+            EngineBackend(Stripped(g, part), columnar=True)
+
+
+class TestSsspColumnar:
+    def test_identical_distances_and_rounds(self, setup):
+        """min-aggregation is exact, so the columnar run is bit-identical
+        to the object path, round for round."""
+        g, part, wg = setup
+        wpart = multilevel_partition(wg, 3, seed=0)
+        fast = _run(SsspKVSpec(wg, wpart), columnar=True)
+        oracle = _run(SsspKVSpec(wg, wpart), columnar=False)
+        assert fast.global_iters == oracle.global_iters
+        d_f = np.array([fast.state[u][0] for u in range(wg.num_nodes)])
+        d_o = np.array([oracle.state[u][0] for u in range(wg.num_nodes)])
+        assert np.array_equal(d_f, d_o)
+        ref = sssp_reference(wg, source=0)
+        finite = np.isfinite(ref)
+        assert np.allclose(d_f[finite], ref[finite])
+        # Byte volumes track the different encodings (fixed 2-column
+        # rows vs 1-char tags + payload), so unlike PageRank the
+        # columnar run is not unconditionally smaller — but once the
+        # frontier saturates and the "min" combiner has duplicates to
+        # fold, it is.
+        assert fast.history[-1].shuffle_bytes < oracle.history[-1].shuffle_bytes

@@ -1,0 +1,412 @@
+"""Equivalence tests: the columnar shuffle fast path vs the object path.
+
+The contract under test is *byte identity*: any workload expressed as
+typed batches must produce exactly the same grouped inputs, combined
+values, routed buckets, measured bytes, and job output as the same
+logical pairs pushed through the object-at-a-time path — the object
+path is the oracle, the columnar path is only allowed to be faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ColumnarBlock,
+    ColumnarReduce,
+    HashPartitioner,
+    Job,
+    JobConf,
+    MapReduceRuntime,
+    ShuffleBuffer,
+    combine_columnar,
+    hash_buckets,
+    route_columnar,
+    run_map_task,
+    run_reduce_task,
+    shuffle,
+    shuffle_bytes,
+    stable_hash,
+)
+from repro.engine.columnar import group_columnar, object_combiner
+from repro.engine.counters import (
+    COMBINE_INPUT_RECORDS,
+    COMBINE_OUTPUT_RECORDS,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_RECORDS,
+)
+
+
+def _random_block(rng, n, key_range=40, width=1):
+    keys = rng.integers(-key_range, key_range, n)
+    values = rng.random(n) if width == 1 else rng.random((n, width))
+    return ColumnarBlock(keys, values)
+
+
+class TestColumnarBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColumnarBlock(np.zeros((2, 2), dtype=np.int64), np.zeros(4))
+        with pytest.raises(ValueError):
+            ColumnarBlock(np.zeros(3, dtype=np.int64), np.zeros(4))
+        with pytest.raises(ValueError):
+            ColumnarBlock(np.zeros(2, dtype=np.int64), np.zeros((2, 2, 2)))
+
+    def test_nbytes_is_dtype_math_and_matches_estimate(self):
+        rng = np.random.default_rng(0)
+        for width in (1, 2, 3):
+            block = _random_block(rng, 100, width=width)
+            assert block.nbytes == 8 * 100 + 8 * 100 * width
+            # dtype math == the object-path estimate of the same pairs
+            assert block.nbytes == shuffle_bytes([[block.to_pairs()]])
+
+    def test_to_pairs_types(self):
+        block = ColumnarBlock([1, 2], [[1.0, 2.0], [3.0, 4.0]])
+        pairs = block.to_pairs()
+        assert pairs == [(1, (1.0, 2.0)), (2, (3.0, 4.0))]
+        assert isinstance(pairs[0][0], int)
+        assert isinstance(pairs[0][1][0], float)
+
+    def test_concat_rejects_mixed_widths(self):
+        with pytest.raises(ValueError, match="mixed"):
+            ColumnarBlock.concat([ColumnarBlock([1], [1.0]),
+                                  ColumnarBlock([1], [[1.0, 2.0]])])
+
+
+class TestHashRouting:
+    def test_hash_buckets_match_stable_hash(self):
+        rng = np.random.default_rng(1)
+        keys = np.concatenate([
+            np.arange(-100, 100),
+            rng.integers(-(2 ** 62), 2 ** 62, 500),
+            np.array([0, -1, 2 ** 62, -(2 ** 62)]),
+        ]).astype(np.int64)
+        for r in (1, 2, 7, 64):
+            expect = np.array([stable_hash(int(k)) % r for k in keys])
+            assert np.array_equal(hash_buckets(keys, r), expect)
+
+    def test_route_matches_object_buckets(self):
+        rng = np.random.default_rng(2)
+        block = _random_block(rng, 300)
+        part = HashPartitioner()
+        routed = route_columnar(block, 4, part)
+        expect: list = [[] for _ in range(4)]
+        for k, v in block.to_pairs():
+            expect[part(k, 4)].append((k, v))
+        for r in range(4):
+            assert routed[r].to_pairs() == expect[r]
+
+    def test_route_custom_partitioner_fallback(self):
+        block = ColumnarBlock([0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0])
+        routed = route_columnar(block, 2, lambda k, r: k % r)
+        assert routed[0].keys.tolist() == [0, 2]
+        assert routed[1].keys.tolist() == [1, 3]
+
+    def test_hash_partitioner_subclass_honoured(self):
+        # an overridden __call__ must win over the vectorised FNV sweep
+        class AllToZero(HashPartitioner):
+            def __call__(self, key, num_reducers):
+                return 0
+
+        block = ColumnarBlock([3, 14, 15, 92], np.arange(4.0))
+        routed = route_columnar(block, 4, AllToZero())
+        assert len(routed[0]) == 4
+        assert all(len(routed[r]) == 0 for r in (1, 2, 3))
+
+    def test_non_integer_keys_rejected(self):
+        # a forced int64 cast would merge keys the object path keeps
+        # distinct (1.2 and 1.9 both truncating to 1)
+        with pytest.raises(TypeError, match="integers"):
+            ColumnarBlock(np.array([1.2, 1.9]), np.array([10.0, 20.0]))
+        with pytest.raises(TypeError, match="integers"):
+            ColumnarBlock(np.array(["a", "b"], dtype=object), [1.0, 2.0])
+        ColumnarBlock([], [])  # empty stays fine
+
+    def test_route_rejects_out_of_range_partitioner(self):
+        # a broken partitioner must fail loudly (the object path raises
+        # IndexError), never silently drop records
+        block = ColumnarBlock([0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0])
+        with pytest.raises(IndexError, match="outside"):
+            route_columnar(block, 3, lambda k, r: k)
+        with pytest.raises(IndexError, match="outside"):
+            route_columnar(block, 3, lambda k, r: k - 2)
+
+
+class TestCombine:
+    @pytest.mark.parametrize("agg", ["sum", "min", "max"])
+    @pytest.mark.parametrize("width", [1, 2])
+    def test_matches_object_combiner_bitwise(self, agg, width):
+        rng = np.random.default_rng(3)
+        block = _random_block(rng, 400, key_range=25, width=width)
+        combined = combine_columnar(block, agg)
+
+        # object oracle: group by first emission, combine per group
+        groups: dict = {}
+        for k, v in block.to_pairs():
+            groups.setdefault(k, []).append(v)
+        oracle = object_combiner(agg)
+
+        class _Ctx:
+            def __init__(self):
+                self.out = []
+
+            def emit(self, k, v):
+                self.out.append((k, v))
+
+        ctx = _Ctx()
+        for k, vs in groups.items():
+            oracle(k, vs, ctx)
+        assert combined.to_pairs() == ctx.out  # order AND bitwise values
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            combine_columnar(ColumnarBlock([1], [1.0]), "median")
+
+
+class TestColumnarShuffleBuffer:
+    """groups() byte-identity across every buffer behaviour."""
+
+    def _blocks(self, rng, num_maps, num_reducers, *, width=1, empty=()):
+        per_map = []
+        for m in range(num_maps):
+            if m in empty:
+                block = ColumnarBlock.empty(width)
+            else:
+                block = _random_block(rng, 50 + 10 * m, key_range=12,
+                                      width=width)
+            per_map.append(route_columnar(block, num_reducers))
+        return per_map
+
+    def _object_buckets(self, col_buckets):
+        return [[b.to_pairs() for b in row] for row in col_buckets]
+
+    @pytest.mark.parametrize("sort_keys", [True, False])
+    @pytest.mark.parametrize("width", [1, 2])
+    def test_groups_identical_to_object_shuffle(self, sort_keys, width):
+        rng = np.random.default_rng(4)
+        col = self._blocks(rng, 4, 3, width=width)
+        assert (shuffle(col, 3, sort_keys=sort_keys)
+                == shuffle(self._object_buckets(col), 3,
+                           sort_keys=sort_keys))
+
+    @pytest.mark.parametrize("order", [(2, 0, 3, 1), (3, 2, 1, 0)])
+    def test_out_of_order_completion(self, order):
+        rng = np.random.default_rng(5)
+        col = self._blocks(rng, 4, 2)
+        buf = ShuffleBuffer(4, 2)
+        for m in order:
+            buf.add(m, col[m])
+        assert buf.columnar
+        assert buf.groups() == shuffle(self._object_buckets(col), 2)
+
+    def test_empty_buckets_and_empty_maps(self):
+        rng = np.random.default_rng(6)
+        col = self._blocks(rng, 3, 4, empty=(1,))
+        assert shuffle(col, 4) == shuffle(self._object_buckets(col), 4)
+
+    @pytest.mark.parametrize("agg", ["sum", "min"])
+    def test_combiner_on_off(self, agg):
+        """Map-side combining must not change grouped *keys*, and both
+        paths must combine to bitwise-identical values."""
+        rng = np.random.default_rng(7)
+        raw = [_random_block(rng, 120, key_range=15) for _ in range(3)]
+        col = [route_columnar(combine_columnar(b, agg), 2) for b in raw]
+        obj = []
+        for b in raw:
+            res = run_map_task(0, 0, [(0, None)],
+                               lambda k, v, ctx, _b=b: ctx.emit_block(
+                                   _b.keys, _b.values),
+                               agg, HashPartitioner(), 2, None, False)
+            obj.append(res.data)
+        assert shuffle(col, 2) == shuffle(obj, 2)
+        # combiner off: plain routing equivalence
+        col_off = [route_columnar(b, 2) for b in raw]
+        obj_off = [[blk.to_pairs() for blk in row] for row in col_off]
+        assert shuffle(col_off, 2) == shuffle(obj_off, 2)
+
+    def test_mixing_representations_rejected(self):
+        buf = ShuffleBuffer(2, 1)
+        buf.add(0, [ColumnarBlock([1], [1.0])])
+        with pytest.raises(ValueError, match="mix"):
+            buf.add(1, [[("a", 1)]])
+        buf2 = ShuffleBuffer(2, 1)
+        buf2.add(0, [[("a", 1)]])
+        with pytest.raises(ValueError, match="mix"):
+            buf2.add(1, [ColumnarBlock([1], [1.0])])
+
+    def test_empty_map_output_is_representation_neutral(self):
+        # a map task that emitted nothing (empty split, drained
+        # frontier) merges as a no-op in either mode — it must not drag
+        # the shuffle into its default representation
+        buf = ShuffleBuffer(3, 2)
+        buf.add(0, [[], []])  # object-shaped empties first
+        buf.add(1, [ColumnarBlock([1, 2], [1.0, 2.0]),
+                    ColumnarBlock([3], [3.0])])
+        buf.add(2, [ColumnarBlock.empty(), ColumnarBlock.empty()])
+        assert buf.columnar
+        assert buf.groups() == [[(1, [1.0]), (2, [2.0])], [(3, [3.0])]]
+
+    def test_conditionally_columnar_job_survives_empty_split(self):
+        # end to end: a columnar job whose map emits blocks only when it
+        # has records must not crash on an empty split
+        def conditional(key, value, ctx):
+            if len(value):
+                ctx.emit_block(np.asarray(value), np.ones(len(value)))
+
+        rt = MapReduceRuntime("serial")
+        res = rt.run(Job(conditional, "sum"),
+                     [[(0, [1, 2, 1])], [(1, [])]])
+        assert res.as_dict() == {1: 2.0, 2: 1.0}
+
+    def test_columnar_groups_requires_columnar_mode(self):
+        buf = ShuffleBuffer(1, 1)
+        buf.add(0, [[("a", 1)]])
+        with pytest.raises(RuntimeError, match="object-mode"):
+            buf.columnar_groups()
+
+    def test_columnar_groups_aggregate(self):
+        blocks = [ColumnarBlock([3, 1, 3], [1.0, 2.0, 3.0]),
+                  ColumnarBlock([1, 3], [4.0, 5.0])]
+        groups = group_columnar(blocks)
+        keys, rows = groups.aggregate("sum")
+        assert keys.tolist() == [1, 3]
+        assert rows.tolist() == [6.0, 9.0]
+        keys, rows = groups.aggregate("min")
+        assert rows.tolist() == [2.0, 1.0]
+
+
+def _emit_block_map(key, value, ctx):
+    # value carries the (keys, values) batch for this split
+    ctx.emit_block(*value)
+
+
+def _sum_reduce(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+class TestColumnarTasks:
+    def test_map_task_fast_path_vs_oracle(self):
+        rng = np.random.default_rng(8)
+        batch = (rng.integers(0, 30, 200), rng.random(200))
+        fast = run_map_task(0, 0, [(0, batch)], _emit_block_map, "sum",
+                            HashPartitioner(), 4)
+        oracle = run_map_task(0, 0, [(0, batch)], _emit_block_map, "sum",
+                              HashPartitioner(), 4, None, False)
+        assert all(isinstance(b, ColumnarBlock) for b in fast.data)
+        assert [b.to_pairs() for b in fast.data] == oracle.data
+        assert fast.nbytes == oracle.nbytes
+        for c in (MAP_OUTPUT_RECORDS, COMBINE_INPUT_RECORDS,
+                  COMBINE_OUTPUT_RECORDS):
+            assert fast.counters.get(c) == oracle.counters.get(c)
+
+    def test_map_task_rejects_mixed_emission(self):
+        def bad(key, value, ctx):
+            ctx.emit("k", 1)
+            ctx.emit_block([1], [1.0])
+
+        with pytest.raises(RuntimeError, match="mixed"):
+            run_map_task(0, 0, [(0, None)], bad, None, HashPartitioner(), 1)
+
+    def test_map_task_columnar_requires_named_combiner(self):
+        def cmb(k, vs, ctx):
+            ctx.emit(k, sum(vs))
+
+        batch = (np.array([1, 2]), np.array([1.0, 2.0]))
+        with pytest.raises(TypeError, match="named combiner"):
+            run_map_task(0, 0, [(0, batch)], _emit_block_map, cmb,
+                         HashPartitioner(), 1)
+
+    def test_reduce_task_vectorised_vs_object(self):
+        blocks = [ColumnarBlock([2, 1, 2, 5], [1.0, 2.0, 3.0, 4.0])]
+        groups = group_columnar(blocks)
+        vec = run_reduce_task(0, 0, groups, "sum")
+        obj = run_reduce_task(0, 0, groups.to_pairs(), "sum")
+        assert isinstance(vec.data, ColumnarBlock)
+        assert vec.data.to_pairs() == obj.data
+        assert vec.nbytes == obj.nbytes
+        assert (vec.counters.get(REDUCE_INPUT_RECORDS)
+                == obj.counters.get(REDUCE_INPUT_RECORDS) == 4)
+
+    def test_reduce_task_finish_epilogue(self):
+        def clamp(keys, rows):
+            return np.minimum(rows, 2.5)
+
+        groups = group_columnar([ColumnarBlock([1, 1, 2], [1.0, 2.0, 9.0])])
+        res = run_reduce_task(0, 0, groups, ColumnarReduce("sum", clamp))
+        assert res.data.to_pairs() == [(1, 2.5), (2, 2.5)]
+
+    def test_reduce_task_callable_materialises_columnar_groups(self):
+        groups = group_columnar([ColumnarBlock([1, 1, 2], [1.0, 2.0, 3.0])])
+        res = run_reduce_task(0, 0, groups, _sum_reduce)
+        assert res.data == [(1, 3.0), (2, 3.0)]
+
+
+class TestColumnarJobs:
+    """Whole-job equivalence through the runtime, all executors."""
+
+    def _splits(self, num_splits=3, n=150):
+        rng = np.random.default_rng(9)
+        return [
+            [(m, (rng.integers(0, 40, n), rng.random(n)))]
+            for m in range(num_splits)
+        ]
+
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    @pytest.mark.parametrize("combine", [None, "sum"])
+    def test_job_output_identical(self, executor, combine):
+        splits = self._splits()
+        with MapReduceRuntime(executor, workers=2) as rt:
+            fast = rt.run(Job(_emit_block_map, "sum", combine_fn=combine,
+                              conf=JobConf(num_reducers=3)), splits)
+            oracle = rt.run(Job(_emit_block_map, "sum", combine_fn=combine,
+                                conf=JobConf(num_reducers=3,
+                                             columnar=False)), splits)
+        assert fast.columnar_output is not None
+        assert oracle.columnar_output is None
+        assert fast.output == oracle.output
+        # the columnar path measures output bytes for free (dtype math)
+        # and must agree with the oracle estimate of the same pairs;
+        # cluster-less object runs skip the scan entirely
+        assert fast.output_nbytes == shuffle_bytes([[oracle.output]])
+        assert oracle.output_nbytes == 0
+
+    def test_eager_reduce_pipeline_identical(self):
+        splits = self._splits()
+        with MapReduceRuntime("threads", workers=3) as rt:
+            eager = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                               conf=JobConf(num_reducers=4,
+                                            eager_reduce=True)), splits)
+            barrier = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                                 conf=JobConf(num_reducers=4)), splits)
+        assert eager.output == barrier.output
+
+    def test_combiner_reduces_measured_shuffle_bytes(self):
+        splits = self._splits(num_splits=2, n=400)
+        rt = MapReduceRuntime("serial")
+        from repro.engine.counters import SHUFFLE_BYTES
+
+        with_c = rt.run(Job(_emit_block_map, "sum", combine_fn="sum"), splits)
+        without = rt.run(Job(_emit_block_map, "sum"), splits)
+        assert (with_c.counters.get(SHUFFLE_BYTES)
+                < without.counters.get(SHUFFLE_BYTES))
+        # pre-aggregation is invisible in the final result (up to float
+        # association: the combiner sums per-task partials first)
+        assert [k for k, _ in with_c.output] == [k for k, _ in without.output]
+        assert np.allclose([v for _, v in with_c.output],
+                           [v for _, v in without.output], rtol=1e-12)
+
+    def test_worker_measured_bytes_match_oracle_scan(self):
+        """TaskResult.nbytes (dtype math) == shuffle_bytes (full scan)."""
+        splits = self._splits(num_splits=2)
+        buf_bytes = []
+        rt = MapReduceRuntime("serial")
+        res = rt.run(Job(_emit_block_map, "sum"), splits)
+        for m, split in enumerate(splits):
+            task = run_map_task(m, 0, split, _emit_block_map, None,
+                                HashPartitioner(), 8)
+            buf_bytes.append((task.nbytes, shuffle_bytes([task.data])))
+        assert all(measured == scanned for measured, scanned in buf_bytes)
+        from repro.engine.counters import SHUFFLE_BYTES
+
+        assert res.counters.get(SHUFFLE_BYTES) == sum(m for m, _ in buf_bytes)

@@ -165,7 +165,15 @@ class TestJobValidation:
     def test_combiner_optional(self):
         Job(wordcount_map, wordcount_reduce, combine_fn=None)
         with pytest.raises(TypeError):
+            Job(wordcount_map, wordcount_reduce, combine_fn=42)
+
+    def test_named_aggregation_specs(self):
+        # strings name built-in aggregations; unknown names are rejected
+        Job(wordcount_map, "sum", combine_fn="sum")
+        with pytest.raises(ValueError):
             Job(wordcount_map, wordcount_reduce, combine_fn="x")
+        with pytest.raises(ValueError):
+            Job(wordcount_map, "not-an-agg")
 
     def test_conf_validation(self):
         with pytest.raises(ValueError):

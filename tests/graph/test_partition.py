@@ -33,6 +33,22 @@ class TestPartitionStructure:
         for i, part in enumerate(p.parts()):
             assert len(part) == sizes[i]
 
+    def test_parts_cached_across_accesses(self, small_graph):
+        # the derived node arrays are built lazily exactly once; hot
+        # paths (per-round partition_input, the columnar gmap caches)
+        # call parts() repeatedly and must not pay a recompute
+        p = hash_partition(small_graph, 5)
+        first = p.parts()
+        assert p.parts() is first
+        assert all(a is b for a, b in zip(p.parts(), first))
+
+    def test_cut_edge_mask_cached_across_accesses(self, small_graph):
+        p = random_partition(small_graph, 3, seed=1)
+        mask = p.cut_edge_mask()
+        assert p.cut_edge_mask() is mask
+        # dependent statistics reuse the cached mask, not a recompute
+        assert p.edge_cut() == int(mask.sum())
+
     def test_edge_cut_definition(self, tiny_graph):
         # split {0,1,2} vs {3,4,5}: no edges cross
         p = Partition(tiny_graph, np.array([0, 0, 0, 1, 1, 1]), 2)
