@@ -17,6 +17,11 @@ Plus one enhancement of our own runtime rather than the paper's design:
 4. **Columnar shuffle fast path** — a custom engine job that ships
    typed ``(int64, float64)`` batches with a map-side combiner instead
    of one Python object per record, and how an iterative spec opts in.
+5. **Linting your job** — the ``repro.analysis`` linter catches the
+   mistakes that silently break deterministic replay and map-side
+   combining (clock reads, impure state, non-commutative combiners)
+   before any task runs, via ``Job``'s / ``Session.submit``'s
+   ``lint="warn"|"strict"`` knob or the ``repro lint`` CLI.
 
 Run:  python examples/extensions_tour.py
 """
@@ -155,6 +160,45 @@ def main() -> None:
          ["object (oracle)", slow_pr.global_iters, f"{t_slow:.2f}"]],
         title="4. Columnar shuffle fast path (PageRankKVSpec opts in; "
               "map-side combiner pre-folds contributions)"))
+
+    # ------------------------------------------------------------------
+    # 5. Linting your job.
+    #
+    # Replay is the engine's only fault-tolerance mechanism, and
+    # map-side combining reorders and regroups arrivals — so job
+    # functions must be deterministic, pure, and (for combiners)
+    # commutative.  The linter catches violations statically; the
+    # ``lint`` knob on JobConf / Session.submit enforces them before
+    # any task runs.  From the shell:  python -m repro lint <target>
+    # (see docs/lint_rules.md for the RPR rule catalog).
+    # ------------------------------------------------------------------
+    from repro.analysis import LintError, lint_callable, probe_commutative
+
+    def bad_clock_fn(key, value, ctx):
+        ctx.emit(key, time.time())  # RPR001: replay would differ
+
+    for finding in lint_callable(bad_clock_fn, role="map"):
+        print(f"5. lint finding: {finding.code} {finding.message}")
+
+    strict_job = Job(map_fn=bad_clock_fn, reduce_fn="sum",
+                     conf=JobConf(name="tour-bad", lint="strict"))
+    try:
+        with MapReduceRuntime("serial") as rt2:
+            rt2.run(strict_job, [[(0, 1.0)]])
+    except LintError as exc:
+        print(f"   lint=strict stopped the job: {exc}")
+
+    # The runtime probe checks the combiner contract semantically:
+    # permuting or regrouping a combiner's inputs must not change its
+    # result (sum commutes; subtraction does not).
+    def net_change_fold(values):
+        total = 0.0
+        for v in values:
+            total -= v
+        return total
+
+    print(f"   probe('sum'):     {probe_commutative('sum').summary()}")
+    print(f"   probe(subtract):  {probe_commutative(net_change_fold).summary()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,64 @@
+"""Static + runtime analysis of user job functions ("repro lint").
+
+The paper's relaxation spectrum — eager-synchronous through fully
+asynchronous — is only correct when the user's map/combine/reduce
+functions are pure, deterministic, order-insensitive, and safe to ship
+to worker processes.  This package checks those properties *before* any
+task runs:
+
+* :mod:`~repro.analysis.findings` — the ``RPR0xx`` rule catalog
+  (code, severity, fix hint) and the :class:`Finding` record.
+* :mod:`~repro.analysis.rules` — AST rules over one function.
+* :mod:`~repro.analysis.linter` — linting live objects (``Job``, specs,
+  backends) plus the ``lint="off"|"warn"|"strict"`` enforcement knob.
+* :mod:`~repro.analysis.discovery` — static lint over files,
+  directories, modules, and bundled app names (the CLI path).
+* :mod:`~repro.analysis.probe` — runtime property probes
+  (:func:`probe_commutative`): random permutations and regroupings of
+  sampled values must leave a combiner's result unchanged.
+
+See ``docs/lint_rules.md`` for the catalog with bad/good examples.
+"""
+
+from repro.analysis.discovery import lint_path, lint_source, lint_targets
+from repro.analysis.findings import Finding, RULES, Rule, Severity
+from repro.analysis.linter import (
+    LINT_MODES,
+    LintError,
+    LintReport,
+    LintWarning,
+    enforce,
+    lint_backend,
+    lint_callable,
+    lint_job,
+    lint_spec,
+)
+from repro.analysis.probe import (
+    ProbeResult,
+    probe_commutative,
+    probe_permutation_invariant,
+    results_equal,
+)
+
+__all__ = [
+    "LINT_MODES",
+    "RULES",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "LintWarning",
+    "ProbeResult",
+    "Rule",
+    "Severity",
+    "enforce",
+    "lint_backend",
+    "lint_callable",
+    "lint_job",
+    "lint_path",
+    "lint_source",
+    "lint_spec",
+    "lint_targets",
+    "probe_commutative",
+    "probe_permutation_invariant",
+    "results_equal",
+]

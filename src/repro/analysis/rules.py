@@ -1,0 +1,509 @@
+"""AST rules over user job functions.
+
+:func:`analyze_function` runs the static rule families of
+:mod:`repro.analysis.findings` over one parsed ``def``.  The rules are
+deliberately *narrow*: each pattern is a construct whose presence in a
+map/reduce/combine function is near-certain to break deterministic
+replay, order-insensitive combining, or process-executor shipping —
+the analyzer's job is to prove the bundled and user specs clean, so a
+false positive is as much a bug as a false negative.  (The runtime
+:mod:`~repro.analysis.probe` complements these with property testing
+for the semantic cases no static rule can decide.)
+
+Which rules run depends on the function's *role*:
+
+========  ==========================================================
+role      rules
+========  ==========================================================
+map       RPR001, RPR002, RPR003, RPR011
+reduce    the above + RPR012 (mutation of the aliased ``values``)
+combine   the above + RPR021/RPR022 (commutativity/associativity)
+========  ==========================================================
+
+Role assignment is by function name (see :func:`role_for_name`): the
+engine API's ``map_fn``/``reduce_fn``/``combine_fn``, the §IV spec
+methods ``lmap``/``lreduce``/``greduce``, the block-spec
+``global_combine``, and the ``*_map``/``*_reduce``/``*_combine``
+naming convention the bundled apps follow.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.findings import Finding
+
+__all__ = ["FunctionLint", "analyze_function", "role_for_name", "ROLES"]
+
+#: The three job-function roles the analyzer knows.
+ROLES = ("map", "reduce", "combine")
+
+#: Exact function names -> role.
+_EXACT_ROLE = {
+    "lmap": "map",
+    "map_fn": "map",
+    "gmap": "map",
+    "lreduce": "reduce",
+    "greduce": "reduce",
+    "reduce_fn": "reduce",
+    "combine_fn": "combine",
+    "global_combine": "combine",
+}
+
+#: Name-suffix conventions -> role (checked after the exact table).
+_SUFFIX_ROLE = (
+    ("_combiner", "combine"),
+    ("_combine", "combine"),
+    ("_reduce", "reduce"),
+    ("_map", "map"),
+)
+
+
+def role_for_name(name: str) -> Optional[str]:
+    """The lint role a function name implies, or ``None``."""
+    role = _EXACT_ROLE.get(name)
+    if role is not None:
+        return role
+    for suffix, srole in _SUFFIX_ROLE:
+        if name.endswith(suffix) and name != suffix:
+            return srole
+    return None
+
+
+@dataclass(frozen=True)
+class FunctionLint:
+    """One function to analyze: its AST plus reporting context."""
+
+    node: ast.AST  # FunctionDef / AsyncFunctionDef
+    role: str
+    qualname: str
+    filename: str = "<unknown>"
+    #: Added to snippet-relative line numbers (0 when the AST came from
+    #: the whole file; ``firstlineno - 1`` when from a dedented snippet).
+    line_offset: int = 0
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers
+# ----------------------------------------------------------------------
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _references(node: ast.AST, name: str) -> bool:
+    """True when the expression mentions ``name`` anywhere."""
+    return any(isinstance(n, ast.Name) and n.id == name
+               for n in ast.walk(node))
+
+
+def _target_names(target: ast.AST) -> "set[str]":
+    """Names bound by a loop target (handles tuple unpacking)."""
+    return {n.id for n in ast.walk(target)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)}
+
+
+def _positional_args(fn: ast.AST) -> "list[str]":
+    args = fn.args  # type: ignore[attr-defined]
+    return [a.arg for a in (*args.posonlyargs, *args.args)]
+
+
+def _values_param(fn: ast.AST) -> Optional[str]:
+    """The ``values`` parameter of a reduce/combine-shaped signature.
+
+    Both spellings put it second after dropping a leading ``self``:
+    ``(key, values, ctx)`` and ``global_combine(self, state, reports)``.
+    """
+    names = _positional_args(fn)
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names[1] if len(names) >= 2 else None
+
+
+def _iterates_set(iter_node: ast.AST) -> bool:
+    """True when a loop's iterable is a set expression."""
+    if isinstance(iter_node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(iter_node, ast.Call):
+        return _dotted(iter_node.func) in ("set", "frozenset")
+    return False
+
+
+def _loops(fn: ast.AST) -> "Iterator[tuple[ast.AST, ast.AST]]":
+    """All ``(target_or_None, iterable)`` pairs: for-loops and
+    comprehension generators."""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.target, node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.target, gen.iter
+
+
+# ----------------------------------------------------------------------
+# RPR001 — nondeterministic calls
+# ----------------------------------------------------------------------
+
+#: Call targets that are nondeterministic regardless of arguments.
+_NONDET_EXACT = frozenset({
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+#: time-module clock reads (``time.sleep`` does not change output).
+_TIME_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
+})
+
+#: numpy RNG constructors that are deterministic *when seeded*.
+_SEEDED_OK = frozenset({"default_rng", "SeedSequence", "RandomState",
+                        "Generator", "seed"})
+
+
+def _nondet_call(call: ast.Call) -> Optional[str]:
+    """A description of why this call is nondeterministic, or None."""
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    if dotted in _NONDET_EXACT:
+        return f"call to {dotted}()"
+    root, _, rest = dotted.partition(".")
+    if root == "random" and rest:
+        return f"call to {dotted}() (process-global random state)"
+    if root == "secrets" and rest:
+        return f"call to {dotted}() (entropy source)"
+    if root == "time" and rest in _TIME_FNS:
+        return f"call to {dotted}() (clock read)"
+    if root in ("np", "numpy"):
+        sub = rest.split(".")
+        if len(sub) >= 2 and sub[0] == "random":
+            fn = sub[-1]
+            if fn in _SEEDED_OK:
+                if call.args or call.keywords:
+                    return None  # explicitly seeded: deterministic
+                return (f"call to {dotted}() without a seed")
+            return f"call to {dotted}() (global numpy RNG)"
+    return None
+
+
+def _check_nondeterminism(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST]]":
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            why = _nondet_call(node)
+            if why is not None:
+                yield "RPR001", f"nondeterministic {why}", node
+            elif (_dotted(node.func) == "id" and node.args
+                    and not node.keywords):
+                yield ("RPR003",
+                       "id() varies across processes and replay attempts",
+                       node)
+
+
+# ----------------------------------------------------------------------
+# RPR002 — set-iteration emission order
+# ----------------------------------------------------------------------
+
+def _check_set_iteration(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST]]":
+    for _target, iter_node in _loops(info.node):
+        if _iterates_set(iter_node):
+            yield ("RPR002",
+                   "iteration over a set: emission order depends on hash "
+                   "seeding (wrap in sorted(...))",
+                   iter_node)
+
+
+# ----------------------------------------------------------------------
+# RPR011 — writes that escape the task
+# ----------------------------------------------------------------------
+
+def _self_name(fn: ast.AST) -> Optional[str]:
+    names = _positional_args(fn)
+    return names[0] if names and names[0] in ("self", "cls") else None
+
+
+def _is_self_attr(node: ast.AST, self_name: Optional[str]) -> bool:
+    """True for ``self.x`` / ``self.x[...]`` (arbitrarily nested)."""
+    if self_name is None:
+        return False
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    # The chain must terminate at the method's self parameter... but the
+    # first hop off self is what makes it instance state, so require at
+    # least one Attribute above (checked by the caller's node type).
+    return isinstance(node, ast.Name) and node.id == self_name
+
+
+def _check_purity(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST]]":
+    fn = info.node
+    self_name = _self_name(fn)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            yield ("RPR011",
+                   f"'global {', '.join(node.names)}' in a job function",
+                   node)
+        elif isinstance(node, ast.Nonlocal):
+            yield ("RPR011",
+                   f"'nonlocal {', '.join(node.names)}' in a job function",
+                   node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if (isinstance(t, (ast.Attribute, ast.Subscript))
+                        and _is_self_attr(t, self_name)):
+                    yield ("RPR011",
+                           f"write to {self_name} state from a job function",
+                           t)
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                if (isinstance(t, (ast.Attribute, ast.Subscript))
+                        and _is_self_attr(t, self_name)):
+                    yield ("RPR011",
+                           f"delete of {self_name} state from a job function",
+                           t)
+
+
+# ----------------------------------------------------------------------
+# RPR012 — mutation of the aliased values list
+# ----------------------------------------------------------------------
+
+_MUTATORS = frozenset({
+    "sort", "append", "extend", "insert", "pop", "remove", "clear",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+})
+
+
+def _check_values_mutation(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST]]":
+    values = _values_param(info.node)
+    if values is None:
+        return
+    for node in ast.walk(info.node):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == values
+                and node.func.attr in _MUTATORS):
+            yield ("RPR012",
+                   f"{values}.{node.func.attr}() mutates the aliased "
+                   f"values list in place",
+                   node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if (isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == values):
+                    yield ("RPR012",
+                           f"assignment into {values}[...] mutates the "
+                           f"aliased values list",
+                           t)
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                if (isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == values):
+                    yield ("RPR012",
+                           f"del {values}[...] mutates the aliased values "
+                           f"list",
+                           t)
+
+
+# ----------------------------------------------------------------------
+# RPR021/RPR022 — combiner algebra
+# ----------------------------------------------------------------------
+
+_NONCOMM_OPS = (ast.Sub, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+_OPERATOR_NONCOMM = frozenset({
+    "operator.sub", "operator.truediv", "operator.floordiv",
+    "operator.mod", "operator.pow", "operator.isub", "operator.itruediv",
+})
+
+
+def _op_name(op: ast.AST) -> str:
+    return {ast.Sub: "-", ast.Div: "/", ast.FloorDiv: "//",
+            ast.Mod: "%", ast.Pow: "**"}.get(type(op), "?")
+
+
+def _lambda_is_noncommutative(lam: ast.Lambda) -> bool:
+    """``lambda a, b: a - b`` style folds."""
+    body = lam.body
+    params = [a.arg for a in lam.args.args]
+    return (isinstance(body, ast.BinOp)
+            and isinstance(body.op, _NONCOMM_OPS)
+            and len(params) == 2
+            and _references(body, params[0])
+            and _references(body, params[1]))
+
+
+def _check_combiner_algebra(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST]]":
+    fn = info.node
+    values = _values_param(fn)
+    if values is None:
+        return
+
+    # Accumulation via a non-commutative operator inside a loop over the
+    # partial values.  Index bookkeeping (`i -= 1`) is exempt because
+    # the operand must involve the loop variable or the values list.
+    for target, iter_node in _loops(fn):
+        if not _references(iter_node, values):
+            continue
+        loop_names = _target_names(target) | {values}
+        body = getattr(iter_node, "parent_body", None)
+        # Walk the whole loop body (for-loops only; comprehension
+        # accumulation cannot aug-assign).
+        owner = next((n for n in ast.walk(fn)
+                      if isinstance(n, (ast.For, ast.AsyncFor))
+                      and n.iter is iter_node), None)
+        if owner is None:
+            continue
+        del body
+        for node in ast.walk(owner):
+            if (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, _NONCOMM_OPS)
+                    and any(_references(node.value, nm)
+                            for nm in loop_names)):
+                yield ("RPR021",
+                       f"'{_op_name(node.op)}=' accumulation over {values} "
+                       f"is not commutative",
+                       node)
+            elif (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.BinOp)
+                    and isinstance(node.value.op, _NONCOMM_OPS)
+                    and _references(node.value.left, node.targets[0].id)
+                    and any(_references(node.value.right, nm)
+                            for nm in loop_names)):
+                yield ("RPR021",
+                       f"'acc = acc {_op_name(node.value.op)} v' "
+                       f"accumulation over {values} is not commutative",
+                       node)
+
+    for node in ast.walk(fn):
+        # functools.reduce with a non-commutative fold.
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("reduce", "functools.reduce") and node.args:
+                fold = node.args[0]
+                fold_dotted = _dotted(fold)
+                if fold_dotted in _OPERATOR_NONCOMM:
+                    yield ("RPR021",
+                           f"reduce({fold_dotted}, ...) is order-sensitive",
+                           node)
+                elif (isinstance(fold, ast.Lambda)
+                        and _lambda_is_noncommutative(fold)):
+                    yield ("RPR021",
+                           "reduce() with a non-commutative lambda fold",
+                           node)
+            # Order-dependent join over the raw values.
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join" and node.args):
+                arg = node.args[0]
+                sorted_wrapped = any(
+                    isinstance(n, ast.Call)
+                    and _dotted(n.func) in ("sorted", "list.sort")
+                    for n in ast.walk(arg))
+                if _references(arg, values) and not sorted_wrapped:
+                    yield ("RPR022",
+                           f"join over {values} concatenates in arrival "
+                           f"order",
+                           node)
+        # values[0] - values[1] style positional arithmetic.
+        elif (isinstance(node, ast.BinOp)
+                and isinstance(node.op, _NONCOMM_OPS)
+                and isinstance(node.left, ast.Subscript)
+                and isinstance(node.left.value, ast.Name)
+                and node.left.value.id == values
+                and isinstance(node.right, ast.Subscript)
+                and isinstance(node.right.value, ast.Name)
+                and node.right.value.id == values):
+            yield ("RPR021",
+                   f"positional arithmetic {values}[i] "
+                   f"{_op_name(node.op)} {values}[j] assumes an arrival "
+                   f"order",
+                   node)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+_CHECKS_BY_ROLE = {
+    "map": (_check_nondeterminism, _check_set_iteration, _check_purity),
+    "reduce": (_check_nondeterminism, _check_set_iteration, _check_purity,
+               _check_values_mutation),
+    "combine": (_check_nondeterminism, _check_set_iteration, _check_purity,
+                _check_values_mutation, _check_combiner_algebra),
+}
+
+
+def analyze_function(info: FunctionLint) -> "list[Finding]":
+    """Run every static rule for ``info.role`` over one function AST."""
+    if info.role not in _CHECKS_BY_ROLE:
+        raise ValueError(f"role must be one of {ROLES}, got {info.role!r}")
+    findings: "list[Finding]" = []
+    for check in _CHECKS_BY_ROLE[info.role]:
+        for code, message, node in check(info):
+            findings.append(Finding(
+                code=code,
+                message=message,
+                function=info.qualname,
+                filename=info.filename,
+                line=getattr(node, "lineno", 0) + info.line_offset,
+            ))
+    findings.sort(key=lambda f: (f.line, f.code))
+    return findings
+
+
+def iter_role_functions(tree: ast.AST) -> "Iterable[tuple[str, str, ast.AST]]":
+    """Yield ``(role, qualname, node)`` for every role-named ``def`` in a
+    parsed module, including methods and nested functions."""
+    class _Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.stack: "list[str]" = []
+            self.found: "list[tuple[str, str, ast.AST]]" = []
+
+        def _visit_scope(self, node: ast.AST, name: str) -> None:
+            self.stack.append(name)
+            self.generic_visit(node)
+            self.stack.pop()
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self._visit_scope(node, node.name)
+
+        def _visit_function(self, node: ast.AST, name: str) -> None:
+            role = role_for_name(name)
+            if role is not None:
+                qual = ".".join((*self.stack, name))
+                self.found.append((role, qual, node))
+            self._visit_scope(node, name)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._visit_function(node, node.name)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self._visit_function(node, node.name)
+
+    visitor = _Visitor()
+    visitor.visit(tree)
+    return visitor.found

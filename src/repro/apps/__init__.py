@@ -22,12 +22,25 @@ submittable :class:`~repro.core.session.JobSpec` for the multi-job
 session schedules it.
 """
 
+from repro.apps.apsp import (
+    LandmarkApspResult,
+    estimate_pair_distance,
+    landmark_apsp,
+)
 from repro.apps.components import (
     ComponentsBlockSpec,
     ComponentsResult,
     components_reference,
     components_spec,
     connected_components,
+)
+from repro.apps.jacobi import (
+    JacobiBlockSpec,
+    JacobiResult,
+    SparseSystem,
+    jacobi_solve,
+    jacobi_spec,
+    make_diagonally_dominant_system,
 )
 from repro.apps.kmeans import (
     KMeansBlockSpec,
@@ -38,19 +51,6 @@ from repro.apps.kmeans import (
     kmeans_reference,
     kmeans_spec,
     sse,
-)
-from repro.apps.apsp import (
-    LandmarkApspResult,
-    estimate_pair_distance,
-    landmark_apsp,
-)
-from repro.apps.jacobi import (
-    JacobiBlockSpec,
-    JacobiResult,
-    SparseSystem,
-    jacobi_solve,
-    jacobi_spec,
-    make_diagonally_dominant_system,
 )
 from repro.apps.pagerank import (
     PageRankBlockSpec,

@@ -14,8 +14,8 @@ seconds produced here from *measured* operation counts, byte counts,
 and task counts.
 """
 
-from repro.cluster.cluster import PhaseResult, SimCluster
 from repro.cluster.accountant import RoundAccountant
+from repro.cluster.cluster import PhaseResult, SimCluster
 from repro.cluster.costmodel import (
     CostModel,
     EC2_DEFAULTS,
@@ -26,18 +26,18 @@ from repro.cluster.costmodel import (
 from repro.cluster.dfs import SimDFS, estimate_nbytes
 from repro.cluster.kvstore import OnlineStoreModel, SimKVStore
 from repro.cluster.node import SimNode, ec2_nodes
+from repro.cluster.report import (
+    PhaseShare,
+    format_breakdown,
+    overhead_fraction,
+    phase_breakdown,
+)
 from repro.cluster.statestore import (
     DFSStateStore,
     OnlineStateStore,
     StateStore,
     even_split,
     resolve_state_store,
-)
-from repro.cluster.report import (
-    PhaseShare,
-    format_breakdown,
-    overhead_fraction,
-    phase_breakdown,
 )
 from repro.cluster.trace import Event, Trace
 

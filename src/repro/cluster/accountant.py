@@ -25,7 +25,7 @@ so callers never branch on ``cluster is None``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a runtime repro.cluster <-> repro.core cycle
     from repro.cluster.cluster import SimCluster

@@ -39,7 +39,7 @@ directly and gets the partitioned behaviour.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence, TYPE_CHECKING
 
 from repro.cluster.costmodel import CostModel
 from repro.cluster.kvstore import OnlineStoreModel, SimKVStore

@@ -32,6 +32,7 @@ Public surface:
 """
 
 from repro.core.api import AsyncMapReduceSpec, BlockSpec, LocalSolveReport
+from repro.core.autotune import AutotuneReport, ProbeResult, autotune_partitions
 from repro.core.config import DriverConfig, EAGER, GENERAL
 from repro.core.convergence import (
     CentroidShiftCriterion,
@@ -41,19 +42,13 @@ from repro.core.convergence import (
     UnchangedCriterion,
     combine_any,
 )
-from repro.core.autotune import AutotuneReport, ProbeResult, autotune_partitions
-from repro.core.loop import (
-    AdaptiveSyncPolicy,
-    BlockBackend,
-    EngineBackend,
-    HierarchicalBackend,
-    IterationBackend,
-    IterationLoop,
-    IterativeResult,
-    RoundOutcome,
-    RoundRecord,
-)
 from repro.core.driver import run_iterative_block, run_iterative_kv
+from repro.core.emitter import (
+    GlobalReduceContext,
+    LocalMapContext,
+    LocalReduceContext,
+)
+from repro.core.gmap import GmapFunction, GreduceFunction
 from repro.core.hierarchy import (
     HierarchyConfig,
     make_racks,
@@ -69,14 +64,19 @@ from repro.core.jobsched import (
     SessionScheduler,
     make_policy,
 )
-from repro.core.session import JobSpec, Session
-from repro.core.emitter import (
-    GlobalReduceContext,
-    LocalMapContext,
-    LocalReduceContext,
-)
-from repro.core.gmap import GmapFunction, GreduceFunction
 from repro.core.localmr import LocalRunResult, run_local_mapreduce
+from repro.core.loop import (
+    AdaptiveSyncPolicy,
+    BlockBackend,
+    EngineBackend,
+    HierarchicalBackend,
+    IterationBackend,
+    IterationLoop,
+    IterativeResult,
+    RoundOutcome,
+    RoundRecord,
+)
+from repro.core.session import JobSpec, Session
 
 __all__ = [
     "Session",

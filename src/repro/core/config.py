@@ -23,6 +23,7 @@ __all__ = ["DriverConfig", "GENERAL", "EAGER"]
 
 _MODES = ("general", "eager")
 _RATES = ("map", "local")
+_LINT_MODES = ("off", "warn", "strict")
 
 #: Process-wide flag so the legacy ``state_store="online"`` string warns
 #: exactly once (mirrors the ``run_iterative_*`` shim pattern).
@@ -105,6 +106,12 @@ class DriverConfig:
         construction.  Must be a positive integer or ``None``; zero and
         negative values are rejected at construction rather than
         surfacing as a modulo error deep in the accountant.
+    lint:
+        Default :mod:`repro.analysis` lint mode for jobs submitted with
+        this config: ``"off"`` (skip), ``"warn"`` (one
+        :class:`~repro.analysis.LintWarning` per finding), ``"strict"``
+        (raise :class:`~repro.analysis.LintError` on error-severity
+        findings before any task runs).
     """
 
     mode: str = "eager"
@@ -115,10 +122,17 @@ class DriverConfig:
     record_history: bool = True
     state_store: "Union[str, StateStore, Callable[[], StateStore]]" = "dfs"
     checkpoint_every: "int | None" = 10
+    #: Default lint mode for jobs submitted with this config
+    #: (:mod:`repro.analysis`): ``"off"`` / ``"warn"`` / ``"strict"``.
+    #: ``Session.submit(lint=...)`` overrides per submission.
+    lint: str = "off"
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.lint not in _LINT_MODES:
+            raise ValueError(
+                f"lint must be one of {_LINT_MODES}, got {self.lint!r}")
         if self.max_global_iters < 1:
             raise ValueError("max_global_iters must be >= 1")
         if self.max_local_iters < 1:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.cluster.accountant import RoundAccountant

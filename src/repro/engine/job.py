@@ -57,12 +57,22 @@ class JobConf:
     #: equivalence tests compare against.  Output is byte-identical
     #: either way.
     columnar: bool = True
+    #: Lint the job's user functions (:mod:`repro.analysis`) before any
+    #: task runs: ``"off"`` (default) skips the check, ``"warn"`` emits
+    #: a :class:`~repro.analysis.LintWarning` per finding, ``"strict"``
+    #: raises :class:`~repro.analysis.LintError` on error-severity
+    #: findings (nondeterminism, impurity, non-commutative combiners,
+    #: unpicklable captures).
+    lint: str = "off"
 
     def __post_init__(self) -> None:
         if self.num_reducers < 1:
             raise ValueError("num_reducers must be >= 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.lint not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"lint must be 'off', 'warn' or 'strict', got {self.lint!r}")
 
 
 @dataclass

@@ -224,9 +224,15 @@ class MapReduceRuntime:
         multi-job session attributes engine-path charges, applies the
         scheduler's slot share, and prefixes trace labels per job.
         """
+        conf = job.conf
+        if conf.lint != "off":
+            # Deferred import: the analysis package inspects engine/core
+            # types, so importing it at module scope would be circular.
+            from repro.analysis import enforce, lint_job
+
+            enforce(lint_job(job), conf.lint)
         splits = [list(s) for s in splits]
         counters = Counters()
-        conf = job.conf
         buffer = ShuffleBuffer(len(splits), conf.num_reducers,
                                sort_keys=conf.sort_keys)
         # Event-driven pipeline only helps when there is a pool to keep

@@ -52,7 +52,7 @@ from repro.engine.counters import (
     REDUCE_OPS,
     REDUCE_OUTPUT_RECORDS,
 )
-from repro.engine.faults import FaultPlan, SimulatedTaskFailure
+from repro.engine.faults import FaultPlan
 from repro.engine.shuffle import shuffle_bytes
 
 __all__ = ["TaskContext", "TaskResult", "run_map_task", "run_reduce_task"]

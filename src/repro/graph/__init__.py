@@ -49,18 +49,18 @@ from repro.graph.partition import (
     partition_graph,
     random_partition,
 )
+from repro.graph.powerlaw import (
+    PowerLawFit,
+    degree_histogram,
+    fit_power_law,
+    hub_spoke_ratio,
+)
 from repro.graph.traversal import (
     bfs_levels,
     bfs_order,
     hop_diameter_estimate,
     reachable_from,
     weakly_connected,
-)
-from repro.graph.powerlaw import (
-    PowerLawFit,
-    degree_histogram,
-    fit_power_law,
-    hub_spoke_ratio,
 )
 
 __all__ = [

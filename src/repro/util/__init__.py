@@ -7,10 +7,10 @@ focused on the algorithms.
 """
 
 from repro.util.checks import (
-    check_positive,
-    check_non_negative,
-    check_in_range,
     check_array_1d,
+    check_in_range,
+    check_non_negative,
+    check_positive,
     check_probability,
 )
 from repro.util.rng import as_rng, spawn_rngs

@@ -13,18 +13,40 @@ from typing import Any
 import numpy as np
 
 
+def _check_scalar_number(name: str, value: Any) -> None:
+    """Reject non-numbers and booleans; accept numpy numeric scalars.
+
+    ``bool`` is a subclass of ``int`` (``True > 0`` holds), so the
+    bounds checks below would silently accept flags passed where a
+    count belongs; numpy's ``bool_``/``str_`` are scalars by
+    ``np.isscalar`` yet are no more numbers than their builtin kin.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        raise TypeError(f"{name} must be a scalar number, got bool")
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return
+    raise TypeError(
+        f"{name} must be a scalar number, got {type(value).__name__}")
+
+
 def check_positive(name: str, value: Any) -> None:
-    """Raise ``ValueError`` unless ``value`` is a strictly positive number."""
-    if not np.isscalar(value) and not isinstance(value, (int, float)):
-        raise TypeError(f"{name} must be a scalar number, got {type(value).__name__}")
+    """Raise unless ``value`` is a strictly positive number.
+
+    Accepts ``int``/``float`` and numpy integer/floating scalars;
+    rejects booleans (``TypeError``) and non-positives (``ValueError``).
+    """
+    _check_scalar_number(name, value)
     if not value > 0:
         raise ValueError(f"{name} must be > 0, got {value!r}")
 
 
 def check_non_negative(name: str, value: Any) -> None:
-    """Raise ``ValueError`` unless ``value`` is a number >= 0."""
-    if not np.isscalar(value) and not isinstance(value, (int, float)):
-        raise TypeError(f"{name} must be a scalar number, got {type(value).__name__}")
+    """Raise unless ``value`` is a number >= 0.
+
+    Accepts ``int``/``float`` and numpy integer/floating scalars;
+    rejects booleans (``TypeError``) and negatives (``ValueError``).
+    """
+    _check_scalar_number(name, value)
     if not value >= 0:
         raise ValueError(f"{name} must be >= 0, got {value!r}")
 

@@ -33,11 +33,48 @@ class TestChecks:
         with pytest.raises(TypeError):
             check_positive("x", [1, 2])
 
+    def test_check_positive_rejects_bool(self):
+        # bool subclasses int (True > 0 holds), so without an explicit
+        # rejection a flag passed where a count belongs slips through.
+        with pytest.raises(TypeError, match="x must be a scalar number"):
+            check_positive("x", True)
+        with pytest.raises(TypeError, match="x must be a scalar number"):
+            check_positive("x", np.bool_(True))
+
+    def test_check_positive_accepts_numpy_scalars(self):
+        check_positive("x", np.int64(3))
+        check_positive("x", np.int32(3))
+        check_positive("x", np.float64(0.5))
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", np.int64(0))
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", np.float64(-1.5))
+
+    def test_check_positive_rejects_non_numeric_scalars(self):
+        with pytest.raises(TypeError):
+            check_positive("x", "3")
+        with pytest.raises(TypeError):
+            check_positive("x", np.str_("3"))
+        with pytest.raises(TypeError):
+            check_positive("x", 3 + 0j)
+
     def test_check_non_negative(self):
         check_non_negative("x", 0)
         check_non_negative("x", 2.5)
         with pytest.raises(ValueError):
             check_non_negative("x", -1e-9)
+
+    def test_check_non_negative_rejects_bool(self):
+        with pytest.raises(TypeError, match="x must be a scalar number"):
+            check_non_negative("x", False)
+        with pytest.raises(TypeError, match="x must be a scalar number"):
+            check_non_negative("x", np.bool_(False))
+
+    def test_check_non_negative_accepts_numpy_scalars(self):
+        check_non_negative("x", np.int64(0))
+        check_non_negative("x", np.float32(2.5))
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_non_negative("x", np.int64(-1))
 
     def test_check_in_range_inclusive(self):
         check_in_range("x", 0.0, 0.0, 1.0)
