@@ -353,7 +353,9 @@ def explain_columnar_job(job: Any) -> "list[Finding]":
     if src and "emit_block" not in src:
         findings.append(_info(
             "map_fn never calls ctx.emit_block — typed batches are what "
-            "the columnar shuffle routes vectorised", job.map_fn))
+            "the columnar shuffle routes vectorised (string keys "
+            "qualify too: emit_block dictionary-encodes them through a "
+            "StringDictionary)", job.map_fn))
     return findings
 
 

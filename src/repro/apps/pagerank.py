@@ -39,6 +39,7 @@ from repro.core import (
     AsyncMapReduceSpec,
     BlockBackend,
     BlockSpec,
+    DenseKVState,
     DriverConfig,
     EngineBackend,
     IterationLoop,
@@ -222,7 +223,13 @@ class PageRankKVSpec(AsyncMapReduceSpec):
     round and the adjacency splits are precomputed once from the
     partition (the off-line locality-enhancing step).
 
-    Global state: ``ranks`` dict ``node -> (rank, ext_contrib)``.
+    Global state: ``ranks`` dict ``node -> (rank, ext_contrib)`` — or,
+    with ``dense_state=True``, a :class:`~repro.core.DenseKVState`
+    holding the same ``(rank, ext_contrib)`` rows as one ``(n, 2)``
+    float64 array, so a columnar round folds its output back in with a
+    single scatter instead of rebuilding ~n tuples.  Both
+    representations hold bit-identical values; the dict stays the
+    oracle.
 
     The spec opts into the engine's columnar shuffle fast path: the
     gmap's boundary data becomes ``(node, (rank, contribution))`` rows —
@@ -237,13 +244,15 @@ class PageRankKVSpec(AsyncMapReduceSpec):
     columnar_combine = "sum"
 
     def __init__(self, graph: DiGraph, partition: Partition, *,
-                 damping: float = 0.85, tol: float = 1e-5) -> None:
+                 damping: float = 0.85, tol: float = 1e-5,
+                 dense_state: bool = False) -> None:
         if not 0.0 < damping < 1.0:
             raise ValueError(f"damping must be in (0, 1), got {damping}")
         self.graph = graph
         self.partition = partition
         self.damping = damping
         self.tol = tol
+        self.dense_state = dense_state
         outdeg = graph.out_degree().astype(np.float64)
         self._inv_outdeg = np.where(outdeg > 0, 1.0 / np.maximum(outdeg, 1), 0.0)
         assign = partition.assign
@@ -268,6 +277,9 @@ class PageRankKVSpec(AsyncMapReduceSpec):
         assign = self.partition.assign
         cross = assign[src] != assign[dst]
         np.add.at(ext, dst[cross], self._inv_outdeg[src[cross]])
+        if self.dense_state:
+            rows = np.column_stack([np.ones_like(ext), ext])
+            return DenseKVState(rows)
         return {u: (1.0, float(ext[u])) for u in range(self.graph.num_nodes)}
 
     def num_partitions(self) -> int:
@@ -330,14 +342,22 @@ class PageRankKVSpec(AsyncMapReduceSpec):
             delta = max(delta, abs(rec[0] - prev_table[u][0]))
         return delta < self.tol
 
-    def global_converged(self, prev_state: dict, curr_state: dict):
-        residual = max(
-            (abs(curr_state[u][0] - prev_state[u][0]) for u in curr_state),
-            default=0.0,
-        )
+    def global_converged(self, prev_state, curr_state):
+        if isinstance(curr_state, DenseKVState):
+            prev = prev_state.column(0)
+            curr = curr_state.column(0)
+            residual = float(np.abs(curr - prev).max()) if len(curr) else 0.0
+        else:
+            residual = max(
+                (abs(curr_state[u][0] - prev_state[u][0])
+                 for u in curr_state),
+                default=0.0,
+            )
         return residual < self.tol, residual
 
-    def state_from_output(self, output: list, prev_state: dict) -> dict:
+    def state_from_output(self, output: list, prev_state):
+        if isinstance(prev_state, DenseKVState):
+            return prev_state.scatter_pairs(output)
         new_state = dict(prev_state)
         new_state.update(output)
         return new_state
@@ -383,8 +403,14 @@ class PageRankKVSpec(AsyncMapReduceSpec):
 
     def columnar_reduce(self):
         return "sum"
-    # state_from_columnar: the base default (materialise + dict update)
-    # is exactly this spec's state_from_output semantics.
+
+    def state_from_columnar(self, block, prev_state):
+        if isinstance(prev_state, DenseKVState):
+            # Pure array scatter — no per-node tuples on the dense path.
+            return prev_state.scatter(block.keys, block.values)
+        # Dict state: the base default (materialise + dict update) is
+        # exactly this spec's state_from_output semantics.
+        return super().state_from_columnar(block, prev_state)
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +429,7 @@ def pagerank(
     path: str = "block",
     runtime: "MapReduceRuntime | None" = None,
     sync_policy: "AdaptiveSyncPolicy | None" = None,
+    dense_state: bool = False,
 ) -> PageRankResult:
     """Compute PageRank with the General or Eager formulation.
 
@@ -425,6 +452,10 @@ def pagerank(
     sync_policy:
         Optional :class:`~repro.core.AdaptiveSyncPolicy` retuning the
         local-iteration budget per round.
+    dense_state:
+        Keep the kv path's global state as a
+        :class:`~repro.core.DenseKVState` array instead of a per-node
+        dict (identical values, array-speed round transitions).
     """
     cfg = config if config is not None else DriverConfig(mode=mode)
     if path == "block":
@@ -433,10 +464,14 @@ def pagerank(
         res = IterationLoop(backend, cfg, sync_policy=sync_policy).run()
         ranks = np.asarray(res.state)
     elif path == "kv":
-        kv_spec = PageRankKVSpec(graph, partition, damping=damping, tol=tol)
+        kv_spec = PageRankKVSpec(graph, partition, damping=damping, tol=tol,
+                                 dense_state=dense_state)
         kv_backend = EngineBackend(kv_spec, runtime=runtime)
         res = IterationLoop(kv_backend, cfg, sync_policy=sync_policy).run()
-        ranks = np.array([res.state[u][0] for u in range(graph.num_nodes)])
+        if isinstance(res.state, DenseKVState):
+            ranks = res.state.column(0).copy()
+        else:
+            ranks = np.array([res.state[u][0] for u in range(graph.num_nodes)])
     else:
         raise ValueError(f"path must be 'block' or 'kv', got {path!r}")
     return PageRankResult(ranks=ranks, global_iters=res.global_iters,

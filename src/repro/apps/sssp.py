@@ -30,6 +30,7 @@ from repro.core import (
     AsyncMapReduceSpec,
     BlockBackend,
     BlockSpec,
+    DenseKVState,
     DriverConfig,
     EngineBackend,
     IterationLoop,
@@ -222,12 +223,13 @@ class SsspKVSpec(AsyncMapReduceSpec):
     columnar_combine = "min"
 
     def __init__(self, graph: DiGraph, partition: Partition, *,
-                 source: int = 0) -> None:
+                 source: int = 0, dense_state: bool = False) -> None:
         if not 0 <= source < graph.num_nodes:
             raise ValueError(f"source {source} out of range")
         self.graph = graph
         self.partition = partition
         self.source = source
+        self.dense_state = dense_state
         assign = partition.assign
         self._internal_adj: dict[int, list] = {}
         self._external_adj: dict[int, list] = {}
@@ -245,6 +247,13 @@ class SsspKVSpec(AsyncMapReduceSpec):
         that initial state (the source's cross out-edges already offer
         candidate distances to their remote endpoints)."""
         inf = float("inf")
+        if self.dense_state:
+            rows = np.full((self.graph.num_nodes, 2), np.inf,
+                           dtype=np.float64)
+            rows[self.source, 0] = 0.0
+            for v, w in self._external_adj[self.source]:
+                rows[v, 1] = min(rows[v, 1], w)
+            return DenseKVState(rows)
         state = {u: (0.0 if u == self.source else inf, inf)
                  for u in range(self.graph.num_nodes)}
         for v, w in self._external_adj[self.source]:
@@ -310,7 +319,16 @@ class SsspKVSpec(AsyncMapReduceSpec):
                 return False
         return True
 
-    def global_converged(self, prev_state: dict, curr_state: dict):
+    def global_converged(self, prev_state, curr_state):
+        if isinstance(curr_state, DenseKVState):
+            prev = prev_state.column(0)
+            curr = curr_state.column(0)
+            both_inf = np.isinf(prev) & np.isinf(curr)
+            with np.errstate(invalid="ignore"):  # inf - inf via mask
+                diff = np.abs(curr - prev)
+            diff[both_inf] = 0.0
+            residual = float(diff.max()) if len(diff) else 0.0
+            return residual == 0.0, residual
         residual = 0.0
         for u, (d, _) in curr_state.items():
             p = prev_state[u][0]
@@ -319,7 +337,9 @@ class SsspKVSpec(AsyncMapReduceSpec):
             residual = max(residual, abs(d - p))
         return residual == 0.0, residual
 
-    def state_from_output(self, output: list, prev_state: dict) -> dict:
+    def state_from_output(self, output: list, prev_state):
+        if isinstance(prev_state, DenseKVState):
+            return prev_state.scatter_pairs(output)
         new_state = dict(prev_state)
         new_state.update(output)
         return new_state
@@ -364,8 +384,14 @@ class SsspKVSpec(AsyncMapReduceSpec):
         from repro.engine import ColumnarReduce
 
         return ColumnarReduce("min", finish=_sssp_columnar_finish)
-    # state_from_columnar: the base default (materialise + dict update)
-    # is exactly this spec's state_from_output semantics.
+
+    def state_from_columnar(self, block, prev_state):
+        if isinstance(prev_state, DenseKVState):
+            # Pure array scatter — no per-node tuples on the dense path.
+            return prev_state.scatter(block.keys, block.values)
+        # Dict state: the base default (materialise + dict update) is
+        # exactly this spec's state_from_output semantics.
+        return super().state_from_columnar(block, prev_state)
 
 
 # ----------------------------------------------------------------------
@@ -383,8 +409,14 @@ def sssp(
     path: str = "block",
     runtime: "MapReduceRuntime | None" = None,
     sync_policy: "AdaptiveSyncPolicy | None" = None,
+    dense_state: bool = False,
 ) -> SsspResult:
-    """Single-source shortest distances, General or Eager formulation."""
+    """Single-source shortest distances, General or Eager formulation.
+
+    ``dense_state=True`` keeps the kv path's global state as a
+    :class:`~repro.core.DenseKVState` array instead of a per-node dict
+    (identical values, array-speed round transitions).
+    """
     cfg = config if config is not None else DriverConfig(mode=mode)
     if path == "block":
         spec = SsspBlockSpec(graph, partition, source=source)
@@ -392,10 +424,14 @@ def sssp(
         res = IterationLoop(backend, cfg, sync_policy=sync_policy).run()
         dist = np.asarray(res.state)
     elif path == "kv":
-        kv_spec = SsspKVSpec(graph, partition, source=source)
+        kv_spec = SsspKVSpec(graph, partition, source=source,
+                             dense_state=dense_state)
         kv_backend = EngineBackend(kv_spec, runtime=runtime)
         res = IterationLoop(kv_backend, cfg, sync_policy=sync_policy).run()
-        dist = np.array([res.state[u][0] for u in range(graph.num_nodes)])
+        if isinstance(res.state, DenseKVState):
+            dist = res.state.column(0).copy()
+        else:
+            dist = np.array([res.state[u][0] for u in range(graph.num_nodes)])
     else:
         raise ValueError(f"path must be 'block' or 'kv', got {path!r}")
     return SsspResult(distances=dist, global_iters=res.global_iters,

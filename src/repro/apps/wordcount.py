@@ -11,9 +11,17 @@ from __future__ import annotations
 import re
 from typing import Sequence
 
+import numpy as np
+
 from repro.engine import Job, JobConf, JobResult, MapReduceRuntime
 
-__all__ = ["wordcount_map", "wordcount_reduce", "wordcount_job", "wordcount"]
+__all__ = [
+    "wordcount_map",
+    "wordcount_columnar_map",
+    "wordcount_reduce",
+    "wordcount_job",
+    "wordcount",
+]
 
 _WORD_RE = re.compile(r"[A-Za-z0-9']+")
 
@@ -24,14 +32,37 @@ def wordcount_map(key, value, ctx) -> None:
         ctx.emit(word, 1)
 
 
-def wordcount_reduce(key, values, ctx) -> None:
-    """Sum the counts for one word."""
-    ctx.emit(key, sum(values))
+def wordcount_columnar_map(key, value, ctx) -> None:
+    """Tokenise one document line and emit a typed (words, ones) batch.
+
+    String keys are columnar-eligible: ``emit_block`` interns the words
+    through a :class:`~repro.engine.StringDictionary`, so routing,
+    combining and grouping run vectorised over int64 codes while byte
+    accounting and output still see the original words.  Counts are
+    float64 on this path (the columnar value column); the classic
+    :func:`wordcount_map` keeps Python ints.
+    """
+    words = _WORD_RE.findall(str(value).lower())
+    ctx.emit_block(np.array(words, dtype=object),
+                   np.ones(len(words), dtype=np.float64))
 
 
-def wordcount_job(*, num_reducers: int = 4, use_combiner: bool = True) -> Job:
+def wordcount_job(*, num_reducers: int = 4, use_combiner: bool = True,
+                  columnar: bool = False) -> Job:
     """Build the WordCount job (the reduce doubles as the combiner —
-    counting is associative and commutative)."""
+    counting is associative and commutative).
+
+    ``columnar=True`` swaps in :func:`wordcount_columnar_map` and the
+    declarative ``"sum"`` reduce/combine: same words, same counts
+    (as floats), shuffled as dictionary-encoded typed batches.
+    """
+    if columnar:
+        return Job(
+            map_fn=wordcount_columnar_map,
+            reduce_fn="sum",
+            combine_fn="sum" if use_combiner else None,
+            conf=JobConf(num_reducers=num_reducers, name="wordcount"),
+        )
     return Job(
         map_fn=wordcount_map,
         reduce_fn=wordcount_reduce,
@@ -40,9 +71,14 @@ def wordcount_job(*, num_reducers: int = 4, use_combiner: bool = True) -> Job:
     )
 
 
+def wordcount_reduce(key, values, ctx) -> None:
+    """Sum the counts for one word."""
+    ctx.emit(key, sum(values))
+
+
 def wordcount(documents: Sequence[str], *, runtime: "MapReduceRuntime | None" = None,
               splits: int = 4, num_reducers: int = 4,
-              use_combiner: bool = True) -> JobResult:
+              use_combiner: bool = True, columnar: bool = False) -> JobResult:
     """Count words across ``documents`` with the MapReduce engine.
 
     Documents are sliced into ``splits`` input splits (one map task
@@ -58,5 +94,6 @@ def wordcount(documents: Sequence[str], *, runtime: "MapReduceRuntime | None" = 
         [(i + j, docs[i + j]) for j in range(min(chunk, len(docs) - i))]
         for i in range(0, max(len(docs), 1), chunk)
     ]
-    job = wordcount_job(num_reducers=num_reducers, use_combiner=use_combiner)
+    job = wordcount_job(num_reducers=num_reducers, use_combiner=use_combiner,
+                        columnar=columnar)
     return rt.run(job, parts)

@@ -221,9 +221,19 @@ def sssp_sweep(*, scale: "float | None" = None, method: str = "multilevel",
 
 @functools.lru_cache(maxsize=8)
 def kmeans_sweep(*, rows: "int | None" = None, k: int = 8,
-                 partitions: int = PAPER_KMEANS_PARTITIONS) -> SweepResult:
-    """Figures 8 (iterations) and 9 (time): K-Means vs threshold delta."""
+                 partitions: "int | None" = None) -> SweepResult:
+    """Figures 8 (iterations) and 9 (time): K-Means vs threshold delta.
+
+    ``partitions`` defaults to the paper's 52 scaled by ``REPRO_SCALE``
+    — the same partition-size-preserving rule the graph sweeps use.  At
+    smoke scales the fixed paper count would slice a few thousand rows
+    into partitions too small to aggregate, which both distorts the
+    figure shape and starves the per-partition K-Means updates.
+    """
     n = rows if rows is not None else kmeans_rows()
+    if partitions is None:
+        partitions = max(2, int(round(PAPER_KMEANS_PARTITIONS
+                                      * graph_scale())))
     pts = census_sample(n, noise=0.35, num_profiles=12, seed=0)
     points: list[SweepPoint] = []
     for thr in PAPER_KMEANS_THRESHOLDS:

@@ -54,6 +54,7 @@ from repro.core.hierarchy import (
     make_racks,
     run_iterative_hierarchical,
 )
+from repro.core.state import DenseKVState
 from repro.core.jobsched import (
     FairSharePolicy,
     FifoPolicy,
@@ -91,6 +92,7 @@ __all__ = [
     "make_policy",
     "AsyncMapReduceSpec",
     "BlockSpec",
+    "DenseKVState",
     "LocalSolveReport",
     "DriverConfig",
     "GENERAL",

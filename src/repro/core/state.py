@@ -1,0 +1,117 @@
+"""Array-backed global state for iterative KV specs.
+
+The record-at-a-time specs keep global state as ``node -> tuple`` dicts
+— the oracle representation, easy to diff and to reason about, but it
+forces every round to rebuild ~``num_nodes`` Python tuples from the
+reduce output even when the engine ran fully columnar.
+:class:`DenseKVState` stores the same per-node rows as one ``(n, w)``
+float64 array keyed by node id, so a columnar round folds its output
+block back in with a single fancy-indexed assignment
+(:meth:`scatter`) and convergence checks vectorise.
+
+The container is deliberately *Mapping-shaped*: ``state[u]`` returns
+the node's row as a tuple of Python floats, ``len`` / ``iter`` /
+``items`` behave like the dict they replace, so spec plumbing written
+against the dict state (``rank, ext = state[u]``) runs unchanged.
+Equivalence is bitwise — the array holds exactly the float64 values
+the dict path's tuples hold — which the dense-state tests pin against
+the dict oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["DenseKVState"]
+
+
+class DenseKVState:
+    """Global iterative state as a dense ``(n, width)`` float64 array.
+
+    Node ids are the row index: the container covers the contiguous id
+    range ``0..n-1``, which is exactly the key universe of the bundled
+    graph specs (graphs number their nodes densely).
+
+    Parameters
+    ----------
+    rows:
+        Array of shape ``(n, width)`` (or ``(n,)``, treated as width 1)
+        holding one row per node.  Copied to float64 if needed.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: np.ndarray) -> None:
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2:
+            raise ValueError(
+                f"rows must be (n,) or (n, width), got shape {arr.shape}")
+        self.rows = arr
+
+    # -- Mapping surface (what the dict-state plumbing reads) ----------
+    def __getitem__(self, u: int) -> tuple:
+        return tuple(self.rows[u])
+
+    def __len__(self) -> int:
+        return self.rows.shape[0]
+
+    def __iter__(self) -> "Iterator[int]":
+        return iter(range(self.rows.shape[0]))
+
+    def __contains__(self, u: Any) -> bool:
+        return isinstance(u, (int, np.integer)) and 0 <= u < len(self)
+
+    def keys(self) -> range:
+        return range(self.rows.shape[0])
+
+    def items(self):
+        for u in range(self.rows.shape[0]):
+            yield u, tuple(self.rows[u])
+
+    def values(self):
+        for u in range(self.rows.shape[0]):
+            yield tuple(self.rows[u])
+
+    # -- array surface (what the dense fast paths use) -----------------
+    @property
+    def width(self) -> int:
+        return self.rows.shape[1]
+
+    def column(self, j: int) -> np.ndarray:
+        """One state component for all nodes (a view — copy to keep)."""
+        return self.rows[:, j]
+
+    def scatter(self, keys: np.ndarray, values: np.ndarray) -> "DenseKVState":
+        """New state with ``rows[keys] = values`` (the round's updates).
+
+        The columnar reduce emits one row per touched key; untouched
+        nodes carry their previous row forward — exactly the dict
+        path's ``dict(prev).update(output)``.
+        """
+        out = self.rows.copy()
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.ndim == 1:
+            vals = vals[:, None]
+        out[np.asarray(keys, dtype=np.int64)] = vals
+        return DenseKVState(out)
+
+    def scatter_pairs(self, pairs: "list[tuple]") -> "DenseKVState":
+        """:meth:`scatter` from object-path ``(key, row_tuple)`` output.
+
+        Keeps the object path available as the oracle even when the
+        spec runs with dense state (``conf.columnar=False`` runs land
+        here).
+        """
+        if not pairs:
+            return DenseKVState(self.rows.copy())
+        keys = np.fromiter((k for k, _ in pairs), dtype=np.int64,
+                           count=len(pairs))
+        vals = np.array([v for _, v in pairs], dtype=np.float64)
+        return self.scatter(keys, vals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DenseKVState(n={len(self)}, width={self.width})"

@@ -14,10 +14,18 @@ from repro.engine.columnar import (
     ColumnarBlock,
     ColumnarGroups,
     ColumnarReduce,
+    StringDictionary,
     combine_columnar,
     group_columnar,
     hash_buckets,
     route_columnar,
+    route_combine_columnar,
+)
+from repro.engine.shm import (
+    SegmentRegistry,
+    ShmBlockRef,
+    ShmGroupsRef,
+    ShmPickleRef,
 )
 from repro.engine.counters import Counters
 from repro.engine.faults import FaultPlan, SimulatedTaskFailure
@@ -39,10 +47,16 @@ __all__ = [
     "ColumnarBlock",
     "ColumnarGroups",
     "ColumnarReduce",
+    "StringDictionary",
     "combine_columnar",
     "group_columnar",
     "hash_buckets",
     "route_columnar",
+    "route_combine_columnar",
+    "SegmentRegistry",
+    "ShmBlockRef",
+    "ShmGroupsRef",
+    "ShmPickleRef",
     "Job",
     "JobConf",
     "JobResult",

@@ -13,14 +13,22 @@ shuffle can run on NumPy instead:
   rows).  Byte accounting is dtype itemsize math (``arr.nbytes``),
   which coincides exactly with :func:`~repro.cluster.dfs.estimate_nbytes`'s
   8-bytes-per-number estimate for the materialised pairs.
+* :class:`StringDictionary` — interning table that dictionary-encodes
+  string keys as dense int64 ids, so wordcount-style jobs ride the same
+  vectorised shuffle; the reverse table travels with the block and byte
+  accounting stays the object path's utf-8 length per key.
 * :func:`route_columnar` — vectorised partition routing: one FNV-1a
   hash sweep (:func:`hash_buckets`, bit-identical to
   :class:`~repro.engine.partitioner.HashPartitioner`), a stable argsort
   and bincount-derived slices instead of a per-pair append loop.
-* :func:`combine_columnar` — the map-side combiner (the paper's partial
-  aggregation lever, §V-B): sort-based grouping plus a segmented
-  ``ufunc.reduceat``, so pre-aggregatable apps ship one value per key
-  per partition across the shuffle.
+* :func:`route_combine_columnar` — the fused map tail: ONE stable
+  lexsort by (bucket, key) yields both the per-reducer slices and the
+  per-key segments, so the map-side combiner (the paper's partial
+  aggregation lever, §V-B) costs one sort instead of the three the
+  separate combine-then-route spelling paid.
+* :func:`combine_columnar` — standalone map-side combine (sort-based
+  grouping plus a segmented ``ufunc.reduceat``), kept for direct
+  callers and as the unfused oracle.
 * :class:`ColumnarGroups` — reduce-side grouping by ``np.argsort`` +
   ``np.unique`` index slices instead of dict-of-lists; aggregates with
   the same segmented primitive and can materialise the exact
@@ -42,20 +50,28 @@ just approximately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.engine.partitioner import HashPartitioner, _FNV_OFFSET, _FNV_PRIME
+from repro.engine.partitioner import (
+    HashPartitioner,
+    _FNV_OFFSET,
+    _FNV_PRIME,
+    stable_hash,
+)
 
 __all__ = [
     "ColumnarBlock",
     "ColumnarGroups",
     "ColumnarReduce",
+    "MergeScratch",
+    "StringDictionary",
     "AGG_UFUNCS",
     "hash_buckets",
     "route_columnar",
+    "route_combine_columnar",
     "combine_columnar",
     "group_columnar",
     "segment_aggregate",
@@ -72,6 +88,31 @@ AGG_UFUNCS: "dict[str, np.ufunc]" = {
     "max": np.maximum,
 }
 
+#: Sort kind for every grouping/routing sort, hoisted to one constant:
+#: stability is load-bearing (it preserves emission order inside every
+#: bucket and key group, the object path's append order), so no call
+#: site re-decides it per batch.
+_SORT_KIND = "stable"
+
+#: Reused ascending-index scratch (see :func:`_arange`).
+_ARANGE_SCRATCH = np.empty(0, dtype=np.int64)
+
+
+def _arange(n: int) -> np.ndarray:
+    """A read-only view of ``arange(n)`` from a growing shared scratch.
+
+    Group layouts need an identity output permutation every round; the
+    scratch amortises that allocation across rounds.  Callers only ever
+    index with the result, never write through it.  Thread-safe by
+    immutability: a racing grow swaps in a fresh array while earlier
+    slices keep their (static) contents.
+    """
+    global _ARANGE_SCRATCH
+    if len(_ARANGE_SCRATCH) < n:
+        _ARANGE_SCRATCH = np.arange(max(n, 2 * len(_ARANGE_SCRATCH)),
+                                    dtype=np.int64)
+    return _ARANGE_SCRATCH[:n]
+
 
 def resolve_agg(agg: str) -> np.ufunc:
     """Look up a named aggregation; raises ``ValueError`` on unknowns."""
@@ -83,6 +124,132 @@ def resolve_agg(agg: str) -> np.ufunc:
         ) from None
 
 
+class StringDictionary:
+    """Interning table: string keys <-> dense int64 dictionary ids.
+
+    Dictionary encoding is what makes string-keyed jobs (wordcount and
+    friends) columnar-eligible: records carry int64 ids through every
+    vectorised routing/grouping op while the reverse table rides along
+    as block metadata.  Parity with the object path is preserved at the
+    two places the key *representation* leaks out:
+
+    * routing — :meth:`buckets` hashes the decoded word with
+      :func:`~repro.engine.partitioner.stable_hash` (cached per vocab
+      entry, applied per record with one fancy-index gather), so every
+      record lands in the same reducer the object path's
+      ``HashPartitioner(word, R)`` picks;
+    * byte accounting — :meth:`utf8_nbytes` charges the utf-8 length of
+      the decoded word per record, exactly
+      :func:`~repro.cluster.dfs.estimate_nbytes` on the materialised
+      pair.
+
+    Ids are assigned in interning order, so a dictionary built while
+    scanning emissions gives first-emission id order — the object
+    path's dict-insertion order, which the group-ordering contract
+    relies on.
+    """
+
+    __slots__ = ("_ids", "_words", "_hash", "_utf8")
+
+    def __init__(self, words: "Iterable[str]" = ()) -> None:
+        self._ids: "dict[str, int]" = {}
+        self._words: "list[str]" = []
+        #: Cached per-vocab-entry stable_hash / utf-8 length arrays.
+        self._hash: "np.ndarray | None" = None
+        self._utf8: "np.ndarray | None" = None
+        for w in words:
+            self.intern(w)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    @property
+    def words(self) -> "list[str]":
+        """The vocabulary, indexed by id (do not mutate)."""
+        return self._words
+
+    def intern(self, word: str) -> int:
+        """Return ``word``'s id, assigning the next dense id if new."""
+        if not isinstance(word, str):
+            raise TypeError(
+                f"dictionary keys must be str, got {type(word).__name__}")
+        wid = self._ids.get(word)
+        if wid is None:
+            wid = len(self._words)
+            self._ids[word] = wid
+            self._words.append(word)
+            self._hash = None
+            self._utf8 = None
+        return wid
+
+    def encode(self, words: "Iterable[str]") -> np.ndarray:
+        """Intern a sequence of words into an int64 id array."""
+        return np.fromiter((self.intern(w) for w in words), dtype=np.int64)
+
+    def decode(self, ids: np.ndarray) -> "list[str]":
+        """Materialise words for an id array (the oracle direction)."""
+        words = self._words
+        return [words[i] for i in ids.tolist()]
+
+    def word(self, wid: int) -> str:
+        return self._words[wid]
+
+    def _hash_table(self) -> np.ndarray:
+        if self._hash is None or len(self._hash) != len(self._words):
+            self._hash = np.fromiter(
+                (stable_hash(w) for w in self._words),
+                dtype=np.uint64, count=len(self._words))
+        return self._hash
+
+    def _utf8_table(self) -> np.ndarray:
+        if self._utf8 is None or len(self._utf8) != len(self._words):
+            self._utf8 = np.fromiter(
+                (len(w.encode("utf-8")) for w in self._words),
+                dtype=np.int64, count=len(self._words))
+        return self._utf8
+
+    def buckets(self, ids: np.ndarray, num_reducers: int) -> np.ndarray:
+        """Reducer of every record: ``stable_hash(word) % R``, vectorised."""
+        if num_reducers <= 0:
+            raise ValueError("num_reducers must be > 0")
+        return (self._hash_table()[ids]
+                % np.uint64(num_reducers)).astype(np.int64)
+
+    def utf8_nbytes(self, ids: np.ndarray) -> int:
+        """Total utf-8 bytes of the decoded keys (byte-accounting parity)."""
+        if len(ids) == 0:
+            return 0
+        return int(self._utf8_table()[ids].sum())
+
+    def sort_order(self, ids: np.ndarray) -> np.ndarray:
+        """Permutation ordering ``ids`` by their decoded words.
+
+        NumPy's unicode comparison and Python's ``str`` comparison are
+        both code-point order, so this matches the object path's
+        ``sorted(table)`` over string keys exactly.
+        """
+        if len(ids) == 0:
+            return _arange(0)
+        words = np.array([self._words[i] for i in ids.tolist()])
+        return np.argsort(words, kind=_SORT_KIND)
+
+    def remap_from(self, other: "StringDictionary") -> np.ndarray:
+        """Intern ``other``'s vocabulary; returns old-id -> new-id map."""
+        return np.fromiter((self.intern(w) for w in other._words),
+                           dtype=np.int64, count=len(other._words))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StringDictionary(vocab={len(self)})"
+
+
+def _is_string_keys(keys: np.ndarray) -> bool:
+    """True for arrays the dictionary encoder should intern."""
+    if keys.dtype.kind in ("U", "S"):
+        return True
+    return bool(keys.dtype == object and keys.size
+                and all(isinstance(k, str) for k in keys.flat))
+
+
 class ColumnarBlock:
     """A typed batch of (key, value) records.
 
@@ -90,18 +257,28 @@ class ColumnarBlock:
     ``(n, w)`` row matrix for multi-column values (e.g. PageRank's
     ``(rank, contribution)`` rows).  Inputs are coerced/validated once at
     construction so every later operation is a plain array op.
+
+    String keys are accepted too: they are dictionary-encoded on entry
+    (or looked up in a caller-provided :class:`StringDictionary`), so
+    ``keys`` always holds int64 ids and ``dictionary`` the reverse
+    table (``None`` for plain integer keys).
     """
 
-    __slots__ = ("keys", "values")
+    __slots__ = ("keys", "values", "dictionary")
 
-    def __init__(self, keys: Any, values: Any) -> None:
+    def __init__(self, keys: Any, values: Any,
+                 dictionary: "StringDictionary | None" = None) -> None:
         keys = np.asarray(keys)
-        if keys.dtype == object or not (
+        if _is_string_keys(keys):
+            if dictionary is None:
+                dictionary = StringDictionary()
+            keys = dictionary.encode(keys.tolist())
+        elif keys.dtype == object or not (
                 keys.size == 0 or np.issubdtype(keys.dtype, np.integer)):
             # A forced int64 cast would silently truncate float keys,
             # merging records the object path keeps distinct.
             raise TypeError(
-                f"keys must be integers, got dtype {keys.dtype}")
+                f"keys must be integers or strings, got dtype {keys.dtype}")
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         if keys.ndim != 1:
@@ -112,8 +289,12 @@ class ColumnarBlock:
         if values.shape[0] != keys.shape[0]:
             raise ValueError(
                 f"{keys.shape[0]} keys but {values.shape[0]} value rows")
+        if dictionary is not None and keys.size and (
+                keys.min() < 0 or keys.max() >= len(dictionary)):
+            raise ValueError("dictionary id out of range for vocabulary")
         self.keys = keys
         self.values = values
+        self.dictionary = dictionary
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -127,20 +308,32 @@ class ColumnarBlock:
     def nbytes(self) -> int:
         """Shuffle bytes of this batch, from dtype itemsize math.
 
-        Equals ``shuffle_bytes`` over the materialised pairs (8 bytes
-        per key + 8 per value number), with no per-object traversal.
+        Equals ``shuffle_bytes`` over the materialised pairs: 8 bytes
+        per key + 8 per value number for integer keys, the utf-8 length
+        per decoded key for dictionary-encoded string keys — with no
+        per-object traversal.
         """
+        if self.dictionary is not None:
+            return int(self.dictionary.utf8_nbytes(self.keys)
+                       + self.values.nbytes)
         return int(self.keys.nbytes + self.values.nbytes)
 
     @classmethod
-    def empty(cls, width: int = 1) -> "ColumnarBlock":
+    def empty(cls, width: int = 1,
+              dictionary: "StringDictionary | None" = None) -> "ColumnarBlock":
         shape = (0,) if width == 1 else (0, width)
         return cls(np.empty(0, dtype=np.int64),
-                   np.empty(shape, dtype=np.float64))
+                   np.empty(shape, dtype=np.float64), dictionary)
 
     @classmethod
     def concat(cls, blocks: "Sequence[ColumnarBlock]") -> "ColumnarBlock":
-        """Concatenate batches in order (emission / map-index order)."""
+        """Concatenate batches in order (emission / map-index order).
+
+        Dictionary-encoded batches merge their vocabularies in block
+        order — later blocks' ids are remapped into the merged table,
+        so first-emission id order is preserved across the whole
+        concatenation (the object path's dict-insertion order).
+        """
         blocks = list(blocks)
         if not blocks:
             return cls.empty()
@@ -150,23 +343,43 @@ class ColumnarBlock:
         if len(widths) > 1:
             raise ValueError(
                 f"cannot concat blocks of mixed value widths {sorted(widths)}")
+        dicts = [b.dictionary for b in blocks]
+        if any(d is not None for d in dicts):
+            if any(d is None for d in dicts):
+                raise ValueError(
+                    "cannot concat dictionary-encoded and plain integer "
+                    "key blocks")
+            merged = StringDictionary()
+            keys = [merged.remap_from(b.dictionary)[b.keys] for b in blocks]
+            return cls(np.concatenate(keys),
+                       np.concatenate([b.values for b in blocks], axis=0),
+                       merged)
         return cls(np.concatenate([b.keys for b in blocks]),
                    np.concatenate([b.values for b in blocks], axis=0))
 
-    def to_pairs(self) -> "list[tuple[int, Any]]":
+    def key_objects(self) -> list:
+        """Keys as object-path Python keys (ints, or decoded words)."""
+        if self.dictionary is not None:
+            return self.dictionary.decode(self.keys)
+        return self.keys.tolist()
+
+    def to_pairs(self) -> "list[tuple[Any, Any]]":
         """Materialise the batch as object-path pairs.
 
-        The oracle contract: ``(int key, float value)`` for flat values,
-        ``(int key, (float, ...) tuple)`` for rows — exactly what an
-        object-path map emitting the same records would produce.
+        The oracle contract: ``(key, float value)`` for flat values,
+        ``(key, (float, ...) tuple)`` for rows — with int keys for
+        plain blocks and decoded str keys for dictionary-encoded ones —
+        exactly what an object-path map emitting the same records would
+        produce.
         """
-        ks = self.keys.tolist()
+        ks = self.key_objects()
         if self.values.ndim == 1:
             return list(zip(ks, self.values.tolist()))
         return list(zip(ks, map(tuple, self.values.tolist())))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ColumnarBlock(n={len(self)}, width={self.width})"
+        dic = f", vocab={len(self.dictionary)}" if self.dictionary else ""
+        return f"ColumnarBlock(n={len(self)}, width={self.width}{dic})"
 
 
 # ----------------------------------------------------------------------
@@ -203,43 +416,182 @@ def hash_buckets(keys: np.ndarray, num_reducers: int) -> np.ndarray:
     return (h % np.uint64(num_reducers)).astype(np.int64)
 
 
+def _bucket_ids(block: ColumnarBlock, num_reducers: int,
+                partitioner: "Callable[[Any, int], int] | None") -> np.ndarray:
+    """Reducer assignment of every record, matching the object path.
+
+    A (default) :class:`HashPartitioner` routes with one vectorised
+    hash sweep (over decoded-word hashes for dictionary-encoded keys);
+    any other partitioner is honoured through a per-key fallback call
+    on the object-path key (correct, but not the fast path).
+    """
+    # Exact type check: a HashPartitioner subclass may override __call__
+    # and must be honoured through the per-key fallback.
+    if partitioner is None or type(partitioner) is HashPartitioner:
+        if block.dictionary is not None:
+            return block.dictionary.buckets(block.keys, num_reducers)
+        return hash_buckets(block.keys, num_reducers)
+    buckets = np.fromiter(
+        (partitioner(k, num_reducers) for k in block.key_objects()),
+        dtype=np.int64, count=len(block))
+    if len(buckets) and not (0 <= buckets.min()
+                             and buckets.max() < num_reducers):
+        # The object path's buckets[p].append would raise IndexError
+        # for a broken partitioner; match that loudness instead of
+        # silently dropping the out-of-range records.
+        raise IndexError(
+            f"partitioner returned bucket outside [0, {num_reducers})")
+    return buckets
+
+
 def route_columnar(block: ColumnarBlock, num_reducers: int,
                    partitioner: "Callable[[Any, int], int] | None" = None,
                    ) -> "list[ColumnarBlock]":
     """Split one batch into per-reducer sub-batches (vectorised).
 
-    A (default) :class:`HashPartitioner` routes with one vectorised hash
-    sweep; any other partitioner is honoured through a per-key fallback
-    call (correct, but not the fast path).  The stable sort keeps each
-    bucket's records in emission order — the object path's append order.
+    The stable sort keeps each bucket's records in emission order — the
+    object path's append order.  A single-reducer job routes without
+    sorting at all (everything lands in bucket 0, already in order).
     """
     if num_reducers < 1:
         raise ValueError("num_reducers must be >= 1")
-    # Exact type check: a HashPartitioner subclass may override __call__
-    # and must be honoured through the per-key fallback.
-    if partitioner is None or type(partitioner) is HashPartitioner:
-        buckets = hash_buckets(block.keys, num_reducers)
-    else:
-        buckets = np.fromiter(
-            (partitioner(int(k), num_reducers) for k in block.keys),
-            dtype=np.int64, count=len(block))
-        if len(buckets) and not (0 <= buckets.min()
-                                 and buckets.max() < num_reducers):
-            # The object path's buckets[p].append would raise IndexError
-            # for a broken partitioner; match that loudness instead of
-            # silently dropping the out-of-range records.
-            raise IndexError(
-                f"partitioner returned bucket outside [0, {num_reducers})")
-    order = np.argsort(buckets, kind="stable")
+    if num_reducers == 1:
+        return [block]
+    buckets = _bucket_ids(block, num_reducers, partitioner)
+    order = np.argsort(buckets, kind=_SORT_KIND)
     counts = np.bincount(buckets, minlength=num_reducers)
     bounds = np.concatenate([[0], np.cumsum(counts)])
     sk = block.keys[order]
     sv = block.values[order]
     return [
         ColumnarBlock(sk[bounds[r]: bounds[r + 1]],
-                      sv[bounds[r]: bounds[r + 1]])
+                      sv[bounds[r]: bounds[r + 1]], block.dictionary)
         for r in range(num_reducers)
     ]
+
+
+#: Key spans at or below this ride the radix fused combine: NumPy's
+#: stable argsort is an LSD radix sort only for <= 16-bit integer
+#: dtypes (an order of magnitude cheaper than int64 merge sort).
+_RADIX_SPAN = 1 << 16
+
+
+def _radix_combine(
+    block: ColumnarBlock, num_reducers: int, ufunc: np.ufunc,
+    partitioner: "Callable[[Any, int], int] | None",
+) -> "list[ColumnarBlock] | None":
+    """Narrow-key fused combine: radix sort records, hash only uniques.
+
+    A key maps to exactly one bucket, so grouping by *key alone* is
+    enough — no per-record bucket array, no lexsort.  When the key span
+    fits 16 bits (graph node ids, dictionary codes — the bundled
+    columnar workloads), the one record-length sort is a uint16 radix
+    argsort, and everything after it (hashing, bucket clustering,
+    emission ordering) runs over the combined *uniques* only.
+    Aggregation goes through the same :func:`segment_aggregate` as the
+    lexsort path — identical segments, identical floats.
+    """
+    if not (partitioner is None or type(partitioner) is HashPartitioner):
+        return None
+    keys = block.keys
+    n = len(keys)
+    kmin = int(keys.min())
+    if int(keys.max()) - kmin >= _RADIX_SPAN:
+        return None
+    k16 = (keys - kmin if kmin else keys).astype(np.uint16)
+    order = np.argsort(k16, kind=_SORT_KIND)
+    sk = keys[order]
+    seg_new = np.empty(n, dtype=bool)
+    seg_new[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=seg_new[1:])
+    starts = np.flatnonzero(seg_new)
+    rows = segment_aggregate(block.values[order], starts, ufunc)
+    uk = sk[starts]
+    gfirst = order[starts]  # first-emission index of each key (stable sort)
+    if block.dictionary is not None:
+        gbuckets = block.dictionary.buckets(uk, num_reducers)
+    else:
+        gbuckets = hash_buckets(uk, num_reducers)
+    # Emission-order the uniques, then stably cluster by bucket: per
+    # bucket, keys come out in first-emission order — the object
+    # combiner's dict-insertion order restricted to the bucket.  Both
+    # sorts stay radix when their values fit uint16.
+    pe = np.argsort(gfirst.astype(np.uint16) if n <= _RADIX_SPAN
+                    else gfirst, kind=_SORT_KIND)
+    gb = gbuckets.astype(np.uint16) if num_reducers <= _RADIX_SPAN \
+        else gbuckets
+    final = pe[np.argsort(gb[pe], kind=_SORT_KIND)]
+    counts = np.bincount(gbuckets, minlength=num_reducers)
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    sk = uk[final]
+    srows = rows[final]
+    return [
+        ColumnarBlock(sk[bounds[r]:bounds[r + 1]],
+                      srows[bounds[r]:bounds[r + 1]], block.dictionary)
+        for r in range(num_reducers)
+    ]
+
+
+def route_combine_columnar(
+    block: ColumnarBlock, num_reducers: int, agg: str,
+    partitioner: "Callable[[Any, int], int] | None" = None,
+) -> "list[ColumnarBlock]":
+    """Fused route + map-side combine: one sort, per-bucket aggregation.
+
+    The separate ``combine_columnar`` -> ``route_columnar`` spelling
+    pays three stable sorts per batch (group, output order, route);
+    this tail pays ONE ``np.lexsort`` by (bucket, key) — a key maps to
+    exactly one bucket, so the (bucket, key) segments of the sorted
+    layout *are* the key groups, each with its values in emission
+    order.  One segmented ``ufunc.reduceat`` later, each bucket's
+    combined rows come out in first-emission key order — byte-identical
+    to the object path's combine-then-route (dict-insertion order
+    restricted to the bucket) and to the unfused columnar spelling.
+
+    Narrow integer keys (node ids, dictionary codes — span under 2**16)
+    skip the lexsort: a key maps to exactly one bucket, so a single
+    uint16 *radix* argsort by key alone groups the records, and only
+    the combined *uniques* — typically a fraction of the records — are
+    hashed and bucket-ordered.  That makes combining strictly cheaper
+    than plain routing on duplicated-key workloads instead of a
+    sort-cost gamble, while the shared :func:`segment_aggregate` keeps
+    the floats bitwise identical to every other spelling.
+    """
+    if num_reducers < 1:
+        raise ValueError("num_reducers must be >= 1")
+    if len(block) == 0:
+        return ([block] if num_reducers == 1
+                else route_columnar(block, num_reducers, partitioner))
+    ufunc = resolve_agg(agg)
+    if num_reducers == 1:
+        # No routing needed; a plain combine is already the fused tail.
+        return [combine_columnar(block, agg)]
+    narrow = _radix_combine(block, num_reducers, ufunc, partitioner)
+    if narrow is not None:
+        return narrow
+    buckets = _bucket_ids(block, num_reducers, partitioner)
+    # lexsort is stable with the last key primary: (bucket, then key),
+    # emission order within every (bucket, key) run.
+    order = np.lexsort((block.keys, buckets))
+    sk = block.keys[order]
+    sb = buckets[order]
+    seg_new = np.empty(len(sk), dtype=bool)
+    seg_new[0] = True
+    np.logical_or(sk[1:] != sk[:-1], sb[1:] != sb[:-1], out=seg_new[1:])
+    starts = np.flatnonzero(seg_new)
+    rows = segment_aggregate(block.values[order], starts, ufunc)
+    gkeys = sk[starts]
+    gbuckets = sb[starts]
+    gfirst = order[starts]  # original index of each group's first emission
+    counts = np.bincount(gbuckets, minlength=num_reducers)
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    out: "list[ColumnarBlock]" = []
+    for r in range(num_reducers):
+        lo, hi = bounds[r], bounds[r + 1]
+        perm = np.argsort(gfirst[lo:hi], kind=_SORT_KIND)
+        out.append(ColumnarBlock(gkeys[lo:hi][perm], rows[lo:hi][perm],
+                                 block.dictionary))
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -275,12 +627,12 @@ def _group_layout(keys: np.ndarray, sort_keys: bool
     key when ``sort_keys``, else first-emission order (the object
     path's dict insertion order).
     """
-    order = np.argsort(keys, kind="stable")
+    order = np.argsort(keys, kind=_SORT_KIND)
     uk, starts = np.unique(keys[order], return_index=True)
     if sort_keys or len(uk) == 0:
-        out_order = np.arange(len(uk))
+        out_order = _arange(len(uk))
     else:
-        out_order = np.argsort(order[starts], kind="stable")
+        out_order = np.argsort(order[starts], kind=_SORT_KIND)
     return order, uk, starts, out_order
 
 
@@ -296,7 +648,7 @@ def combine_columnar(block: ColumnarBlock, agg: str) -> ColumnarBlock:
     ufunc = resolve_agg(agg)
     order, uk, starts, out_order = _group_layout(block.keys, sort_keys=False)
     rows = segment_aggregate(block.values[order], starts, ufunc)
-    return ColumnarBlock(uk[out_order], rows[out_order])
+    return ColumnarBlock(uk[out_order], rows[out_order], block.dictionary)
 
 
 # ----------------------------------------------------------------------
@@ -322,6 +674,8 @@ class ColumnarGroups:
     counts: np.ndarray
     #: Output permutation over groups (identity when keys are sorted).
     order: np.ndarray
+    #: Reverse table for dictionary-encoded string keys (else None).
+    dictionary: "StringDictionary | None" = field(default=None)
 
     @property
     def num_groups(self) -> int:
@@ -338,20 +692,25 @@ class ColumnarGroups:
     def aggregate(self, agg: str) -> "tuple[np.ndarray, np.ndarray]":
         """Reduce every group with a named aggregation (vectorised).
 
-        Returns ``(keys, rows)`` in output group order.
+        Returns ``(keys, rows)`` in output group order (keys are
+        dictionary ids when :attr:`dictionary` is set).
         """
         ufunc = resolve_agg(agg)
         rows = segment_aggregate(self.values, self.starts, ufunc)
         return self.keys[self.order], rows[self.order]
 
-    def to_pairs(self) -> "list[tuple[int, list]]":
+    def to_pairs(self) -> "list[tuple[Any, list]]":
         """Materialise the object-path ``groups()[r]`` structure.
 
         Byte-identical to feeding the same logical pairs through the
         object :class:`~repro.engine.shuffle.ShuffleBuffer`: same key
-        order, same value order, same Python types.
+        order, same value order, same Python types (decoded words for
+        dictionary-encoded keys).
         """
-        keys = self.keys.tolist()
+        if self.dictionary is not None:
+            keys: list = self.dictionary.decode(self.keys)
+        else:
+            keys = self.keys.tolist()
         starts = self.starts.tolist()
         counts = self.counts.tolist()
         if self.values.ndim == 1:
@@ -367,14 +726,84 @@ class ColumnarGroups:
         ]
 
 
+class MergeScratch:
+    """Reusable concat buffers for the columnar shuffle merge.
+
+    Sealing a columnar shuffle concatenates every reducer's blocks into
+    one transient batch that only lives until its sorted copies are
+    taken; an iterative driver pays that allocation R times per round.
+    One scratch (owned by the runtime, one sealing thread at a time)
+    recycles the buffers across reducers and rounds.  The grouped
+    output never aliases the scratch — sorting fancy-indexes fresh
+    arrays out of it.
+    """
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self) -> None:
+        self._keys = np.empty(0, dtype=np.int64)
+        self._values: "dict[int, np.ndarray]" = {}
+
+    def _keys_buf(self, n: int) -> np.ndarray:
+        if len(self._keys) < n:
+            self._keys = np.empty(max(n, 2 * len(self._keys)),
+                                  dtype=np.int64)
+        return self._keys[:n]
+
+    def _values_buf(self, n: int, width: int) -> np.ndarray:
+        buf = self._values.get(width)
+        if buf is None or buf.shape[0] < n:
+            rows = max(n, 2 * buf.shape[0] if buf is not None else n)
+            shape = (rows,) if width == 1 else (rows, width)
+            buf = np.empty(shape, dtype=np.float64)
+            self._values[width] = buf
+        return buf[:n]
+
+    def concat(self, blocks: "list[ColumnarBlock]") -> ColumnarBlock:
+        """``ColumnarBlock.concat`` into reused buffers (plain-int keys)."""
+        n = sum(len(b) for b in blocks)
+        width = blocks[0].width
+        keys = self._keys_buf(n)
+        values = self._values_buf(n, width)
+        at = 0
+        for b in blocks:
+            stop = at + len(b)
+            keys[at:stop] = b.keys
+            values[at:stop] = b.values
+            at = stop
+        return ColumnarBlock(keys, values)
+
+
+def _merge_blocks(blocks: "Sequence[ColumnarBlock]",
+                  scratch: "MergeScratch | None") -> ColumnarBlock:
+    blocks = list(blocks)
+    if (scratch is None or len(blocks) < 2
+            or any(b.dictionary is not None for b in blocks)
+            or len({b.width for b in blocks}) != 1):
+        return ColumnarBlock.concat(blocks)
+    return scratch.concat(blocks)
+
+
 def group_columnar(blocks: "Sequence[ColumnarBlock]", *,
-                   sort_keys: bool = True) -> ColumnarGroups:
-    """Group one reducer's blocks (in map-task order) by key."""
-    merged = ColumnarBlock.concat(blocks)
-    order, uk, starts, out_order = _group_layout(merged.keys, sort_keys)
+                   sort_keys: bool = True,
+                   scratch: "MergeScratch | None" = None) -> ColumnarGroups:
+    """Group one reducer's blocks (in map-task order) by key.
+
+    Dictionary-encoded keys group by id (bijective with the words) but
+    honour ``sort_keys`` in *decoded word* order — the object path's
+    ``sorted(table)`` over string keys.  ``scratch`` recycles the
+    transient concat buffers across calls (single owner thread).
+    """
+    merged = _merge_blocks(blocks, scratch)
+    dic = merged.dictionary
+    order, uk, starts, out_order = _group_layout(
+        merged.keys, sort_keys and dic is None)
+    if sort_keys and dic is not None and len(uk):
+        out_order = dic.sort_order(uk)
     counts = np.diff(np.append(starts, len(merged)))
     return ColumnarGroups(keys=uk, values=merged.values[order],
-                          starts=starts, counts=counts, order=out_order)
+                          starts=starts, counts=counts, order=out_order,
+                          dictionary=dic)
 
 
 # ----------------------------------------------------------------------

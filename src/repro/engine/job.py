@@ -57,6 +57,12 @@ class JobConf:
     #: equivalence tests compare against.  Output is byte-identical
     #: either way.
     columnar: bool = True
+    #: Minimum records per map batch before a *named* combiner runs —
+    #: below it the grouping sort costs more than the bytes it saves,
+    #: so the combine is skipped outright.  Applied identically on the
+    #: columnar and object paths (callable combiners always run), so
+    #: output stays byte-identical.  0 forces combining at any size.
+    combine_crossover: int = 64
     #: Lint the job's user functions (:mod:`repro.analysis`) before any
     #: task runs: ``"off"`` (default) skips the check, ``"warn"`` emits
     #: a :class:`~repro.analysis.LintWarning` per finding, ``"strict"``
@@ -68,6 +74,8 @@ class JobConf:
     def __post_init__(self) -> None:
         if self.num_reducers < 1:
             raise ValueError("num_reducers must be >= 1")
+        if self.combine_crossover < 0:
+            raise ValueError("combine_crossover must be >= 0")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.lint not in ("off", "warn", "strict"):

@@ -46,10 +46,17 @@ import concurrent.futures
 from typing import Any, Callable, Sequence
 
 from repro.cluster import SimCluster
-from repro.engine.columnar import ColumnarBlock
+from repro.engine.columnar import ColumnarBlock, MergeScratch
 from repro.engine.counters import Counters, SHUFFLE_BYTES, TASK_RETRIES
 from repro.engine.faults import FaultPlan, SimulatedTaskFailure
 from repro.engine.job import Job
+from repro.engine.shm import (
+    SHM_MIN_BYTES,
+    SegmentRegistry,
+    ShmBlockRef,
+    export_groups,
+    export_pickled,
+)
 from repro.engine.shuffle import ShuffleBuffer
 from repro.engine.task import TaskResult, run_map_task, run_reduce_task
 
@@ -122,6 +129,15 @@ class MapReduceRuntime:
         Keep one persistent worker pool for the runtime's lifetime
         (default).  ``False`` re-creates the pool for every batch — the
         pre-streaming behaviour, kept for churn benchmarks.
+    shm_transport:
+        Ship large columnar payloads through named shared-memory
+        segments instead of pickling them through the result pipe (see
+        :mod:`repro.engine.shm`).  Defaults to on for the
+        ``"processes"`` executor and off otherwise (serial and thread
+        workers share the driver's address space already).
+    shm_min_bytes:
+        Minimum payload bytes before a block rides shared memory;
+        smaller blocks stay on the pickle path.
     """
 
     def __init__(
@@ -132,16 +148,31 @@ class MapReduceRuntime:
         cluster: "SimCluster | None" = None,
         fault_plan: "FaultPlan | None" = None,
         reuse_pool: bool = True,
+        shm_transport: "bool | None" = None,
+        shm_min_bytes: int = SHM_MIN_BYTES,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
+        if shm_min_bytes < 0:
+            raise ValueError("shm_min_bytes must be >= 0")
         self.executor = executor
         self.workers = workers
         self.cluster = cluster
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.none()
         self.reuse_pool = bool(reuse_pool)
+        self.shm_transport = (executor == "processes" if shm_transport is None
+                              else bool(shm_transport))
+        self.shm_min_bytes = int(shm_min_bytes)
+        #: Driver-side ledger of live shared-memory segments (see
+        #: :class:`~repro.engine.shm.SegmentRegistry`): reduce-input
+        #: segments are registered here and unlinked in ``run``'s
+        #: ``finally`` — and, as a backstop, on :meth:`close`/``__del__``.
+        self.segments = SegmentRegistry()
+        #: Reused concat buffers for the columnar shuffle seal (one
+        #: sealing thread per runtime; run() is not reentrant).
+        self._merge_scratch = MergeScratch()
         self._pool: "concurrent.futures.Executor | None" = None
 
     # ------------------------------------------------------------------
@@ -156,10 +187,13 @@ class MapReduceRuntime:
         """Shut down the persistent worker pool and join its workers.
 
         Idempotent; a later :meth:`run` lazily re-creates the pool.
+        Also unlinks any shared-memory segments still registered (none
+        after a cleanly completed job).
         """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self.segments.release_all()
 
     def __enter__(self) -> "MapReduceRuntime":
         return self
@@ -234,7 +268,26 @@ class MapReduceRuntime:
         splits = [list(s) for s in splits]
         counters = Counters()
         buffer = ShuffleBuffer(len(splits), conf.num_reducers,
-                               sort_keys=conf.sort_keys)
+                               sort_keys=conf.sort_keys,
+                               merge_scratch=self._merge_scratch)
+        # Shared-memory transport: large columnar payloads ride named
+        # segments; only refs (names + metadata) cross the result pipe.
+        shm = self.shm_transport and conf.columnar
+        shm_threshold = self.shm_min_bytes if shm else None
+        shm_prefix = self.segments.new_prefix() if shm else None
+        # Ship fat job functions once per run, not once per task: the
+        # pool re-pickles every submission's args, and a map callable
+        # closing over per-partition arrays multiplies that by rounds.
+        map_fn, reduce_fn = job.map_fn, job.reduce_fn
+        if shm:
+            map_fn = export_pickled(job.map_fn, f"{shm_prefix}f",
+                                    self.shm_min_bytes)
+            if map_fn is not job.map_fn:
+                self.segments.adopt(f"{shm_prefix}f")
+            reduce_fn = export_pickled(job.reduce_fn, f"{shm_prefix}rf",
+                                       self.shm_min_bytes)
+            if reduce_fn is not job.reduce_fn:
+                self.segments.adopt(f"{shm_prefix}rf")
         # Event-driven pipeline only helps when there is a pool to keep
         # busy; the serial executor runs the classic batch loop either way.
         run_phase = (
@@ -243,56 +296,94 @@ class MapReduceRuntime:
             else self._run_tasks
         )
 
-        map_results = run_phase(
-            phase="map",
-            count=len(splits),
-            make_args=lambda i, attempt: (
-                i, attempt, splits[i], job.map_fn, job.combine_fn,
-                job.partitioner, conf.num_reducers, self.fault_plan,
-                conf.columnar,
-            ),
-            runner=run_map_task,
-            max_attempts=conf.max_attempts,
-            counters=counters,
-            consume=lambda i, res: buffer.add(i, res.data),
-        )
-        for res in map_results:
-            counters.merge(res.counters)
+        def consume_map(i: int, res: TaskResult) -> None:
+            if shm:
+                # take() copies the bucket out of its segment and
+                # unlinks it — each map output is consumed exactly once.
+                res.data = [b.take() if isinstance(b, ShmBlockRef) else b
+                            for b in res.data]
+            buffer.add(i, res.data)
 
-        sbytes = sum(res.nbytes for res in map_results)
-        counters.incr(SHUFFLE_BYTES, sbytes)
-        # Columnar shuffles hand reducers grouped arrays (declarative
-        # reduces run vectorised; callable reduces materialise the exact
-        # object groups worker-side).  Object shuffles group as before.
-        grouped = (buffer.columnar_groups() if buffer.columnar
-                   else buffer.groups())
+        try:
+            map_results = run_phase(
+                phase="map",
+                count=len(splits),
+                make_args=lambda i, attempt: (
+                    i, attempt, splits[i], map_fn, job.combine_fn,
+                    job.partitioner, conf.num_reducers, self.fault_plan,
+                    conf.columnar, conf.combine_crossover, shm_threshold,
+                    shm_prefix,
+                ),
+                runner=run_map_task,
+                max_attempts=conf.max_attempts,
+                counters=counters,
+                consume=consume_map,
+            )
+            for res in map_results:
+                counters.merge(res.counters)
 
-        reduce_results = run_phase(
-            phase="reduce",
-            count=conf.num_reducers,
-            make_args=lambda i, attempt: (
-                i, attempt, grouped[i], job.reduce_fn, self.fault_plan,
-                self.cluster is not None,  # output bytes feed the charges
-            ),
-            runner=run_reduce_task,
-            max_attempts=conf.max_attempts,
-            counters=counters,
-        )
-        output: "list | None" = None
-        columnar_output: "ColumnarBlock | None" = None
-        out_nbytes = 0
-        out_blocks: "list[ColumnarBlock]" = []
-        for res in reduce_results:
-            counters.merge(res.counters)
-            out_nbytes += res.nbytes
-            if isinstance(res.data, ColumnarBlock):
-                out_blocks.append(res.data)
-        if len(out_blocks) == len(reduce_results) and reduce_results:
-            columnar_output = ColumnarBlock.concat(out_blocks)
-        else:
-            output = []
+            sbytes = sum(res.nbytes for res in map_results)
+            counters.incr(SHUFFLE_BYTES, sbytes)
+            # Columnar shuffles hand reducers grouped arrays (declarative
+            # reduces run vectorised; callable reduces materialise the exact
+            # object groups worker-side).  Object shuffles group as before.
+            grouped = (buffer.columnar_groups() if buffer.columnar
+                       else buffer.groups())
+            if shm and buffer.columnar:
+                # Reduce inputs must survive task retries, so their
+                # segments are driver-owned: registered here, unlinked
+                # in the finally below once the phase is over.
+                exported = []
+                for r, g in enumerate(grouped):
+                    ref = export_groups(g, f"{shm_prefix}g{r}",
+                                        self.shm_min_bytes)
+                    if ref is not g:
+                        self.segments.adopt(ref.name)
+                    exported.append(ref)
+                grouped = exported
+
+            reduce_results = run_phase(
+                phase="reduce",
+                count=conf.num_reducers,
+                make_args=lambda i, attempt: (
+                    i, attempt, grouped[i], reduce_fn, self.fault_plan,
+                    self.cluster is not None,  # output bytes feed the charges
+                    shm_threshold, shm_prefix,
+                ),
+                runner=run_reduce_task,
+                max_attempts=conf.max_attempts,
+                counters=counters,
+            )
+            output: "list | None" = None
+            columnar_output: "ColumnarBlock | None" = None
+            out_nbytes = 0
+            out_blocks: "list[ColumnarBlock]" = []
             for res in reduce_results:
-                output.extend(res.data)
+                counters.merge(res.counters)
+                out_nbytes += res.nbytes
+                if isinstance(res.data, ShmBlockRef):
+                    res.data = res.data.take()
+                if isinstance(res.data, ColumnarBlock):
+                    out_blocks.append(res.data)
+            if len(out_blocks) == len(reduce_results) and reduce_results:
+                columnar_output = ColumnarBlock.concat(out_blocks)
+            else:
+                output = []
+                for res in reduce_results:
+                    output.extend(res.data)
+        except BaseException:
+            if shm:
+                # Abort path: completed-but-unconsumed sibling tasks may
+                # have parked segments whose refs never reached us; the
+                # deterministic name sweep reclaims every segment this
+                # job could possibly have created.
+                self.segments.sweep(shm_prefix, num_maps=len(splits),
+                                    num_reducers=conf.num_reducers,
+                                    max_attempts=conf.max_attempts)
+            raise
+        finally:
+            if shm:
+                self.segments.release_all()
 
         sim_times = self._account(job, map_results, reduce_results, sbytes,
                                   out_nbytes, accountant=accountant)

@@ -1,0 +1,346 @@
+"""Shared-memory columnar transport for the process executor.
+
+The process pool's default transport pickles every task result through
+a pipe — for a columnar job that means serialising, chunking, copying
+and deserialising megabytes of ``ColumnarBlock`` arrays per round.
+This module replaces the array payload with a POSIX shared-memory
+segment: the producer writes the raw buffers once into a named segment
+and ships only the *name plus dtype/shape metadata* (a tiny pickle);
+the consumer attaches by name, copies the arrays straight out of the
+mapping, and closes it.  One memcpy per side, zero pipe traffic for
+the data.
+
+Ownership is driver-side and explicit:
+
+* Worker-created segments (map buckets, reduce outputs) are
+  ``resource_tracker``-unregistered immediately, so a pooled worker's
+  exit never unlinks a segment the driver still needs; the driver
+  unlinks each segment the moment it consumes the ref
+  (:meth:`_ShmRef.take`).
+* Driver-created segments (reduce-task inputs, which outlive the whole
+  reduce phase including retries) are recorded in a
+  :class:`SegmentRegistry` owned by the runtime and released in the
+  job's ``finally`` / ``runtime.close()`` / ``__del__``.
+* Names are deterministic (``{prefix}m{i}a{a}p{r}`` / ``{prefix}g{r}``
+  / ``{prefix}r{i}a{a}`` / ``{prefix}f``), so an aborted job can sweep
+  every segment
+  any task *might* have created — nothing leaks even when a crash
+  leaves completed-but-unconsumed results behind.
+
+Everything here is fork- and spawn-safe: refs carry only names and
+metadata, and attaching is by name.  Blocks below
+:data:`SHM_MIN_BYTES` stay on the pickle path — for tiny payloads the
+segment round trip (two syscalls + mmap) costs more than it saves.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import uuid
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.engine.columnar import ColumnarBlock, ColumnarGroups
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "ShmBlockRef",
+    "ShmGroupsRef",
+    "ShmPickleRef",
+    "SegmentRegistry",
+    "export_block",
+    "export_groups",
+    "export_pickled",
+]
+
+#: Default minimum payload (bytes) before a block rides shared memory.
+SHM_MIN_BYTES = 64 * 1024
+
+
+def _untrack(shm: "shared_memory.SharedMemory") -> None:
+    """Opt this process's resource tracker out of owning ``shm``.
+
+    Lifetime is managed explicitly by the driver's registry / take();
+    the tracker's at-exit unlink would otherwise destroy (or warn
+    about) segments another process still owns.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker impl details vary
+        pass
+
+
+def _align(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _write_segment(name: str, arrays: "list[np.ndarray]") -> "list[tuple]":
+    """Create segment ``name``, copy ``arrays`` in back to back.
+
+    Returns the per-array ``(shape, dtype_str, offset)`` specs.  The
+    local mapping is closed before returning — the creator keeps no
+    handle; consumers re-attach by name.
+    """
+    specs: "list[tuple]" = []
+    offset = 0
+    for arr in arrays:
+        specs.append((arr.shape, arr.dtype.str, offset))
+        offset = _align(offset + arr.nbytes)
+    shm = shared_memory.SharedMemory(create=True, name=name,
+                                     size=max(offset, 1))
+    _untrack(shm)
+    try:
+        for arr, (shape, dtype, off) in zip(arrays, specs):
+            if arr.nbytes:
+                dst = np.ndarray(shape, dtype=dtype, buffer=shm.buf,
+                                 offset=off)
+                dst[...] = arr
+    finally:
+        shm.close()
+    return specs
+
+
+def _read_segment(name: str, specs: "list[tuple]",
+                  unlink: bool) -> "list[np.ndarray]":
+    """Attach ``name``, copy each spec'd array out, close (and unlink).
+
+    Attaching registers the name with this process's resource tracker
+    (CPython <= 3.12 registers on attach, not just create).
+    ``unlink()`` unregisters internally, balancing the books; on the
+    keep-alive path we unregister explicitly so a pooled worker's exit
+    never destroys a segment the driver still owns.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if not unlink:
+        _untrack(shm)
+    try:
+        out = [
+            np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off).copy()
+            for shape, dtype, off in specs
+        ]
+    finally:
+        if unlink:
+            shm.unlink()
+        shm.close()
+    return out
+
+
+class _ShmRef:
+    """Base handle: a named segment plus array layout metadata."""
+
+    __slots__ = ("name", "specs", "nbytes")
+
+    def __init__(self, name: str, specs: "list[tuple]", nbytes: int) -> None:
+        self.name = name
+        self.specs = specs
+        self.nbytes = nbytes
+
+    def _arrays(self, *, unlink: bool) -> "list[np.ndarray]":
+        return _read_segment(self.name, self.specs, unlink)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, nbytes={self.nbytes})"
+
+
+class ShmBlockRef(_ShmRef):
+    """A :class:`ColumnarBlock` parked in a shared-memory segment.
+
+    ``dictionary`` (string-key vocab) still travels by pickle — it is
+    vocabulary-sized, not record-sized.
+    """
+
+    __slots__ = ("dictionary",)
+
+    def __init__(self, name: str, specs: "list[tuple]", nbytes: int,
+                 dictionary: Any = None) -> None:
+        super().__init__(name, specs, nbytes)
+        self.dictionary = dictionary
+
+    def __len__(self) -> int:
+        return int(self.specs[0][0][0])
+
+    def take(self, *, unlink: bool = True) -> ColumnarBlock:
+        """Materialise the block (one copy out of the mapping).
+
+        ``unlink`` destroys the segment afterwards — the consume-once
+        driver side; workers re-reading a retried input pass False.
+        """
+        keys, values = self._arrays(unlink=unlink)
+        return ColumnarBlock(keys, values, self.dictionary)
+
+
+class ShmGroupsRef(_ShmRef):
+    """A reducer's :class:`ColumnarGroups` parked in shared memory."""
+
+    __slots__ = ("dictionary",)
+
+    def __init__(self, name: str, specs: "list[tuple]", nbytes: int,
+                 dictionary: Any = None) -> None:
+        super().__init__(name, specs, nbytes)
+        self.dictionary = dictionary
+
+    def take(self, *, unlink: bool = False) -> ColumnarGroups:
+        """Materialise the groups (one copy out of the mapping).
+
+        Defaults to keeping the segment: reduce inputs must survive
+        task retries, so only the driver's registry unlinks them.
+        """
+        keys, values, starts, counts, order = self._arrays(unlink=unlink)
+        return ColumnarGroups(keys=keys, values=values, starts=starts,
+                              counts=counts, order=order,
+                              dictionary=self.dictionary)
+
+
+#: Worker-side cache of loaded :class:`ShmPickleRef` payloads, keyed by
+#: segment name (unique per job run).  Bounded: oldest entry evicted
+#: past the cap, so long-lived pooled workers never accumulate stale
+#: job functions.
+_PICKLE_CACHE: "dict[str, Any]" = {}
+_PICKLE_CACHE_CAP = 8
+
+
+class ShmPickleRef(_ShmRef):
+    """An arbitrary pickled object parked once per job run.
+
+    The process pool's default transport re-pickles the job *function*
+    into every task submission — for a map callable closing over
+    per-partition arrays that is megabytes of identical bytes per
+    round.  The driver parks one pickle in a segment instead; tasks
+    carry this tiny ref, and each worker attaches, loads and caches the
+    object the first time it sees the name (task replays hit the
+    cache).  The segment is driver-owned: it must outlive every retry,
+    so only the runtime's registry unlinks it.
+    """
+
+    __slots__ = ()
+
+    def load(self) -> Any:
+        obj = _PICKLE_CACHE.get(self.name, _PICKLE_CACHE)
+        if obj is _PICKLE_CACHE:  # sentinel: not cached yet
+            [buf] = self._arrays(unlink=False)
+            obj = pickle.loads(buf.tobytes())
+            while len(_PICKLE_CACHE) >= _PICKLE_CACHE_CAP:
+                _PICKLE_CACHE.pop(next(iter(_PICKLE_CACHE)))
+            _PICKLE_CACHE[self.name] = obj
+        return obj
+
+
+def export_pickled(obj: Any, name: str,
+                   min_bytes: int = SHM_MIN_BYTES) -> "ShmPickleRef | Any":
+    """Park ``obj``'s pickle in a segment if it is big enough to pay.
+
+    Small objects (named aggregations, thin callables) come back
+    unchanged — per-task pickling of a few hundred bytes is cheaper
+    than a segment round trip.
+    """
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) < min_bytes:
+        return obj
+    specs = _write_segment(name, [np.frombuffer(data, dtype=np.uint8)])
+    return ShmPickleRef(name, specs, len(data))
+
+
+def export_block(block: ColumnarBlock, name: str,
+                 min_bytes: int = SHM_MIN_BYTES) -> "ShmBlockRef | ColumnarBlock":
+    """Park ``block`` in a segment if it is big enough to pay its way."""
+    payload = int(block.keys.nbytes + block.values.nbytes)
+    if payload < min_bytes:
+        return block
+    specs = _write_segment(name, [block.keys, block.values])
+    return ShmBlockRef(name, specs, block.nbytes, block.dictionary)
+
+
+def export_groups(groups: ColumnarGroups, name: str,
+                  min_bytes: int = SHM_MIN_BYTES
+                  ) -> "ShmGroupsRef | ColumnarGroups":
+    """Park one reducer's grouped input in a segment if big enough."""
+    arrays = [groups.keys, groups.values, groups.starts, groups.counts,
+              groups.order]
+    payload = int(sum(a.nbytes for a in arrays))
+    if payload < min_bytes:
+        return groups
+    specs = _write_segment(name, arrays)
+    return ShmGroupsRef(name, specs, payload, groups.dictionary)
+
+
+class SegmentRegistry:
+    """Driver-side ledger of live shared-memory segments.
+
+    Tracks segments the driver itself created (reduce inputs) so the
+    job's ``finally`` — and ultimately ``runtime.close()`` /
+    ``__del__`` — can unlink them, and hands out collision-free name
+    prefixes per job run.  ``sweep`` is the abort-path net: it probes
+    every deterministic name a job's tasks could have created and
+    unlinks any that exist, covering worker-created segments whose refs
+    never reached the driver.
+    """
+
+    def __init__(self) -> None:
+        self._token = f"{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+        self._seq = 0
+        self._live: "set[str]" = set()
+
+    @property
+    def live_count(self) -> int:
+        """Registered segments not yet released (0 after a clean job)."""
+        return len(self._live)
+
+    def new_prefix(self) -> str:
+        """A unique per-job-run name prefix (process- and run-scoped)."""
+        self._seq += 1
+        return f"reproshm-{self._token}-{self._seq}-"
+
+    def adopt(self, name: str) -> None:
+        """Record a segment this registry must eventually unlink."""
+        self._live.add(name)
+
+    def release(self, name: str) -> None:
+        """Unlink one segment (tolerates an already-gone segment)."""
+        self._live.discard(name)
+        _unlink_quietly(name)
+
+    def release_all(self) -> None:
+        """Unlink every registered segment (idempotent)."""
+        while self._live:
+            self.release(self._live.pop())
+
+    def sweep(self, prefix: str, *, num_maps: int, num_reducers: int,
+              max_attempts: int) -> int:
+        """Unlink every segment a job under ``prefix`` could have made.
+
+        Used on the abort path only: probes are cheap (one failed open
+        each) but per-job sweeps would still be pure overhead on the
+        happy path, where take()/release have already emptied the
+        namespace.  Returns the number of segments actually reclaimed.
+        """
+        reclaimed = 0
+        names = []
+        for a in range(max_attempts):
+            for i in range(num_maps):
+                names.extend(f"{prefix}m{i}a{a}p{r}"
+                             for r in range(num_reducers))
+            names.extend(f"{prefix}r{i}a{a}" for i in range(num_reducers))
+        names.extend(f"{prefix}g{r}" for r in range(num_reducers))
+        names.extend((f"{prefix}f", f"{prefix}rf"))  # parked job functions
+        for name in names:
+            self._live.discard(name)
+            if _unlink_quietly(name):
+                reclaimed += 1
+        return reclaimed
+
+
+def _unlink_quietly(name: str) -> bool:
+    """Unlink ``name`` if it exists; True when a segment was reclaimed."""
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()  # unregisters internally — no explicit _untrack
+    except FileNotFoundError:  # pragma: no cover - lost a race
+        _untrack(shm)
+    shm.close()
+    return True

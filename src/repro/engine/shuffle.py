@@ -34,7 +34,12 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.cluster.dfs import estimate_nbytes
-from repro.engine.columnar import ColumnarBlock, ColumnarGroups, group_columnar
+from repro.engine.columnar import (
+    ColumnarBlock,
+    ColumnarGroups,
+    MergeScratch,
+    group_columnar,
+)
 
 __all__ = ["ShuffleBuffer", "shuffle", "shuffle_bytes"]
 
@@ -59,10 +64,15 @@ class ShuffleBuffer:
         Number of reduce partitions (R).
     sort_keys:
         Sort each reducer's groups by key at :meth:`groups` time.
+    merge_scratch:
+        Optional :class:`~repro.engine.columnar.MergeScratch` recycling
+        the columnar seal's transient concat buffers across reducers
+        and rounds (an iterative runtime passes its own).
     """
 
     def __init__(self, num_maps: int, num_reducers: int, *,
-                 sort_keys: bool = True) -> None:
+                 sort_keys: bool = True,
+                 merge_scratch: "MergeScratch | None" = None) -> None:
         if num_maps < 0:
             raise ValueError("num_maps must be >= 0")
         if num_reducers < 1:
@@ -70,6 +80,7 @@ class ShuffleBuffer:
         self.num_maps = num_maps
         self.num_reducers = num_reducers
         self.sort_keys = sort_keys
+        self.merge_scratch = merge_scratch
         self._tables: list[dict[Any, list]] = [{} for _ in range(num_reducers)]
         #: Columnar mode: per-reducer blocks, merged in map-index order.
         self._blocks: list[list[ColumnarBlock]] = [[] for _ in range(num_reducers)]
@@ -173,7 +184,8 @@ class ShuffleBuffer:
         if not self._columnar:
             raise RuntimeError(
                 "columnar_groups() on an object-mode shuffle; use groups()")
-        return [group_columnar(blocks, sort_keys=self.sort_keys)
+        return [group_columnar(blocks, sort_keys=self.sort_keys,
+                               scratch=self.merge_scratch)
                 for blocks in self._blocks]
 
     def groups(self) -> "list[list[tuple[Any, list]]]":

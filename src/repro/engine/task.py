@@ -35,10 +35,10 @@ from repro.engine.columnar import (
     ColumnarBlock,
     ColumnarGroups,
     as_columnar_reduce,
-    combine_columnar,
     object_combiner,
     object_reducer,
     route_columnar,
+    route_combine_columnar,
 )
 from repro.engine.counters import (
     COMBINE_INPUT_RECORDS,
@@ -53,9 +53,26 @@ from repro.engine.counters import (
     REDUCE_OUTPUT_RECORDS,
 )
 from repro.engine.faults import FaultPlan
+from repro.engine.shm import ShmGroupsRef, ShmPickleRef, export_block
 from repro.engine.shuffle import shuffle_bytes
 
 __all__ = ["TaskContext", "TaskResult", "run_map_task", "run_reduce_task"]
+
+#: Default combine crossover: batches below this many records skip the
+#: map-side combiner entirely.  For tiny batches the grouping sort costs
+#: more than the shuffle bytes it saves; the skip rule is a pure
+#: function of (named combiner, record count), applied identically on
+#: the columnar and object paths so their outputs stay byte-identical.
+COMBINE_CROSSOVER = 64
+
+
+def _skip_combine(combine_fn: Any, n_records: int, crossover: int) -> bool:
+    """True when a *named* combiner should be skipped for a tiny batch.
+
+    Callable combiners are never skipped: the engine cannot know they
+    are pure aggregations, so eliding them could change output.
+    """
+    return isinstance(combine_fn, str) and n_records < crossover
 
 
 class TaskContext:
@@ -81,14 +98,19 @@ class TaskContext:
         self._out.append((key, value))
         self._ops += 1.0
 
-    def emit_block(self, keys: Any, values: Any) -> None:
+    def emit_block(self, keys: Any, values: Any,
+                   dictionary: Any = None) -> None:
         """Emit a typed batch of records in one call (the columnar path).
 
-        ``keys`` is an int64-coercible array, ``values`` a float64 array
-        of shape ``(n,)`` or ``(n, w)``.  Counts one operation per
-        record, exactly like ``len(keys)`` individual :meth:`emit` calls.
+        ``keys`` is an int64-coercible array — or an array/sequence of
+        strings, which are dictionary-encoded on entry (pass a
+        pre-built :class:`~repro.engine.columnar.StringDictionary` as
+        ``dictionary`` to reuse an interned vocabulary).  ``values`` is
+        a float64 array of shape ``(n,)`` or ``(n, w)``.  Counts one
+        operation per record, exactly like ``len(keys)`` individual
+        :meth:`emit` calls.
         """
-        block = ColumnarBlock(keys, values)
+        block = ColumnarBlock(keys, values, dictionary)
         self._blocks.append(block)
         self._ops += float(len(block))
 
@@ -150,20 +172,33 @@ def run_map_task(
     num_reducers: int,
     fault_plan: "FaultPlan | None" = None,
     columnar: bool = True,
+    combine_crossover: int = COMBINE_CROSSOVER,
+    shm_threshold: "int | None" = None,
+    shm_prefix: "str | None" = None,
 ) -> TaskResult:
     """Execute one map task attempt over its input split.
 
     Applies ``map_fn`` to every record, optionally combines, then
     partitions the intermediate pairs into per-reducer buckets.  A map
     function that emits columnar batches takes the vectorised route —
-    whole-array combine + hash routing, dtype-math byte measurement —
-    unless ``columnar`` is False, in which case the batches are
-    materialised into pairs and run through the object path (the
-    oracle used by the equivalence tests).
+    fused combine + hash routing, dtype-math byte measurement — unless
+    ``columnar`` is False, in which case the batches are materialised
+    into pairs and run through the object path (the oracle used by the
+    equivalence tests).
+
+    A *named* combiner is skipped outright for batches below
+    ``combine_crossover`` records — on both paths, so output stays
+    byte-identical.  With ``shm_threshold`` set (process executors),
+    routed buckets of at least that many bytes are parked in shared
+    memory under ``shm_prefix`` and returned as
+    :class:`~repro.engine.shm.ShmBlockRef` handles instead of being
+    pickled back to the driver.
     """
     task_id = f"m{task_index}"
     if fault_plan is not None:
         fault_plan.maybe_fail("map", task_index, attempt)
+    if isinstance(map_fn, ShmPickleRef):
+        map_fn = map_fn.load()  # parked once per run, cached per worker
     ctx = TaskContext(task_id, attempt)
     for key, value in split:
         ctx.counters.incr(MAP_INPUT_RECORDS)
@@ -179,12 +214,17 @@ def run_map_task(
             )
         block = ColumnarBlock.concat(ctx.columnar_output)
         if columnar:
-            return _finish_columnar_map(task_id, attempt, ctx, block,
-                                        combine_fn, partitioner, num_reducers)
+            return _finish_columnar_map(
+                task_id, attempt, ctx, block, combine_fn, partitioner,
+                num_reducers, combine_crossover=combine_crossover,
+                shm_threshold=shm_threshold,
+                shm_prefix=f"{shm_prefix}m{task_index}a{attempt}"
+                if shm_prefix is not None else None)
         pairs = block.to_pairs()
 
     ctx.counters.incr(MAP_OUTPUT_RECORDS, len(pairs))
-    if combine_fn is not None:
+    if combine_fn is not None and not _skip_combine(
+            combine_fn, len(pairs), combine_crossover):
         pairs = _apply_combiner(pairs, object_combiner(combine_fn), ctx)
 
     buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(num_reducers)]
@@ -198,27 +238,39 @@ def run_map_task(
 
 def _finish_columnar_map(task_id: str, attempt: int, ctx: TaskContext,
                          block: ColumnarBlock, combine_fn: Any,
-                         partitioner: Any, num_reducers: int) -> TaskResult:
-    """Vectorised tail of a columnar map task: combine, route, measure."""
+                         partitioner: Any, num_reducers: int, *,
+                         combine_crossover: int = COMBINE_CROSSOVER,
+                         shm_threshold: "int | None" = None,
+                         shm_prefix: "str | None" = None) -> TaskResult:
+    """Vectorised tail of a columnar map task: fused combine+route, measure."""
     ctx.counters.incr(MAP_OUTPUT_RECORDS, len(block))
-    if combine_fn is not None:
-        if not isinstance(combine_fn, str):
-            raise TypeError(
-                "columnar map output requires a named combiner "
-                f"('sum'/'min'/'max'), got {type(combine_fn).__name__}"
-            )
+    if combine_fn is not None and not isinstance(combine_fn, str):
+        raise TypeError(
+            "columnar map output requires a named combiner "
+            f"('sum'/'min'/'max'), got {type(combine_fn).__name__}"
+        )
+    if combine_fn is not None and not _skip_combine(
+            combine_fn, len(block), combine_crossover):
         n_in = len(block)
-        block = combine_columnar(block, combine_fn)
+        buckets = route_combine_columnar(block, num_reducers, combine_fn,
+                                         partitioner)
+        n_out = sum(len(b) for b in buckets)
         ctx.counters.incr(COMBINE_INPUT_RECORDS, n_in)
-        ctx.counters.incr(COMBINE_OUTPUT_RECORDS, len(block))
+        ctx.counters.incr(COMBINE_OUTPUT_RECORDS, n_out)
         # Mirrors the object combiner's cost: one op per input record
         # (the group scans) plus one per emitted record.
-        ctx.add_ops(float(n_in + len(block)))
-    buckets = route_columnar(block, num_reducers, partitioner)
+        ctx.add_ops(float(n_in + n_out))
+    else:
+        buckets = route_columnar(block, num_reducers, partitioner)
+    nbytes = sum(b.nbytes for b in buckets)
     ctx.counters.incr(MAP_OPS, int(ctx.ops))
-    return TaskResult(task_id=task_id, attempt=attempt, data=buckets,
+    data: list = buckets
+    if shm_threshold is not None and shm_prefix is not None:
+        data = [export_block(b, f"{shm_prefix}p{r}", shm_threshold)
+                for r, b in enumerate(buckets)]
+    return TaskResult(task_id=task_id, attempt=attempt, data=data,
                       counters=ctx.counters, ops=ctx.ops,
-                      nbytes=block.nbytes)
+                      nbytes=nbytes)
 
 
 def _apply_combiner(pairs: "list[tuple[Any, Any]]", combine_fn: Any,
@@ -241,10 +293,12 @@ def _apply_combiner(pairs: "list[tuple[Any, Any]]", combine_fn: Any,
 def run_reduce_task(
     task_index: int,
     attempt: int,
-    groups: "list[tuple[Any, list]] | ColumnarGroups",
+    groups: "list[tuple[Any, list]] | ColumnarGroups | ShmGroupsRef",
     reduce_fn: Any,
     fault_plan: "FaultPlan | None" = None,
     measure_output: bool = True,
+    shm_threshold: "int | None" = None,
+    shm_prefix: "str | None" = None,
 ) -> TaskResult:
     """Execute one reduce task attempt over its grouped input.
 
@@ -261,14 +315,29 @@ def run_reduce_task(
     cluster-less object-path runs, where nothing consumes the value and
     the per-object scan would be pure overhead (the columnar path
     measures for free either way).
+
+    Grouped input may arrive as a shared-memory handle
+    (:class:`~repro.engine.shm.ShmGroupsRef`, process executors): the
+    task copies the arrays straight out of the named segment instead of
+    receiving them through the result pipe.  The segment is left in
+    place — it must survive task retries; the driver unlinks it.  With
+    ``shm_threshold`` set, a large columnar output block is parked in
+    shared memory the same way.
     """
     task_id = f"r{task_index}"
     if fault_plan is not None:
         fault_plan.maybe_fail("reduce", task_index, attempt)
+    if isinstance(reduce_fn, ShmPickleRef):
+        reduce_fn = reduce_fn.load()  # parked once per run, cached
+    if isinstance(groups, ShmGroupsRef):
+        groups = groups.take(unlink=False)
     if isinstance(groups, ColumnarGroups):
         cr = as_columnar_reduce(reduce_fn)
         if cr is not None:
-            return _run_columnar_reduce(task_id, attempt, groups, cr)
+            return _run_columnar_reduce(
+                task_id, attempt, groups, cr, shm_threshold=shm_threshold,
+                shm_prefix=f"{shm_prefix}r{task_index}a{attempt}"
+                if shm_prefix is not None else None)
         groups = groups.to_pairs()
     ctx = TaskContext(task_id, attempt)
     reduce_fn = object_reducer(reduce_fn)
@@ -285,13 +354,14 @@ def run_reduce_task(
 
 
 def _run_columnar_reduce(task_id: str, attempt: int, groups: ColumnarGroups,
-                         cr: Any) -> TaskResult:
+                         cr: Any, *, shm_threshold: "int | None" = None,
+                         shm_prefix: "str | None" = None) -> TaskResult:
     """Vectorised reduce: segmented aggregation + optional epilogue."""
     ctx = TaskContext(task_id, attempt)
     keys, rows = groups.aggregate(cr.agg)
     if cr.finish is not None:
         rows = np.asarray(cr.finish(keys, rows), dtype=np.float64)
-    out = ColumnarBlock(keys, rows)
+    out = ColumnarBlock(keys, rows, groups.dictionary)
     ctx.counters.incr(REDUCE_INPUT_GROUPS, groups.num_groups)
     ctx.counters.incr(REDUCE_INPUT_RECORDS, groups.num_records)
     # Cost parity with the object loop: one op per input record (the
@@ -299,5 +369,9 @@ def _run_columnar_reduce(task_id: str, attempt: int, groups: ColumnarGroups,
     ctx.add_ops(float(groups.num_records + len(out)))
     ctx.counters.incr(REDUCE_OUTPUT_RECORDS, len(out))
     ctx.counters.incr(REDUCE_OPS, int(ctx.ops))
-    return TaskResult(task_id=task_id, attempt=attempt, data=out,
-                      counters=ctx.counters, ops=ctx.ops, nbytes=out.nbytes)
+    nbytes = out.nbytes
+    data: Any = out
+    if shm_threshold is not None and shm_prefix is not None:
+        data = export_block(out, shm_prefix, shm_threshold)
+    return TaskResult(task_id=task_id, attempt=attempt, data=data,
+                      counters=ctx.counters, ops=ctx.ops, nbytes=nbytes)

@@ -84,6 +84,45 @@ class TestWordcount:
         res = wordcount(["w w"], runtime=rt)
         assert res.as_dict() == {"w": 2}
 
+
+class TestWordcountColumnar:
+    """String keys ride the columnar path via dictionary encoding."""
+
+    DOCS = ["the quick brown fox", "the lazy dog", "the fox", "dog dog dog"]
+
+    def test_counts_match_classic(self):
+        fast = wordcount(self.DOCS, columnar=True)
+        classic = wordcount(self.DOCS)
+        assert {k: int(v) for k, v in fast.as_dict().items()} \
+            == classic.as_dict()
+
+    def test_bitwise_vs_forced_object_path(self):
+        """The same columnar job through JobConf(columnar=False) is the
+        oracle: identical words, counts, and order."""
+        import dataclasses
+
+        from repro.apps import wordcount_job
+
+        docs = [(i, d) for i, d in enumerate(self.DOCS)]
+        rt = MapReduceRuntime("serial")
+        for use_combiner in (True, False):
+            fast_job = wordcount_job(columnar=True,
+                                     use_combiner=use_combiner)
+            fast = rt.run(fast_job, [docs])
+            oracle_job = dataclasses.replace(
+                fast_job, conf=dataclasses.replace(fast_job.conf,
+                                                   columnar=False))
+            oracle = rt.run(oracle_job, [docs])
+            assert fast.output == oracle.output
+
+    def test_all_executors_agree(self):
+        outs = []
+        for executor in ("serial", "threads", "processes"):
+            with MapReduceRuntime(executor, workers=2) as rt:
+                outs.append(wordcount(self.DOCS, runtime=rt,
+                                      columnar=True).output)
+        assert outs[0] == outs[1] == outs[2]
+
     def test_empty_documents(self):
         assert wordcount([]).as_dict() == {}
         assert wordcount([""]).as_dict() == {}

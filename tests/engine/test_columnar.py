@@ -119,9 +119,16 @@ class TestHashRouting:
         # distinct (1.2 and 1.9 both truncating to 1)
         with pytest.raises(TypeError, match="integers"):
             ColumnarBlock(np.array([1.2, 1.9]), np.array([10.0, 20.0]))
-        with pytest.raises(TypeError, match="integers"):
-            ColumnarBlock(np.array(["a", "b"], dtype=object), [1.0, 2.0])
         ColumnarBlock([], [])  # empty stays fine
+
+    def test_string_keys_dictionary_encoded(self):
+        # string keys are valid: the block interns them through a
+        # StringDictionary and round-trips the original words
+        block = ColumnarBlock(np.array(["b", "a", "b"], dtype=object),
+                              [1.0, 2.0, 3.0])
+        assert block.dictionary is not None
+        assert block.keys.dtype == np.int64
+        assert list(block.key_objects()) == ["b", "a", "b"]
 
     def test_route_rejects_out_of_range_partitioner(self):
         # a broken partitioner must fail loudly (the object path raises

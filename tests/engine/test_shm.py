@@ -1,0 +1,164 @@
+"""Shared-memory transport: parity, ownership, and leak-freedom.
+
+The shm transport is an *optimisation of the wire*, not of the shuffle:
+every job routed through named segments must produce output bitwise
+identical to the same job through the pickle pipe, and every segment a
+job creates must be gone — clean finish, task retries, or abort — by
+the time ``run`` returns (plus ``close()``/``__del__`` as backstops).
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    FaultPlan,
+    Job,
+    JobConf,
+    JobFailedError,
+    MapReduceRuntime,
+    ShmPickleRef,
+)
+from repro.engine.shm import export_pickled
+
+VOCAB = [f"word{i:03d}" for i in range(40)]
+
+
+def _emit_block_map(key, value, ctx):
+    keys, values = value
+    ctx.emit_block(keys, values)
+
+
+def _emit_words_map(key, value, ctx):
+    words, counts = value
+    ctx.emit_block(words, counts)
+
+
+def _splits(num_splits=4, n=3000, seed=11):
+    rng = np.random.default_rng(seed)
+    return [
+        [(m, (rng.integers(0, 500, n), rng.random(n)))]
+        for m in range(num_splits)
+    ]
+
+
+def _word_splits(num_splits=3, n=2500, seed=5):
+    rng = np.random.default_rng(seed)
+    return [
+        [(m, (np.array([VOCAB[i] for i in rng.integers(0, len(VOCAB), n)],
+                       dtype=object),
+              np.ones(n, dtype=np.float64)))]
+        for m in range(num_splits)
+    ]
+
+
+def _live_segments() -> "set[str]":
+    """Names of this machine's live repro shm segments (POSIX /dev/shm)."""
+    return {p.rsplit("/", 1)[1] for p in glob.glob("/dev/shm/*reproshm-*")}
+
+
+class TestCrossExecutorParity:
+    """serial == threads == processes, segments or pipes, bit for bit."""
+
+    @pytest.mark.parametrize("combine", [None, "sum"])
+    def test_output_bitwise_identical(self, combine):
+        splits = _splits()
+        outputs = {}
+        for executor in ("serial", "threads", "processes"):
+            with MapReduceRuntime(executor, workers=2,
+                                  shm_min_bytes=1024) as rt:
+                res = rt.run(
+                    Job(_emit_block_map, "sum", combine_fn=combine,
+                        conf=JobConf(num_reducers=3)), splits)
+                assert rt.segments.live_count == 0
+            outputs[executor] = res.output
+        assert outputs["serial"] == outputs["threads"]
+        assert outputs["serial"] == outputs["processes"]
+
+    def test_dictionary_blocks_ride_segments(self):
+        """String-key (dictionary-encoded) jobs through the process pool."""
+        splits = _word_splits()
+        outs = {}
+        for executor in ("serial", "processes"):
+            with MapReduceRuntime(executor, workers=2,
+                                  shm_min_bytes=1024) as rt:
+                outs[executor] = rt.run(
+                    Job(_emit_words_map, "sum", combine_fn="sum",
+                        conf=JobConf(num_reducers=2)), splits).output
+        assert outs["serial"] == outs["processes"]
+        counts = dict(outs["processes"])
+        assert set(counts) <= set(VOCAB)
+        assert sum(counts.values()) == 3 * 2500
+
+    def test_retried_tasks_replay_identically(self):
+        """Out-of-order + retried arrivals leave the output unchanged."""
+        splits = _splits()
+        plan = FaultPlan.script({("map", 1): 1, ("map", 3): 2,
+                                 ("reduce", 0): 1})
+        with MapReduceRuntime("processes", workers=2, fault_plan=plan,
+                              shm_min_bytes=1024) as rt:
+            faulty = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                                conf=JobConf(num_reducers=3)), splits)
+            assert rt.segments.live_count == 0
+        with MapReduceRuntime("serial") as rt:
+            clean = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                               conf=JobConf(num_reducers=3)), splits)
+        assert faulty.output == clean.output
+
+
+class TestSegmentLifecycle:
+    def test_zero_segments_after_clean_job(self):
+        before = _live_segments()
+        with MapReduceRuntime("processes", workers=2,
+                              shm_min_bytes=1024) as rt:
+            rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                       conf=JobConf(num_reducers=3)), _splits())
+            assert rt.segments.live_count == 0
+        assert _live_segments() <= before
+
+    def test_zero_segments_after_midjob_failure(self):
+        """Task retries park fresh segments; none of them may leak."""
+        before = _live_segments()
+        plan = FaultPlan.script({("map", 0): 1, ("reduce", 1): 1})
+        with MapReduceRuntime("processes", workers=2, fault_plan=plan,
+                              shm_min_bytes=1024) as rt:
+            rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                       conf=JobConf(num_reducers=3)), _splits())
+            assert rt.segments.live_count == 0
+        assert _live_segments() <= before
+
+    def test_abort_sweep_reclaims_everything(self):
+        """A job that dies mid-flight sweeps its whole namespace."""
+        before = _live_segments()
+        plan = FaultPlan.script({("map", 2): 99})  # exceeds max_attempts
+        with MapReduceRuntime("processes", workers=2, fault_plan=plan,
+                              shm_min_bytes=1024) as rt:
+            with pytest.raises(JobFailedError):
+                rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                           conf=JobConf(num_reducers=3, max_attempts=2)),
+                       _splits())
+            assert rt.segments.live_count == 0
+        assert _live_segments() <= before
+
+
+class TestPickleRef:
+    def test_small_objects_pass_through(self):
+        assert export_pickled("sum", "reproshm-test-tiny") == "sum"
+        assert not glob.glob("/dev/shm/*reproshm-test-tiny*")
+
+    def test_fat_payload_parks_and_caches(self):
+        payload = {"arr": np.arange(50_000)}
+        ref = export_pickled(payload, "reproshm-test-fat", min_bytes=1024)
+        try:
+            assert isinstance(ref, ShmPickleRef)
+            first = ref.load()
+            assert np.array_equal(first["arr"], payload["arr"])
+            # Same name -> the cached object, no second attach/unpickle.
+            assert ref.load() is first
+        finally:
+            from repro.engine.shm import _unlink_quietly
+
+            assert _unlink_quietly("reproshm-test-fat")
