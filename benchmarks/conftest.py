@@ -26,6 +26,7 @@ import pytest
 #: is comparable across PRs.  Override locations with the env vars.
 _BENCH_JSON_DEFAULT = "BENCH_state_store.json"
 _HOT_PATHS_JSON_DEFAULT = "BENCH_hot_paths.json"
+_STALENESS_JSON_DEFAULT = "BENCH_staleness.json"
 
 
 def _merge_json(path: str, section: str, values: "dict[str, float]") -> str:
@@ -56,6 +57,14 @@ def record_hot_paths_json(section: str, values: "dict[str, float]") -> str:
     """Engine hot-path artifact (wall-clock seconds per config)."""
     return _merge_json(
         os.environ.get("BENCH_HOT_PATHS_JSON", _HOT_PATHS_JSON_DEFAULT),
+        section, values)
+
+
+def record_staleness_json(section: str, values: "dict[str, float]") -> str:
+    """Async-backend staleness-sweep artifact (simulated seconds or
+    rounds per bound)."""
+    return _merge_json(
+        os.environ.get("BENCH_STALENESS_JSON", _STALENESS_JSON_DEFAULT),
         section, values)
 
 

@@ -27,6 +27,12 @@ Plus one enhancement of our own runtime rather than the paper's design:
    shared-memory segments instead of pickles, and iterative specs can
    keep their global state as a dense array (``dense_state=True``) —
    all pinned bitwise-identical to the object/dict oracles.
+7. **Barrier to chaos** — the ``AsyncBackend`` walks the paper's whole
+   synchronization axis on one workload: ``staleness=0`` is the
+   barrier, a finite bound is stale-synchronous coupling, ``None`` is
+   pure chaotic relaxation, and a ``DivergenceDetector`` rescues a
+   Jacobi system that contracts synchronously but oscillates without
+   a barrier (the Chazan–Miranker gap).
 
 Run:  python examples/extensions_tour.py
 """
@@ -38,7 +44,9 @@ import numpy as np
 from repro.apps.pagerank import PageRankBlockSpec, PageRankKVSpec
 from repro.cluster import DFSStateStore, OnlineStateStore, SimCluster
 from repro.core import (
+    AsyncBackend,
     BlockBackend,
+    DivergenceDetector,
     DriverConfig,
     EngineBackend,
     HierarchicalBackend,
@@ -257,6 +265,61 @@ def main() -> None:
           f"{dense_pr.global_iters} iters, state kept as a "
           f"({graph.num_nodes}, 2) float64 array — same fixed point "
           "as the dict path.")
+
+    # ------------------------------------------------------------------
+    # 7. Barrier to chaos: the same PageRank workload across the whole
+    # synchronization axis.  staleness=0 reproduces the barrier charge
+    # for charge; each relaxed round drops the per-round job startup,
+    # reduce wave, and barrier drain, trading rounds for cheaper rounds.
+    # ------------------------------------------------------------------
+    rows = []
+    for bound in (0, 1, 2, None):
+        cfg = DriverConfig(mode="eager",
+                           state_store=OnlineStateStore(num_tablets=8))
+        res = run_single(
+            AsyncBackend(PageRankBlockSpec(graph, partition),
+                         staleness=bound),
+            cfg)
+        label = "chaotic (None)" if bound is None else f"S = {bound}"
+        if bound == 0:
+            label += "  (= barrier)"
+        rows.append([label, res.global_iters,
+                     f"{res.sim_time / res.global_iters:,.1f}",
+                     f"{res.sim_time:,.0f}"])
+    print()
+    print(ascii_table(
+        ["staleness bound", "global iters", "s/round", "sim time (s)"],
+        rows, title="7a. Barrier -> chaotic spectrum (PageRank)"))
+
+    # The guard rail: a Jacobi system with rho(M) < 1 < rho(|M|)
+    # contracts under the barrier but oscillates divergently under pure
+    # chaos — the DivergenceDetector notices the non-contracting
+    # residual window and tightens the bound back to 0.
+    from repro.apps.jacobi import SparseSystem, jacobi_solve
+    from repro.graph import DiGraph, Partition
+
+    m = 0.55 * np.array([[0.0, 1.0, -1.0],
+                         [-1.0, 0.0, 1.0],
+                         [1.0, -1.0, 0.0]])
+    r, c = np.nonzero(m)
+    system = SparseSystem(n=3, rows=r, cols=c, vals=-m[r, c],
+                          diag=np.ones(3), b=np.array([1.0, -0.5, 0.25]))
+    tri = Partition(graph=DiGraph(3, r, c), assign=np.arange(3), k=3)
+    detector = DivergenceDetector()
+    rescued = jacobi_solve(system, tri, tol=1e-6, staleness=None,
+                           phase=(0.0, 0.34, 0.67), detector=detector,
+                           require_dominant=False,
+                           config=DriverConfig(mode="eager",
+                                               max_global_iters=800))
+    trace = " -> ".join(
+        f"{'None' if old is None else old}@{it}" for it, old, _ in
+        detector.events) + " -> 0"
+    print()
+    print("7b. divergence rescue: chaotic Jacobi on a rho(|M|) > 1 "
+          "system "
+          f"{'converged' if rescued.converged else 'failed'} in "
+          f"{rescued.global_iters} iters after tightening "
+          f"{trace} (residual {rescued.residual_norm:.1e}).")
 
 
 if __name__ == "__main__":

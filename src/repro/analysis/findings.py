@@ -22,6 +22,10 @@ codes are grouped by family:
   that cannot — or must not — be pickled to a worker process.
 * ``RPR04x`` — **columnar eligibility** (informational): why a job or
   spec is not riding the engine's columnar fast path.
+* ``RPR05x`` — **async safety**: constructs that are correct under the
+  barrier (every input is exactly one round old) but wrong under the
+  no-barrier :class:`~repro.core.AsyncBackend`, where a combine's state
+  argument is a live mixed-version view shared with concurrent readers.
 """
 
 from __future__ import annotations
@@ -188,5 +192,14 @@ RULES: "dict[str, Rule]" = _catalog(
         severity=Severity.INFO,
         hint="emit typed batches (ctx.emit_block) and declare aggregations "
              "by name ('sum'/'min'/'max') — see repro.engine.columnar",
+    ),
+    Rule(
+        code="RPR051",
+        title="in-place state write in a combine function",
+        severity=Severity.WARNING,
+        hint="the async backend hands combine a live state view that "
+             "concurrent partitions are still reading; fold into a copy "
+             "(new = state.copy()) or a commutative-monotone elementwise "
+             "fold (np.minimum) and return it",
     ),
 )

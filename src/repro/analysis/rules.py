@@ -18,6 +18,7 @@ role      rules
 map       RPR001, RPR002, RPR003, RPR011
 reduce    the above + RPR012 (mutation of the aliased ``values``)
 combine   the above + RPR021/RPR022 (commutativity/associativity)
+          + RPR051 (in-place state writes, unsafe without the barrier)
 ========  ==========================================================
 
 Role assignment is by function name (see :func:`role_for_name`): the
@@ -445,6 +446,56 @@ def _check_combiner_algebra(info: FunctionLint) -> "Iterator[tuple[str, str, ast
 
 
 # ----------------------------------------------------------------------
+# RPR051 — async-unsafe in-place state update
+# ----------------------------------------------------------------------
+
+def _state_param(fn: ast.AST) -> Optional[str]:
+    """The ``state`` parameter of a combine-shaped signature: first
+    positional after dropping a leading ``self``
+    (``global_combine(self, state, reports)``)."""
+    names = _positional_args(fn)
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names[0] if len(names) >= 2 else None
+
+
+def _check_async_safety(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST]]":
+    """Subscript stores into the *state argument itself* while folding
+    the partial values.
+
+    Under the barrier this merely aliases the previous round's state;
+    under :class:`~repro.core.AsyncBackend` the same array is a live
+    view other partitions consume mid-fold, so partial writes leak.
+    Writes into a local copy (``new = state.copy()``) never match: the
+    target name must be the state parameter, not a derived local.
+    """
+    fn = info.node
+    state = _state_param(fn)
+    values = _values_param(fn)
+    if state is None or values is None:
+        return
+    for owner in ast.walk(fn):
+        if not isinstance(owner, (ast.For, ast.AsyncFor)):
+            continue
+        if not _references(owner.iter, values):
+            continue
+        for node in ast.walk(owner):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if (isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == state):
+                    yield ("RPR051",
+                           f"write into {state}[...] while folding {values}: "
+                           f"the async backend shares this view with "
+                           f"concurrent readers",
+                           t)
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -453,7 +504,8 @@ _CHECKS_BY_ROLE = {
     "reduce": (_check_nondeterminism, _check_set_iteration, _check_purity,
                _check_values_mutation),
     "combine": (_check_nondeterminism, _check_set_iteration, _check_purity,
-                _check_values_mutation, _check_combiner_algebra),
+                _check_values_mutation, _check_combiner_algebra,
+                _check_async_safety),
 }
 
 

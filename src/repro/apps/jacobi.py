@@ -24,12 +24,12 @@ import numpy as np
 
 from repro.cluster import SimCluster
 from repro.core import (
-    BlockBackend,
     BlockSpec,
     DriverConfig,
     IterationLoop,
     IterativeResult,
     LocalSolveReport,
+    resolve_block_backend,
 )
 from repro.graph import Partition
 
@@ -144,14 +144,19 @@ class JacobiBlockSpec(BlockSpec):
 
     #: Each partition owns a disjoint slice of the unknown vector.
     partition_scoped_state = True
+    #: Slice-overwrite combine + frozen-remote solves tolerate
+    #: mixed-round neighbour state (chaotic relaxation, the literature
+    #: the paper cites for exactly this kernel).
+    supports_async = True
 
     def __init__(self, system: SparseSystem, partition: Partition, *,
-                 tol: float = 1e-8, local_tol: "float | None" = None) -> None:
+                 tol: float = 1e-8, local_tol: "float | None" = None,
+                 require_dominant: bool = True) -> None:
         if system.n != partition.graph.num_nodes:
             raise ValueError("system size must match the partitioned graph")
         if tol <= 0:
             raise ValueError("tol must be > 0")
-        if not system.is_diagonally_dominant():
+        if require_dominant and not system.is_diagonally_dominant():
             raise ValueError(
                 "Jacobi requires a (strictly) diagonally dominant system"
             )
@@ -245,11 +250,28 @@ def jacobi_solve(
     tol: float = 1e-8,
     cluster: "SimCluster | None" = None,
     config: "DriverConfig | None" = None,
+    backend: str = "block",
+    staleness: "int | None" = 0,
+    pace=None,
+    phase=None,
+    detector=None,
+    require_dominant: bool = True,
 ) -> JacobiResult:
-    """Solve ``A x = b`` with the General or Eager block-Jacobi scheme."""
+    """Solve ``A x = b`` with the General or Eager block-Jacobi scheme.
+
+    ``backend="async"`` (or any nonzero ``staleness``) runs without a
+    barrier; ``pace``/``phase``/``detector`` are the async timeline and
+    safety knobs (see :class:`~repro.core.AsyncBackend`).
+    ``require_dominant=False`` skips the dominance precondition — only
+    sensible for divergence studies of the chaotic path.
+    """
     cfg = config if config is not None else DriverConfig(mode=mode)
-    spec = JacobiBlockSpec(system, partition, tol=tol)
-    res = IterationLoop(BlockBackend(spec, cluster=cluster), cfg).run()
+    spec = JacobiBlockSpec(system, partition, tol=tol,
+                           require_dominant=require_dominant)
+    be = resolve_block_backend(spec, backend=backend, staleness=staleness,
+                               cluster=cluster, pace=pace, phase=phase,
+                               detector=detector)
+    res = IterationLoop(be, cfg).run()
     x = np.asarray(res.state)
     return JacobiResult(x=x, global_iters=res.global_iters,
                         converged=res.converged, sim_time=res.sim_time,
@@ -264,6 +286,8 @@ def jacobi_spec(
     tol: float = 1e-8,
     config: "DriverConfig | None" = None,
     name: "str | None" = None,
+    backend: str = "block",
+    staleness: "int | None" = 0,
 ) -> "JobSpec":
     """A submittable block-Jacobi solve for
     :meth:`~repro.core.Session.submit`; the final iterate is
@@ -274,7 +298,8 @@ def jacobi_spec(
     return JobSpec(
         name=name if name is not None else "jacobi",
         config=cfg,
-        make_backend=lambda session: BlockBackend(
+        make_backend=lambda session: resolve_block_backend(
             JacobiBlockSpec(system, partition, tol=tol),
+            backend=backend, staleness=staleness,
             cluster=session.cluster),
     )

@@ -37,7 +37,6 @@ from repro.cluster import SimCluster
 from repro.core import (
     AdaptiveSyncPolicy,
     AsyncMapReduceSpec,
-    BlockBackend,
     BlockSpec,
     DenseKVState,
     DriverConfig,
@@ -45,6 +44,7 @@ from repro.core import (
     IterationLoop,
     IterativeResult,
     LocalSolveReport,
+    resolve_block_backend,
 )
 from repro.engine import MapReduceRuntime
 from repro.graph import DiGraph, Partition
@@ -110,6 +110,11 @@ class PageRankBlockSpec(BlockSpec):
 
     #: Each partition owns a disjoint node slice of the state vector.
     partition_scoped_state = True
+    #: The asynchronous power method tolerates mixed-round neighbour
+    #: ranks (§VI: "PageRank ... relies on an asynchronous mat-vec");
+    #: the combine overwrites disjoint slices, so arrival order is
+    #: irrelevant.
+    supports_async = True
 
     def __init__(self, graph: DiGraph, partition: Partition, *,
                  damping: float = 0.85, tol: float = 1e-5,
@@ -430,6 +435,8 @@ def pagerank(
     runtime: "MapReduceRuntime | None" = None,
     sync_policy: "AdaptiveSyncPolicy | None" = None,
     dense_state: bool = False,
+    backend: str = "block",
+    staleness: "int | None" = 0,
 ) -> PageRankResult:
     """Compute PageRank with the General or Eager formulation.
 
@@ -456,12 +463,19 @@ def pagerank(
         Keep the kv path's global state as a
         :class:`~repro.core.DenseKVState` array instead of a per-node
         dict (identical values, array-speed round transitions).
+    backend, staleness:
+        ``backend="async"`` (or any nonzero ``staleness``) runs the
+        block path without a per-round barrier — see
+        :class:`~repro.core.AsyncBackend`.  Block path only.
     """
     cfg = config if config is not None else DriverConfig(mode=mode)
+    if (backend != "block" or staleness != 0) and path != "block":
+        raise ValueError("the async backend needs path='block'")
     if path == "block":
         spec = PageRankBlockSpec(graph, partition, damping=damping, tol=tol)
-        backend = BlockBackend(spec, cluster=cluster)
-        res = IterationLoop(backend, cfg, sync_policy=sync_policy).run()
+        be = resolve_block_backend(spec, backend=backend,
+                                   staleness=staleness, cluster=cluster)
+        res = IterationLoop(be, cfg, sync_policy=sync_policy).run()
         ranks = np.asarray(res.state)
     elif path == "kv":
         kv_spec = PageRankKVSpec(graph, partition, damping=damping, tol=tol,
@@ -489,6 +503,8 @@ def pagerank_spec(
     config: "DriverConfig | None" = None,
     sync_policy: "AdaptiveSyncPolicy | None" = None,
     name: "str | None" = None,
+    backend: str = "block",
+    staleness: "int | None" = 0,
 ) -> "JobSpec":
     """A submittable PageRank job for :meth:`~repro.core.Session.submit`.
 
@@ -505,8 +521,9 @@ def pagerank_spec(
         name=name if name is not None else "pagerank",
         config=cfg,
         sync_policy=sync_policy,
-        make_backend=lambda session: BlockBackend(
+        make_backend=lambda session: resolve_block_backend(
             PageRankBlockSpec(graph, partition, damping=damping, tol=tol),
+            backend=backend, staleness=staleness,
             cluster=session.cluster),
     )
 

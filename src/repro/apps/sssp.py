@@ -28,7 +28,6 @@ from repro.cluster import SimCluster
 from repro.core import (
     AdaptiveSyncPolicy,
     AsyncMapReduceSpec,
-    BlockBackend,
     BlockSpec,
     DenseKVState,
     DriverConfig,
@@ -36,6 +35,7 @@ from repro.core import (
     IterationLoop,
     IterativeResult,
     LocalSolveReport,
+    resolve_block_backend,
 )
 from repro.engine import MapReduceRuntime
 from repro.graph import DiGraph, Partition
@@ -94,6 +94,10 @@ class SsspBlockSpec(BlockSpec):
 
     #: Each partition owns a disjoint node slice of the state vector.
     partition_scoped_state = True
+    #: Min-plus relaxation is monotone (distances only improve) and the
+    #: combine is a commutative min-fold, the textbook async-safe shape:
+    #: stale reads only delay relaxations, never corrupt them.
+    supports_async = True
 
     def __init__(self, graph: DiGraph, partition: Partition, *,
                  source: int = 0) -> None:
@@ -410,18 +414,26 @@ def sssp(
     runtime: "MapReduceRuntime | None" = None,
     sync_policy: "AdaptiveSyncPolicy | None" = None,
     dense_state: bool = False,
+    backend: str = "block",
+    staleness: "int | None" = 0,
 ) -> SsspResult:
     """Single-source shortest distances, General or Eager formulation.
 
     ``dense_state=True`` keeps the kv path's global state as a
     :class:`~repro.core.DenseKVState` array instead of a per-node dict
     (identical values, array-speed round transitions).
+    ``backend="async"`` (or any nonzero ``staleness``) runs the block
+    path without a per-round barrier — see
+    :class:`~repro.core.AsyncBackend`.
     """
     cfg = config if config is not None else DriverConfig(mode=mode)
+    if (backend != "block" or staleness != 0) and path != "block":
+        raise ValueError("the async backend needs path='block'")
     if path == "block":
         spec = SsspBlockSpec(graph, partition, source=source)
-        backend = BlockBackend(spec, cluster=cluster)
-        res = IterationLoop(backend, cfg, sync_policy=sync_policy).run()
+        be = resolve_block_backend(spec, backend=backend,
+                                   staleness=staleness, cluster=cluster)
+        res = IterationLoop(be, cfg, sync_policy=sync_policy).run()
         dist = np.asarray(res.state)
     elif path == "kv":
         kv_spec = SsspKVSpec(graph, partition, source=source,
@@ -448,6 +460,8 @@ def sssp_spec(
     config: "DriverConfig | None" = None,
     sync_policy: "AdaptiveSyncPolicy | None" = None,
     name: "str | None" = None,
+    backend: str = "block",
+    staleness: "int | None" = 0,
 ) -> "JobSpec":
     """A submittable SSSP job for :meth:`~repro.core.Session.submit`.
 
@@ -462,8 +476,9 @@ def sssp_spec(
         name=name if name is not None else "sssp",
         config=cfg,
         sync_policy=sync_policy,
-        make_backend=lambda session: BlockBackend(
+        make_backend=lambda session: resolve_block_backend(
             SsspBlockSpec(graph, partition, source=source),
+            backend=backend, staleness=staleness,
             cluster=session.cluster),
     )
 

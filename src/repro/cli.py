@@ -58,6 +58,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(AdaptiveSyncPolicy) instead of the paper's "
                             "fixed budget")
 
+    def add_async_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=["block", "async"],
+                       default="block",
+                       help="iteration backend: the barrier-per-round block "
+                            "path, or the no-barrier async backend "
+                            "(bounded-staleness tablet publish/consume)")
+        p.add_argument("--staleness", default="0", metavar="N",
+                       help="staleness bound for the async backend: 0 = "
+                            "barrier semantics, N = reads may lag N rounds, "
+                            "'none'/'inf' = unbounded chaotic iteration "
+                            "(a nonzero bound implies --backend async)")
+
     p_pr = sub.add_parser("pagerank", help="PageRank (Figs 2-5 workload)")
     add_graph_args(p_pr)
     p_pr.add_argument("--mode", choices=["general", "eager", "both"],
@@ -65,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_pr.add_argument("--damping", type=float, default=0.85)
     p_pr.add_argument("--tol", type=float, default=1e-5)
     add_adaptive_sync(p_pr)
+    add_async_args(p_pr)
 
     p_sp = sub.add_parser("sssp", help="Shortest path (Figs 6-7 workload)")
     add_graph_args(p_sp)
@@ -72,6 +85,19 @@ def build_parser() -> argparse.ArgumentParser:
                       default="both")
     p_sp.add_argument("--source", type=int, default=0)
     add_adaptive_sync(p_sp)
+    add_async_args(p_sp)
+
+    p_jc = sub.add_parser(
+        "jacobi",
+        help="block-Jacobi linear solve (the §VI generality workload)")
+    add_graph_args(p_jc)
+    p_jc.add_argument("--mode", choices=["general", "eager", "both"],
+                      default="both")
+    p_jc.add_argument("--tol", type=float, default=1e-8)
+    p_jc.add_argument("--dominance", type=float, default=1.5,
+                      help="diagonal dominance factor of the generated "
+                           "system (must be > 1)")
+    add_async_args(p_jc)
 
     p_km = sub.add_parser("kmeans", help="K-Means (Figs 8-9 workload)")
     p_km.add_argument("--rows", type=int, default=20_000)
@@ -110,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--tablets", type=int, default=8,
                       help="tablet count of the shared online store "
                            "(--state-store online)")
+    p_sc.add_argument("--backend", choices=["block", "async"],
+                      default="block",
+                      help="backend for the jobs that support no-barrier "
+                           "iteration (pagerank/sssp); others stay on the "
+                           "block path")
+    p_sc.add_argument("--staleness", default="0", metavar="N",
+                      help="staleness bound for --backend async: 0, N, or "
+                           "'none'/'inf' (needs --state-store online)")
 
     p_sw = sub.add_parser("sweep", help="regenerate one figure's sweep")
     p_sw.add_argument("--figure", type=int, required=True,
@@ -171,6 +205,40 @@ def _sync_policy(args):
     return AdaptiveSyncPolicy()
 
 
+def _parse_staleness(value: str) -> "int | None":
+    """``--staleness`` values: 'none'/'inf' -> unbounded, else int >= 0."""
+    v = str(value).strip().lower()
+    if v in ("none", "inf", "unbounded"):
+        return None
+    try:
+        n = int(v)
+    except ValueError:
+        raise ValueError(
+            f"--staleness must be an integer >= 0 or 'none'/'inf', "
+            f"got {value!r}") from None
+    if n < 0:
+        raise ValueError(
+            f"--staleness must be >= 0 (or 'none'/'inf' for unbounded "
+            f"chaotic iteration), got {n}")
+    return n
+
+
+def _async_args(args, mode: str):
+    """Resolve (backend, staleness, config) for a single-job subcommand.
+
+    Nonzero staleness needs the online tablet store for its continuous
+    publish/consume path, so the async configurations get
+    ``state_store="online"`` in place of the default DFS.
+    """
+    from repro.core import DriverConfig
+
+    staleness = _parse_staleness(args.staleness)
+    use_async = args.backend == "async" or staleness != 0
+    cfg = (DriverConfig(mode=mode, state_store="online")
+           if use_async else None)
+    return args.backend, staleness, cfg
+
+
 def _cmd_pagerank(args) -> int:
     from repro.apps import pagerank
     from repro.cluster import SimCluster
@@ -178,8 +246,10 @@ def _cmd_pagerank(args) -> int:
     g, part = _load_graph(args)
     rows = []
     for mode in _modes(args.mode):
+        backend, staleness, cfg = _async_args(args, mode)
         res = pagerank(g, part, mode=mode, damping=args.damping, tol=args.tol,
-                       cluster=SimCluster(), sync_policy=_sync_policy(args))
+                       cluster=SimCluster(), sync_policy=_sync_policy(args),
+                       backend=backend, staleness=staleness, config=cfg)
         rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
                      "yes" if res.converged else "no"])
     _report(f"PageRank on Graph {args.graph} "
@@ -194,11 +264,34 @@ def _cmd_sssp(args) -> int:
     g, part = _load_graph(args, weighted=True)
     rows = []
     for mode in _modes(args.mode):
+        backend, staleness, cfg = _async_args(args, mode)
         res = sssp(g, part, source=args.source, mode=mode, cluster=SimCluster(),
-                   sync_policy=_sync_policy(args))
+                   sync_policy=_sync_policy(args),
+                   backend=backend, staleness=staleness, config=cfg)
         rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
                      "yes" if res.converged else "no"])
     _report(f"SSSP on Graph {args.graph} from source {args.source}", rows)
+    return 0
+
+
+def _cmd_jacobi(args) -> int:
+    from repro.apps import jacobi_solve, make_diagonally_dominant_system
+    from repro.cluster import SimCluster
+
+    g, part = _load_graph(args)
+    system = make_diagonally_dominant_system(part, dominance=args.dominance,
+                                             seed=args.seed)
+    rows = []
+    for mode in _modes(args.mode):
+        backend, staleness, cfg = _async_args(args, mode)
+        res = jacobi_solve(system, part, mode=mode, tol=args.tol,
+                           cluster=SimCluster(),
+                           backend=backend, staleness=staleness, config=cfg)
+        rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
+                     "yes" if res.converged else "no"])
+        print(f"  {mode} ||Ax - b||_inf: {res.residual_norm:.3e}")
+    _report(f"Jacobi solve on Graph {args.graph}'s sparsity "
+            f"({g.num_nodes} unknowns, {args.partitions} partitions)", rows)
     return 0
 
 
@@ -238,15 +331,24 @@ def _cmd_schedule(args) -> int:
         raise ValueError(f"unknown jobs: {sorted(unknown)} "
                          f"(expected pagerank/sssp/kmeans/components)")
 
+    staleness = _parse_staleness(args.staleness)
+    use_async = args.backend == "async" or staleness != 0
+    if use_async and args.state_store != "online":
+        raise ValueError("--backend async (or a nonzero --staleness) needs "
+                         "--state-store online: no-barrier publish/consume "
+                         "runs through the shared tablet store")
+
     g, part = _load_graph(args)
     wg = attach_random_weights(g, seed=args.seed + 1)
 
     def spec_for(job: str, idx: int):
         label = f"{job}#{idx}"
         if job == "pagerank":
-            return pagerank_spec(g, part, mode=args.mode, name=label)
+            return pagerank_spec(g, part, mode=args.mode, name=label,
+                                 backend=args.backend, staleness=staleness)
         if job == "sssp":
-            return sssp_spec(wg, part, mode=args.mode, name=label)
+            return sssp_spec(wg, part, mode=args.mode, name=label,
+                             backend=args.backend, staleness=staleness)
         if job == "components":
             return components_spec(g, part, mode=args.mode, name=label)
         pts = census_sample(args.rows, seed=args.seed)
@@ -361,6 +463,7 @@ def _cmd_lint(args) -> int:
 _COMMANDS = {
     "pagerank": _cmd_pagerank,
     "sssp": _cmd_sssp,
+    "jacobi": _cmd_jacobi,
     "kmeans": _cmd_kmeans,
     "schedule": _cmd_schedule,
     "sweep": _cmd_sweep,

@@ -222,6 +222,50 @@ class RoundAccountant:
         return self.cluster.clock - start
 
     # ------------------------------------------------------------------
+    # No-barrier charges (AsyncBackend)
+    # ------------------------------------------------------------------
+    def state_publish_seconds(self, partition: int, nbytes: float, *,
+                              version: int, num_partitions: int) -> float:
+        """Price one partition's continuous publish of its state slice.
+
+        Pricing only — the async backend composes per-partition
+        timelines itself and advances the shared clock once per round
+        via :meth:`charge_async_step`, so this must not touch the
+        clock.  Store-side stats (tablet bytes, version vector) do
+        accumulate.
+        """
+        if self.cluster is None:
+            return 0.0
+        return self.state_store.publish(
+            partition, nbytes, version=version,
+            num_partitions=num_partitions, share=self.slot_share)
+
+    def state_consume_seconds(self, partition_bytes: Sequence[float], *,
+                              read_versions: "Sequence[int] | None" = None)\
+            -> float:
+        """Price one partition's read of neighbour slices (with staleness
+        accounting when ``read_versions`` is given).  Pricing only, like
+        :meth:`state_publish_seconds`."""
+        if self.cluster is None:
+            return 0.0
+        return self.state_store.consume(
+            partition_bytes, read_versions=read_versions,
+            share=self.slot_share)
+
+    def local_solve_seconds(self, report) -> float:
+        """Compute seconds of one partition's whole local solve (every
+        local iteration), priced exactly like the barrier path's map
+        task so ``staleness=0`` reproduces its charges."""
+        if self.cluster is None:
+            return 0.0
+        return self.gmap_task_cost(report, 0, report.local_iters)
+
+    def charge_async_step(self, seconds: float, *, label: str) -> float:
+        """Advance the shared clock by one no-barrier step's wall time
+        (the furthest partition timeline this round reached)."""
+        return self.charge_fixed(label, seconds)
+
+    # ------------------------------------------------------------------
     # Driver-level composites (need a DriverConfig)
     # ------------------------------------------------------------------
     def _local_rate(self):

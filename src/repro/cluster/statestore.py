@@ -218,6 +218,13 @@ class OnlineStateStore(StateStore):
     last_round_tablet_seconds:
         Per-tablet write+read seconds of the most recent round trip;
         ``max`` of it is exactly what the round was charged.
+    versions:
+        Latest published version per partition (the no-barrier
+        :meth:`publish` path; empty for round-trip-only usage).
+    stale_reads / tablet_stale_reads / max_staleness_served:
+        Staleness accounting for the :meth:`consume` path: how many
+        slice reads were served from a non-latest version, which
+        tablets served them, and the largest version lag ever served.
     """
 
     name = "online"
@@ -235,6 +242,10 @@ class OnlineStateStore(StateStore):
         self._tablets: "list[SimKVStore] | None" = None
         self.tablet_bytes: "list[int]" = [0] * self.num_tablets
         self.last_round_tablet_seconds: "list[float]" = [0.0] * self.num_tablets
+        self.versions: "dict[int, int]" = {}
+        self.stale_reads: int = 0
+        self.tablet_stale_reads: "list[int]" = [0] * self.num_tablets
+        self.max_staleness_served: int = 0
 
     def bind(self, cluster: "SimCluster | None") -> "OnlineStateStore":
         if cluster is not None:
@@ -332,6 +343,86 @@ class OnlineStateStore(StateStore):
         priced it."""
         total = sum(_validated(partition_bytes))
         return self._cm().dfs_write_seconds(total, share=share)
+
+    # -- no-barrier publish/consume (the AsyncBackend path) -------------
+    def _partition_tablets(self, partition: int,
+                           num_partitions: int) -> "tuple[int, int]":
+        """Inclusive tablet index range partition ``partition`` overlaps."""
+        T = self.num_tablets
+        lo, hi = partition / num_partitions, (partition + 1) / num_partitions
+        return int(lo * T), min(T - 1, int(hi * T - 1e-12))
+
+    def publish(self, partition: int, nbytes: float, *, version: int,
+                num_partitions: int, share: float = 1.0) -> float:
+        """Seconds to publish one partition's slice at ``version``.
+
+        The no-barrier write path: instead of a whole round's byte
+        vector landing at once, each partition streams its slice to the
+        tablets its key range overlaps as soon as its local solve ends.
+        Versions per partition must be monotone (each publish supersedes
+        the previous one); the served time is the slowest touched
+        tablet, exactly the :meth:`write_round` discipline applied to a
+        one-partition vector.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if version <= self.versions.get(partition, 0) - 1:
+            raise ValueError(
+                f"publish version {version} for partition {partition} would "
+                f"go backwards (latest is {self.versions.get(partition, 0)})")
+        vec = [0.0] * num_partitions
+        vec[partition] = float(nbytes)
+        model = self._model()
+        tb = self.shard_bytes(vec)
+        secs = 0.0
+        for t, b in enumerate(tb):
+            if b == 0:
+                continue
+            s = model.write_seconds(b, share=share)
+            self.tablet_bytes[t] += int(b)
+            self.tablets[t].time_spent += s
+            secs = max(secs, s)
+        self.bytes_written += int(nbytes)
+        self.versions[partition] = max(version, self.versions.get(partition, 0))
+        return secs
+
+    def consume(self, partition_bytes: Sequence[float], *,
+                read_versions: "Sequence[int] | None" = None,
+                share: float = 1.0) -> float:
+        """Seconds for one partition to read its neighbours' slices.
+
+        ``partition_bytes`` carries the bytes read per source partition
+        (0 for slices the reader already holds); ``read_versions`` the
+        version actually served per source, so reads older than the
+        latest :meth:`publish` are accounted per tablet — the observable
+        cost of running without a barrier.  Served time is the slowest
+        touched tablet.
+        """
+        pb = _validated(partition_bytes)
+        model = self._model()
+        tb = self.shard_bytes(pb)
+        secs = 0.0
+        for t, b in enumerate(tb):
+            if b == 0:
+                continue
+            s = model.read_seconds(b, share=share)
+            self.tablet_bytes[t] += int(b)
+            self.tablets[t].time_spent += s
+            secs = max(secs, s)
+        self.bytes_read += int(sum(pb))
+        if read_versions is not None:
+            for q, (b, v) in enumerate(zip(pb, read_versions)):
+                if b == 0:
+                    continue
+                lag = self.versions.get(q, 0) - int(v)
+                if lag > 0:
+                    self.stale_reads += 1
+                    self.max_staleness_served = max(
+                        self.max_staleness_served, lag)
+                    t_first, t_last = self._partition_tablets(q, len(pb))
+                    for t in range(t_first, t_last + 1):
+                        self.tablet_stale_reads[t] += 1
+        return secs
 
 
 def resolve_state_store(spec, cluster: "SimCluster | None") -> StateStore:

@@ -32,6 +32,11 @@ Public surface:
 """
 
 from repro.core.api import AsyncMapReduceSpec, BlockSpec, LocalSolveReport
+from repro.core.async_backend import (
+    AsyncBackend,
+    DivergenceDetector,
+    resolve_block_backend,
+)
 from repro.core.autotune import AutotuneReport, ProbeResult, autotune_partitions
 from repro.core.config import DriverConfig, EAGER, GENERAL
 from repro.core.convergence import (
@@ -108,6 +113,9 @@ __all__ = [
     "EngineBackend",
     "BlockBackend",
     "HierarchicalBackend",
+    "AsyncBackend",
+    "DivergenceDetector",
+    "resolve_block_backend",
     "AdaptiveSyncPolicy",
     "RoundOutcome",
     "IterativeResult",

@@ -211,6 +211,13 @@ class BlockSpec(abc.ABC):
     #: leaves it False.
     partition_scoped_state: bool = False
 
+    #: True when the spec's update is safe under no-barrier iteration:
+    #: ``local_solve`` must tolerate a state vector mixing neighbour
+    #: slices from *different* rounds (chaotic relaxation, §VII), and
+    #: ``global_combine`` must be insensitive to report arrival order.
+    #: Specs opt in explicitly; the async backend refuses otherwise.
+    supports_async: bool = False
+
     @abc.abstractmethod
     def num_partitions(self) -> int:
         """Number of partitions (global map tasks per iteration)."""

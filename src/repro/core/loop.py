@@ -86,6 +86,25 @@ class RoundRecord:
     #: Per-partition bytes routed through the inter-round state store
     #: (one entry per partition; the shape every backend reports).
     state_partition_bytes: tuple = ()
+    #: Per-partition logical clocks: how many rounds each partition has
+    #: completed after this round.  Barrier backends leave it empty (all
+    #: partitions implicitly share the global round counter); the async
+    #: backend fills it, where the invariant "one step advances every
+    #: partition exactly one logical round" is worth recording.
+    partition_clocks: tuple = ()
+    #: Version-vector view of "which partition has seen which round":
+    #: entry ``p`` is the *oldest* neighbour version partition ``p``
+    #: consumed this round (== the previous iteration number under a
+    #: barrier; lower when a staleness bound let reads lag behind).
+    version_vector: tuple = ()
+
+    @property
+    def max_staleness(self) -> int:
+        """Largest read lag any partition saw this round (0 = barrier
+        semantics; meaningful only when :attr:`version_vector` is set)."""
+        if not self.version_vector:
+            return 0
+        return max(self.iteration - v for v in self.version_vector)
 
 
 @dataclass
@@ -121,6 +140,10 @@ class RoundOutcome:
     shuffle_bytes: int
     #: Per-partition bytes this round wrote through the state store.
     state_partition_bytes: tuple = ()
+    #: Per-partition logical clocks after this round (async backend).
+    partition_clocks: tuple = ()
+    #: Oldest neighbour version each partition consumed (async backend).
+    version_vector: tuple = ()
 
 
 # ----------------------------------------------------------------------
@@ -685,6 +708,8 @@ class IterationLoop:
                 sim_seconds=backend.accountant.clock - round_start,
                 shuffle_bytes=outcome.shuffle_bytes,
                 state_partition_bytes=outcome.state_partition_bytes,
+                partition_clocks=outcome.partition_clocks,
+                version_vector=outcome.version_vector,
             ))
         if policy is not None:
             policy.observe(residual, local_iters=outcome.local_iters,

@@ -229,6 +229,34 @@ def sorted_join_combine(key, values, ctx):
 
 
 # ---------------------------------------------------------------------
+# RPR051 — async-unsafe in-place state update in a combine
+# ---------------------------------------------------------------------
+
+def overwriting_state_combine(state, reports, ctx):
+    for r in reports:
+        nodes, x = r
+        state[nodes] = x
+    ctx.emit(0, state)
+
+
+def accumulating_state_combine(state, reports, ctx):
+    for r in reports:
+        nodes, x = r
+        state[nodes] += x
+    ctx.emit(0, state)
+
+
+def copying_state_combine(state, reports, ctx):
+    # Near-miss: the fold lands in a fresh copy; the shared view the
+    # async backend hands out is never written.
+    new_state = state.copy()
+    for r in reports:
+        nodes, x = r
+        new_state[nodes] = x
+    ctx.emit(0, new_state)
+
+
+# ---------------------------------------------------------------------
 # RPR031 — process-executor hazards (runtime-object rules: exercised
 # through lint_callable, not the static file path)
 # ---------------------------------------------------------------------
@@ -284,6 +312,8 @@ TRIGGERS = {
                (reduce_sub_combine, "combine"),
                (positional_combine, "combine")],
     "RPR022": [(joining_combine, "combine")],
+    "RPR051": [(overwriting_state_combine, "combine"),
+               (accumulating_state_combine, "combine")],
 }
 
 #: rule code -> [(function, role)] the rule must NOT flag.
@@ -297,4 +327,6 @@ NEAR_MISSES = {
                (countdown_combine, "combine"),
                (mean_after_loop_combine, "combine")],
     "RPR022": [(sorted_join_combine, "combine")],
+    "RPR051": [(copying_state_combine, "combine"),
+               (overwriting_state_combine, "reduce")],
 }

@@ -177,6 +177,69 @@ class TestOnlineStateStoreSharding:
             EC2_DEFAULTS.dfs_write_seconds(sum(pb)))
 
 
+class TestPublishConsume:
+    """The no-barrier publish/consume path (AsyncBackend's charges)."""
+
+    def test_publish_prices_like_one_partition_write_round(self):
+        model = OnlineStoreModel()
+        a = OnlineStateStore(num_tablets=4, model=model)
+        b = OnlineStateStore(num_tablets=4, model=model)
+        nbytes = 1 << 20
+        vec = [0.0, float(nbytes), 0.0, 0.0]
+        assert a.publish(1, nbytes, version=1, num_partitions=4) == \
+            pytest.approx(b.write_round(vec))
+        assert a.bytes_written == nbytes
+        assert a.versions == {1: 1}
+
+    def test_consume_prices_like_read_round(self):
+        model = OnlineStoreModel()
+        a = OnlineStateStore(num_tablets=4, model=model)
+        b = OnlineStateStore(num_tablets=4, model=model)
+        b.last_round_tablet_seconds = [0.0] * 4
+        pb = (1 << 20, 0, 1 << 10, 0)
+        assert a.consume(pb) == pytest.approx(b.read_round(pb))
+        assert a.bytes_read == sum(pb)
+
+    def test_version_monotonicity_enforced(self):
+        store = OnlineStateStore(num_tablets=2)
+        store.publish(0, 100, version=3, num_partitions=2)
+        # Same version republished (idempotent retry) is fine ...
+        store.publish(0, 100, version=3, num_partitions=2)
+        # ... as is skipping forward; going backwards is not.
+        store.publish(0, 100, version=5, num_partitions=2)
+        with pytest.raises(ValueError, match="backwards"):
+            store.publish(0, 100, version=3, num_partitions=2)
+        assert store.versions[0] == 5
+
+    def test_negative_publish_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineStateStore(2).publish(0, -1, version=1, num_partitions=2)
+
+    def test_stale_read_accounting(self):
+        store = OnlineStateStore(num_tablets=4)
+        for p in range(2):
+            for v in (1, 2, 3):
+                store.publish(p, 256, version=v, num_partitions=2)
+        assert store.stale_reads == 0
+        # Reader got version 1 of partition 0 (two behind) and the
+        # latest of partition 1.
+        store.consume((512, 0), read_versions=(1, 3))
+        assert store.stale_reads == 1
+        assert store.max_staleness_served == 2
+        # partition 0's key range spans tablets 0-1 of 4
+        assert store.tablet_stale_reads == [1, 1, 0, 0]
+        # Zero-byte slices never count as reads, stale or otherwise.
+        store.consume((0, 0), read_versions=(1, 1))
+        assert store.stale_reads == 1
+
+    def test_fresh_reads_stay_unflagged(self):
+        store = OnlineStateStore(num_tablets=2)
+        store.publish(0, 100, version=4, num_partitions=2)
+        store.consume((100, 0), read_versions=(4, 0))
+        assert store.stale_reads == 0
+        assert store.max_staleness_served == 0
+
+
 class TestResolveStateStore:
     def test_strings_map_to_equivalent_backends(self):
         cl = SimCluster()

@@ -1,0 +1,332 @@
+"""No-barrier iteration (repro.core.async_backend).
+
+Pins the three guarantees the async backend ships with:
+
+* ``staleness=0`` **is** the barrier — state bitwise equal to
+  :class:`BlockBackend`, round records dataclass-equal, accountant
+  charges identical phase for phase.
+* bounded staleness still reaches the synchronous fixed point, and the
+  recorded version vectors never violate the bound.
+* the Chazan–Miranker gap is real — a Jacobi system with
+  ``rho(M) < 1 < rho(|M|)`` contracts under the barrier, oscillates
+  divergently under pure chaos, and the :class:`DivergenceDetector`
+  rescues the chaotic run by tightening the bound to 0.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import (
+    SparseSystem,
+    jacobi_solve,
+    make_diagonally_dominant_system,
+)
+from repro.apps.pagerank import PageRankBlockSpec, pagerank_reference
+from repro.apps.sssp import SsspBlockSpec, sssp_reference
+from repro.cluster import OnlineStateStore, SimCluster
+from repro.core import (
+    AsyncBackend,
+    BlockBackend,
+    DivergenceDetector,
+    DriverConfig,
+    IterationLoop,
+    resolve_block_backend,
+)
+from repro.graph import DiGraph, Partition, multilevel_partition, \
+    preferential_attachment
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = preferential_attachment(300, num_conn=3, locality_prob=0.92,
+                                community_mean=40, seed=7)
+    part = multilevel_partition(g, 4, seed=0)
+    return g, part
+
+
+def oscillating_system():
+    """``x <- Mx + b`` with ``M = 0.55 * K`` for the skew matrix ``K``:
+    ``rho(M) = 0.95 < 1`` (synchronous Jacobi contracts) but
+    ``rho(|M|) = 1.1 > 1`` (chaotic iteration can diverge) — the
+    Chazan–Miranker gap, one partition per unknown."""
+    c = 0.55
+    m = c * np.array([[0.0, 1.0, -1.0],
+                      [-1.0, 0.0, 1.0],
+                      [1.0, -1.0, 0.0]])
+    rows, cols = np.nonzero(m)
+    system = SparseSystem(n=3, rows=rows, cols=cols, vals=-m[rows, cols],
+                          diag=np.ones(3),
+                          b=np.array([1.0, -0.5, 0.25]))
+    g = DiGraph(3, rows, cols)
+    part = Partition(graph=g, assign=np.arange(3), k=3)
+    assert np.max(np.abs(np.linalg.eigvals(m))) < 1.0
+    assert np.max(np.abs(np.linalg.eigvals(np.abs(m)))) > 1.0
+    return system, part
+
+
+class TestBarrierParity:
+    """``AsyncBackend(staleness=0)`` reproduces ``BlockBackend`` exactly."""
+
+    CFG = DriverConfig(mode="eager",
+                       state_store=lambda: OnlineStateStore(num_tablets=2),
+                       checkpoint_every=2)
+
+    def _run_pair(self, spec_factory, config):
+        block_cl, async_cl = SimCluster(), SimCluster()
+        block = IterationLoop(
+            BlockBackend(spec_factory(), cluster=block_cl), config).run()
+        asyn = IterationLoop(
+            AsyncBackend(spec_factory(), staleness=0, cluster=async_cl),
+            config).run()
+        return block, asyn, block_cl, async_cl
+
+    def test_bitwise_state_and_records(self, workload):
+        g, part = workload
+        block, asyn, block_cl, async_cl = self._run_pair(
+            lambda: PageRankBlockSpec(g, part), self.CFG)
+        assert asyn.global_iters == block.global_iters
+        assert np.array_equal(np.asarray(asyn.state), np.asarray(block.state))
+        # At staleness=0 from the start no async round ever ran, so the
+        # records carry no logical clocks and compare dataclass-equal.
+        assert asyn.history == block.history
+
+    def test_charge_for_charge(self, workload):
+        g, part = workload
+        block, asyn, block_cl, async_cl = self._run_pair(
+            lambda: PageRankBlockSpec(g, part), self.CFG)
+        assert asyn.sim_time == block.sim_time
+        assert async_cl.trace.phases() == block_cl.trace.phases()
+        assert any("checkpoint" in p for p in async_cl.trace.phases())
+
+    def test_resolver_parity_spelling(self, workload):
+        g, part = workload
+        be = resolve_block_backend(PageRankBlockSpec(g, part),
+                                   backend="async", staleness=0)
+        assert isinstance(be, AsyncBackend)
+        assert be.staleness == 0
+
+
+class TestBoundedStaleness:
+    def test_pagerank_reaches_sync_fixed_point(self, workload):
+        g, part = workload
+        ref = pagerank_reference(g)
+        for bound in (1, 3, None):
+            res = IterationLoop(
+                AsyncBackend(PageRankBlockSpec(g, part, tol=1e-7),
+                             staleness=bound,
+                             phase=(0.0, 0.3, 0.6, 0.9)),
+                DriverConfig(mode="eager")).run()
+            assert res.converged, bound
+            assert np.abs(np.asarray(res.state) - ref).max() < 1e-3, bound
+
+    def test_sssp_exact_at_any_bound(self, workload):
+        g, part = workload
+        ref = sssp_reference(g, source=0)
+        for bound in (0, 2, None):
+            res = IterationLoop(
+                AsyncBackend(SsspBlockSpec(g, part, source=0),
+                             staleness=bound,
+                             phase=(0.0, 0.3, 0.6, 0.9)),
+                DriverConfig(mode="eager")).run()
+            assert np.array_equal(np.asarray(res.state), ref), bound
+
+    def test_version_vector_respects_bound(self, workload):
+        g, part = workload
+        bound = 2
+        res = IterationLoop(
+            AsyncBackend(PageRankBlockSpec(g, part), staleness=bound,
+                         pace=(1.0, 1.4, 1.9, 2.6)),
+            DriverConfig(mode="eager")).run()
+        stale = [r.max_staleness for r in res.history]
+        assert all(r.partition_clocks == (r.iteration + 1,) * part.k
+                   for r in res.history)
+        assert all(s <= bound for s in stale)
+        # Heterogeneous pace makes reads actually stale, or the async
+        # machinery was never exercised.
+        assert max(stale) > 0
+
+    def test_unbounded_reads_drift_past_any_finite_bound(self, workload):
+        g, part = workload
+        res = IterationLoop(
+            AsyncBackend(PageRankBlockSpec(g, part, tol=1e-7),
+                         staleness=None, pace=(1.0, 1.0, 1.0, 4.0)),
+            DriverConfig(mode="eager")).run()
+        assert max(r.max_staleness for r in res.history) > 2
+
+    def test_bounded_staleness_waits_cost_time(self, workload):
+        """A tight bound drags fast partitions behind the slow one, so
+        the same heterogeneous schedule finishes earlier (in simulated
+        seconds per round) the looser the bound."""
+        g, part = workload
+        pace = (1.0, 1.0, 1.0, 3.0)
+
+        def run(bound):
+            cl = SimCluster()
+            cfg = DriverConfig(mode="eager",
+                               state_store=OnlineStateStore(num_tablets=4))
+            res = IterationLoop(
+                AsyncBackend(PageRankBlockSpec(g, part), staleness=bound,
+                             cluster=cl, pace=pace), cfg).run()
+            return res.sim_time / res.global_iters
+
+        assert run(None) <= run(1) * (1 + 1e-9)
+
+
+class TestDivergenceRescue:
+    def test_sync_converges_chaos_diverges(self):
+        system, part = oscillating_system()
+        sync = jacobi_solve(system, part, tol=1e-6, staleness=0,
+                            require_dominant=False,
+                            config=DriverConfig(mode="eager",
+                                                max_global_iters=800))
+        assert sync.converged
+
+        chaos = jacobi_solve(system, part, tol=1e-6, staleness=None,
+                             phase=(0.0, 0.34, 0.67),
+                             require_dominant=False,
+                             config=DriverConfig(mode="eager",
+                                                 max_global_iters=200))
+        assert not chaos.converged
+        residuals = [r.residual for r in chaos.result.history]
+        assert residuals[-1] > 10 * residuals[0]
+
+    def test_detector_rescues_chaotic_run(self):
+        system, part = oscillating_system()
+        det = DivergenceDetector()
+        res = jacobi_solve(system, part, tol=1e-6, staleness=None,
+                           phase=(0.0, 0.34, 0.67), detector=det,
+                           require_dominant=False,
+                           config=DriverConfig(mode="eager",
+                                               max_global_iters=800))
+        assert res.converged
+        assert res.residual_norm < 1e-4
+        # The observable trace: unbounded -> fallback -> halved -> ... -> 0.
+        assert det.events
+        assert det.events[0][1] is None
+        assert det.events[-1][2] == 0
+
+    def test_detector_unit_behavior(self):
+        det = DivergenceDetector(window=3, chaotic_fallback=4)
+        # Non-contraction across the window tightens None -> fallback.
+        assert det.observe(0, 1.0, None) is None
+        assert det.observe(1, 0.9, None) is None
+        assert det.observe(2, 1.1, None) == 4
+        # The window resets: two more observations are needed.
+        assert det.observe(3, 1.0, 4) == 4
+        assert det.observe(4, 1.0, 4) == 4
+        assert det.observe(5, 1.0, 4) == 2
+        # Non-finite residuals tighten immediately; 0 is a fixed point.
+        assert det.observe(6, math.inf, 2) == 1
+        assert det.observe(7, math.nan, 1) == 0
+        assert det.observe(8, math.inf, 0) == 0
+        assert det.events == [(2, None, 4), (5, 4, 2), (6, 2, 1), (7, 1, 0)]
+
+    def test_detector_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            DivergenceDetector(window=1)
+        with pytest.raises(ValueError, match="chaotic_fallback"):
+            DivergenceDetector(chaotic_fallback=0)
+
+
+class TestValidation:
+    def test_staleness_and_shape_validation(self, workload):
+        g, part = workload
+        spec = PageRankBlockSpec(g, part)
+        with pytest.raises(ValueError, match="staleness"):
+            AsyncBackend(spec, staleness=-1)
+        with pytest.raises(ValueError, match="pace"):
+            AsyncBackend(spec, pace=(1.0,))
+        with pytest.raises(ValueError, match="pace"):
+            AsyncBackend(spec, pace=(1.0, 0.0, 1.0, 1.0))
+        with pytest.raises(ValueError, match="phase"):
+            AsyncBackend(spec, phase=(0.0, -1.0, 0.0, 0.0))
+
+    def test_spec_must_opt_in(self, workload):
+        g, part = workload
+
+        class NoAsync(PageRankBlockSpec):
+            supports_async = False
+
+        with pytest.raises(ValueError, match="supports_async"):
+            AsyncBackend(NoAsync(g, part), staleness=1)
+
+    def test_needs_online_store_when_charged(self, workload):
+        g, part = workload
+        be = AsyncBackend(PageRankBlockSpec(g, part), staleness=1,
+                          cluster=SimCluster())
+        with pytest.raises(ValueError, match="OnlineStateStore"):
+            IterationLoop(be, DriverConfig(mode="eager",
+                                           state_store="dfs")).run()
+        # staleness=0 is the barrier path: any store works.
+        ok = IterationLoop(
+            AsyncBackend(PageRankBlockSpec(g, part), staleness=0,
+                         cluster=SimCluster()),
+            DriverConfig(mode="eager", state_store="dfs")).run()
+        assert ok.converged
+
+    def test_resolver_rejects_misuse(self, workload):
+        g, part = workload
+        spec = PageRankBlockSpec(g, part)
+        with pytest.raises(ValueError, match="backend"):
+            resolve_block_backend(spec, backend="engine")
+        with pytest.raises(ValueError, match="async backend only"):
+            resolve_block_backend(spec, backend="block", pace=(1.0,) * 4)
+        # Nonzero staleness implies async regardless of the name.
+        assert isinstance(resolve_block_backend(spec, staleness=3),
+                          AsyncBackend)
+        assert isinstance(resolve_block_backend(spec, staleness=None),
+                          AsyncBackend)
+        assert isinstance(resolve_block_backend(spec), BlockBackend)
+
+
+class TestAsyncCharges:
+    def test_async_rounds_cost_less_than_barrier_rounds(self, workload):
+        """The no-barrier round drops per-round job startup and the
+        reduce wave; with a cluster attached the per-round simulated
+        cost must come out below the barrier path's."""
+        g, part = workload
+
+        def run(staleness):
+            cl = SimCluster()
+            cfg = DriverConfig(mode="eager",
+                               state_store=OnlineStateStore(num_tablets=4))
+            res = IterationLoop(
+                AsyncBackend(PageRankBlockSpec(g, part), staleness=staleness,
+                             cluster=cl), cfg).run()
+            return res, cl
+
+        barrier, _ = run(0)
+        asyn, cl = run(1)
+        assert (asyn.sim_time / asyn.global_iters
+                < barrier.sim_time / barrier.global_iters)
+        # Startup is charged once, not per round.
+        startup = [p for p in cl.trace.phases() if "startup" in p]
+        assert len(startup) == 1
+
+    def test_store_staleness_stats(self, workload):
+        g, part = workload
+        store = OnlineStateStore(num_tablets=4)
+        cfg = DriverConfig(mode="eager", state_store=store)
+        res = IterationLoop(
+            AsyncBackend(PageRankBlockSpec(g, part), staleness=3,
+                         cluster=SimCluster(), pace=(1.0, 1.5, 2.1, 2.9)),
+            cfg).run()
+        assert res.converged
+        assert store.stale_reads > 0
+        assert 1 <= store.max_staleness_served <= 3
+        assert sum(store.tablet_stale_reads) >= store.stale_reads
+
+    def test_jacobi_async_with_cluster_converges(self, workload):
+        g, part = workload
+        system = make_diagonally_dominant_system(part, seed=3)
+        res = jacobi_solve(system, part, staleness=2,
+                           cluster=SimCluster(),
+                           config=DriverConfig(
+                               mode="eager",
+                               state_store=OnlineStateStore(num_tablets=4)))
+        assert res.converged
+        assert res.residual_norm < 1e-4

@@ -49,6 +49,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--figure", "10"])
 
+    def test_async_flags(self):
+        args = build_parser().parse_args(
+            ["pagerank", "--backend", "async", "--staleness", "2"])
+        assert args.backend == "async"
+        assert args.staleness == "2"
+        assert build_parser().parse_args(["jacobi"]).backend == "block"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pagerank", "--backend", "engine"])
+
 
 class TestCommands:
     def test_pagerank_runs(self, capsys):
@@ -107,6 +116,47 @@ class TestCommands:
                    "-k", "2", "--mode", "eager", "--adaptive-sync"])
         assert rc == 0
         assert "PageRank on Graph A" in capsys.readouterr().out
+
+    def test_jacobi_runs(self, capsys):
+        rc = main(["jacobi", "--graph", "A", "--scale", "0.003", "-k", "2",
+                   "--mode", "eager"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Jacobi solve on Graph A" in out
+        assert "||Ax - b||_inf" in out
+
+    def test_pagerank_async_backend_runs(self, capsys):
+        rc = main(["pagerank", "--graph", "A", "--scale", "0.003", "-k", "2",
+                   "--mode", "eager", "--backend", "async",
+                   "--staleness", "2"])
+        assert rc == 0
+        assert "PageRank on Graph A" in capsys.readouterr().out
+
+    def test_sssp_unbounded_staleness_runs(self, capsys):
+        rc = main(["sssp", "--graph", "A", "--scale", "0.003", "-k", "2",
+                   "--mode", "eager", "--staleness", "none"])
+        assert rc == 0
+        assert "SSSP on Graph A" in capsys.readouterr().out
+
+    def test_negative_staleness_exits_two(self, capsys):
+        rc = main(["pagerank", "--graph", "A", "--scale", "0.003", "-k", "2",
+                   "--mode", "eager", "--staleness", "-3"])
+        assert rc == 2
+        assert "--staleness" in capsys.readouterr().err
+
+    def test_schedule_async_needs_online_store(self, capsys):
+        rc = main(["schedule", "--jobs", "pagerank,sssp", "--scale", "0.003",
+                   "-k", "2", "--backend", "async", "--staleness", "1"])
+        assert rc == 2
+        assert "--state-store online" in capsys.readouterr().err
+
+    def test_schedule_async_with_online_store_runs(self, capsys):
+        rc = main(["schedule", "--jobs", "pagerank,sssp", "--scale", "0.003",
+                   "-k", "2", "--backend", "async", "--staleness", "1",
+                   "--state-store", "online", "--tablets", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pagerank#0" in out and "sssp#1" in out
 
     def test_bad_candidates_reports_error(self, capsys):
         rc = main(["autotune", "--graph", "A", "--scale", "0.003",
