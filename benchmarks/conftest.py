@@ -27,6 +27,7 @@ import pytest
 _BENCH_JSON_DEFAULT = "BENCH_state_store.json"
 _HOT_PATHS_JSON_DEFAULT = "BENCH_hot_paths.json"
 _STALENESS_JSON_DEFAULT = "BENCH_staleness.json"
+_STRAGGLERS_JSON_DEFAULT = "BENCH_stragglers.json"
 
 
 def _merge_json(path: str, section: str, values: "dict[str, float]") -> str:
@@ -65,6 +66,14 @@ def record_staleness_json(section: str, values: "dict[str, float]") -> str:
     rounds per bound)."""
     return _merge_json(
         os.environ.get("BENCH_STALENESS_JSON", _STALENESS_JSON_DEFAULT),
+        section, values)
+
+
+def record_stragglers_json(section: str, values: "dict[str, float]") -> str:
+    """Tail-latency artifact (makespans and round percentiles with and
+    without speculation / tablet auto-splitting)."""
+    return _merge_json(
+        os.environ.get("BENCH_STRAGGLERS_JSON", _STRAGGLERS_JSON_DEFAULT),
         section, values)
 
 

@@ -26,6 +26,12 @@ codes are grouped by family:
   barrier (every input is exactly one round old) but wrong under the
   no-barrier :class:`~repro.core.AsyncBackend`, where a combine's state
   argument is a live mixed-version view shared with concurrent readers.
+* ``RPR06x`` — **re-execution safety**: state a task function would
+  update more than once when the engine runs it more than once — which
+  it does, by design, on retry-after-failure *and* for speculative
+  backup copies of stragglers (two attempts of one task race and both
+  run to completion; only one result is taken, but side effects are
+  not un-done).
 """
 
 from __future__ import annotations
@@ -201,5 +207,14 @@ RULES: "dict[str, Rule]" = _catalog(
              "concurrent partitions are still reading; fold into a copy "
              "(new = state.copy()) or a commutative-monotone elementwise "
              "fold (np.minimum) and return it",
+    ),
+    Rule(
+        code="RPR061",
+        title="mutable accumulator outlives the task attempt",
+        severity=Severity.WARNING,
+        hint="the engine re-executes tasks (retry after failure, "
+             "speculative backup copies of stragglers), so a closed-over "
+             "list/dict/set accumulated into by the task double-counts; "
+             "accumulate in a local and emit through ctx instead",
     ),
 )

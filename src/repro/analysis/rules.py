@@ -15,7 +15,8 @@ Which rules run depends on the function's *role*:
 ========  ==========================================================
 role      rules
 ========  ==========================================================
-map       RPR001, RPR002, RPR003, RPR011
+map       RPR001, RPR002, RPR003, RPR011, RPR061 (captured
+          accumulators double-count under re-execution)
 reduce    the above + RPR012 (mutation of the aliased ``values``)
 combine   the above + RPR021/RPR022 (commutativity/associativity)
           + RPR051 (in-place state writes, unsafe without the barrier)
@@ -496,16 +497,107 @@ def _check_async_safety(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST
 
 
 # ----------------------------------------------------------------------
+# RPR061 — re-execution safety (captured mutable accumulators)
+# ----------------------------------------------------------------------
+
+#: Module-ish roots whose "mutator"-named attributes are ordinary
+#: functions (``np.append`` returns a new array, ``random.shuffle`` is
+#: RPR001's business) — never accumulator containers.
+_MODULE_ROOTS = frozenset({
+    "np", "numpy", "math", "os", "sys", "time", "heapq", "operator",
+    "itertools", "functools", "collections", "random", "bisect", "json",
+})
+
+
+def _bound_names(fn: ast.AST) -> "set[str]":
+    """Names bound inside the function: parameters, assignment/loop/
+    ``with``/``except`` targets, nested defs, and imports.
+
+    ``global``/``nonlocal`` declarations *unbind* their names — writes
+    through them outlive the attempt exactly like closure mutation.
+    """
+    args = fn.args  # type: ignore[attr-defined]
+    bound = set(_positional_args(fn))
+    bound.update(a.arg for a in args.kwonlyargs)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    declared: "set[str]" = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            if node is not fn:
+                bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).partition(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared.update(node.names)
+    return bound - declared
+
+
+def _check_reexecution_safety(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST]]":
+    """Mutation of a container the function did not create or receive.
+
+    A name that is neither a parameter nor bound anywhere in the body is
+    a closure cell or module global; ``acc.append(...)`` or
+    ``acc[k] += v`` through it accumulates across *attempts*.  The
+    engine re-executes tasks — retry after a fault, and a speculative
+    backup copy races the original with both running to completion — so
+    the accumulator counts some inputs twice.  Containers created
+    locally die with the attempt and never match.
+    """
+    fn = info.node
+    bound = _bound_names(fn)
+
+    def _free_root(node: ast.AST) -> Optional[str]:
+        if (isinstance(node, ast.Name) and node.id not in bound
+                and node.id not in _MODULE_ROOTS):
+            return node.id
+        return None
+
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS):
+            name = _free_root(node.func.value)
+            if name is not None:
+                yield ("RPR061",
+                       f"{name}.{node.func.attr}() accumulates into "
+                       f"captured state; a re-executed attempt (retry or "
+                       f"speculative backup) repeats the update",
+                       node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if isinstance(t, ast.Subscript):
+                    name = _free_root(t.value)
+                    if name is not None:
+                        yield ("RPR061",
+                               f"store into captured {name}[...]; a "
+                               f"re-executed attempt (retry or speculative "
+                               f"backup) repeats the update",
+                               t)
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
 _CHECKS_BY_ROLE = {
-    "map": (_check_nondeterminism, _check_set_iteration, _check_purity),
+    "map": (_check_nondeterminism, _check_set_iteration, _check_purity,
+            _check_reexecution_safety),
     "reduce": (_check_nondeterminism, _check_set_iteration, _check_purity,
-               _check_values_mutation),
+               _check_values_mutation, _check_reexecution_safety),
     "combine": (_check_nondeterminism, _check_set_iteration, _check_purity,
                 _check_values_mutation, _check_combiner_algebra,
-                _check_async_safety),
+                _check_async_safety, _check_reexecution_safety),
 }
 
 

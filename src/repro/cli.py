@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(AdaptiveSyncPolicy) instead of the paper's "
                             "fixed budget")
 
+    def add_speculate(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--speculate", action="store_true",
+                       help="speculatively re-execute straggling tasks "
+                            "(LATE-style backup copies; first result wins)")
+
     def add_async_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--backend", choices=["block", "async"],
                        default="block",
@@ -78,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_pr.add_argument("--tol", type=float, default=1e-5)
     add_adaptive_sync(p_pr)
     add_async_args(p_pr)
+    add_speculate(p_pr)
 
     p_sp = sub.add_parser("sssp", help="Shortest path (Figs 6-7 workload)")
     add_graph_args(p_sp)
@@ -86,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sp.add_argument("--source", type=int, default=0)
     add_adaptive_sync(p_sp)
     add_async_args(p_sp)
+    add_speculate(p_sp)
 
     p_jc = sub.add_parser(
         "jacobi",
@@ -98,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="diagonal dominance factor of the generated "
                            "system (must be > 1)")
     add_async_args(p_jc)
+    add_speculate(p_jc)
 
     p_km = sub.add_parser("kmeans", help="K-Means (Figs 8-9 workload)")
     p_km.add_argument("--rows", type=int, default=20_000)
@@ -108,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default="both")
     p_km.add_argument("--seed", type=int, default=0)
     add_adaptive_sync(p_km)
+    add_speculate(p_km)
 
     p_sc = sub.add_parser(
         "schedule",
@@ -144,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--staleness", default="0", metavar="N",
                       help="staleness bound for --backend async: 0, N, or "
                            "'none'/'inf' (needs --state-store online)")
+    p_sc.add_argument("--split-threshold", type=float, default=None,
+                      metavar="BYTES",
+                      help="auto-split a tablet of the shared online store "
+                           "once its cumulative bytes cross this threshold "
+                           "(--state-store online; default: no splitting)")
+    add_speculate(p_sc)
 
     p_sw = sub.add_parser("sweep", help="regenerate one figure's sweep")
     p_sw.add_argument("--figure", type=int, required=True,
@@ -229,13 +244,20 @@ def _async_args(args, mode: str):
     Nonzero staleness needs the online tablet store for its continuous
     publish/consume path, so the async configurations get
     ``state_store="online"`` in place of the default DFS.
+    ``--speculate`` also forces an explicit config (the default one has
+    speculation off).
     """
     from repro.core import DriverConfig
 
     staleness = _parse_staleness(args.staleness)
+    speculate = bool(getattr(args, "speculate", False))
     use_async = args.backend == "async" or staleness != 0
-    cfg = (DriverConfig(mode=mode, state_store="online")
-           if use_async else None)
+    cfg = None
+    if use_async:
+        cfg = DriverConfig(mode=mode, state_store="online",
+                           speculate=speculate)
+    elif speculate:
+        cfg = DriverConfig(mode=mode, speculate=True)
     return args.backend, staleness, cfg
 
 
@@ -303,9 +325,15 @@ def _cmd_kmeans(args) -> int:
     pts = census_sample(args.rows, seed=args.seed)
     rows = []
     for mode in _modes(args.mode):
+        cfg = None
+        if args.speculate:
+            from repro.core import DriverConfig
+
+            cfg = DriverConfig(mode=mode, speculate=True)
         res = kmeans(pts, args.clusters, mode=mode, threshold=args.threshold,
                      num_partitions=args.partitions, cluster=SimCluster(),
-                     seed=args.seed, sync_policy=_sync_policy(args))
+                     seed=args.seed, sync_policy=_sync_policy(args),
+                     config=cfg)
         rows.append([mode, res.global_iters, f"{res.sim_time:,.0f}",
                      "yes" if res.converged else "no"])
         print(f"  {mode} SSE: {sse(pts, res.centroids):,.0f}")
@@ -315,6 +343,8 @@ def _cmd_kmeans(args) -> int:
 
 
 def _cmd_schedule(args) -> int:
+    from dataclasses import replace
+
     from repro.apps import (components_spec, kmeans_spec, pagerank_spec,
                             sssp_spec)
     from repro.cluster import DFSStateStore, OnlineStateStore, SimCluster
@@ -356,15 +386,32 @@ def _cmd_schedule(args) -> int:
                            num_partitions=args.partitions, seed=args.seed,
                            name=label)
 
+    if args.split_threshold is not None and args.state_store != "online":
+        raise ValueError("--split-threshold applies to the online store "
+                         "only; add --state-store online")
+
     # One store shared by every job: multi-job runs contend on the same
     # tablets (an --state-store online run reports the tablet skew).
-    store = (OnlineStateStore(num_tablets=args.tablets)
+    store = (OnlineStateStore(num_tablets=args.tablets,
+                              split_threshold=args.split_threshold)
              if args.state_store == "online" else DFSStateStore())
     with Session(cluster=SimCluster(), policy=args.policy,
                  state_store=store) as session:
-        handles = [session.submit(spec_for(job, i))
-                   for i, job in enumerate(job_names)]
+        handles = []
+        for i, job in enumerate(job_names):
+            spec = spec_for(job, i)
+            if args.speculate:
+                spec.config = replace(spec.config, speculate=True)
+            handles.append(session.submit(spec))
         session.run()
+
+        def spec_stats(h):
+            hist = h.result.history
+            return (sum(r.backups for r in hist),
+                    sum(r.backups_won for r in hist),
+                    sum(r.wasted_seconds for r in hist),
+                    sum(r.tablet_splits for r in hist))
+
         rows = [
             [h.name, h.rounds, f"{h.queue_wait:,.0f}",
              f"{h.busy_seconds:,.0f}", f"{h.makespan:,.0f}",
@@ -380,9 +427,20 @@ def _cmd_schedule(args) -> int:
                   f"cluster ({session.policy.name})"))
         print(f"cluster makespan: {session.makespan():,.0f} simulated s; "
               f"mean job latency: {session.mean_latency():,.0f} simulated s")
+        if args.speculate or args.split_threshold is not None:
+            srows = []
+            for h in handles:
+                backups, won, wasted, splits = spec_stats(h)
+                srows.append([h.name, backups, won, f"{wasted:,.1f}", splits])
+            print(ascii_table(
+                ["job", "backups", "backups won", "wasted (s)",
+                 "tablet splits"],
+                srows, title="Speculation / auto-split"))
         if args.state_store == "online":
             print(f"shared online store: {store.num_tablets} tablets, "
-                  f"hottest-tablet load {store.imbalance():.2f}x the mean")
+                  f"hottest-tablet load {store.imbalance():.2f}x the mean, "
+                  f"{len(store.split_events)} splits "
+                  f"(tablet map v{store.tablet_map_version})")
     return 0
 
 

@@ -15,7 +15,12 @@ and task counts.
 """
 
 from repro.cluster.accountant import RoundAccountant
-from repro.cluster.cluster import PhaseResult, SimCluster
+from repro.cluster.cluster import (
+    PhaseResult,
+    SimCluster,
+    SpeculationConfig,
+    late_threshold,
+)
 from repro.cluster.costmodel import (
     CostModel,
     EC2_DEFAULTS,
@@ -44,6 +49,8 @@ from repro.cluster.trace import Event, Trace
 __all__ = [
     "SimCluster",
     "PhaseResult",
+    "SpeculationConfig",
+    "late_threshold",
     "RoundAccountant",
     "CostModel",
     "EC2_DEFAULTS",

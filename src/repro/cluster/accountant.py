@@ -78,6 +78,11 @@ class RoundAccountant:
         self.charged: float = 0.0
         self.slot_share: float = 1.0
         self._state_store = state_store
+        # Cumulative speculation stats across every phase this
+        # accountant scheduled (per-round deltas are the caller's job).
+        self.backups_launched: int = 0
+        self.backups_won: int = 0
+        self.wasted_seconds: float = 0.0
 
     @property
     def state_store(self) -> "StateStore":
@@ -98,6 +103,17 @@ class RoundAccountant:
             self._state_store = resolve_state_store(
                 self.config.state_store, self.cluster)
         return self._state_store
+
+    @property
+    def tablet_map_version(self) -> int:
+        """Tablet-map version of the attached state store (0 when the
+        store was never touched or has no mutable tablet map)."""
+        return getattr(self._state_store, "tablet_map_version", 0)
+
+    @property
+    def tablet_splits(self) -> int:
+        """Total tablet splits the attached state store performed."""
+        return len(getattr(self._state_store, "split_events", ()))
 
     def _label(self, label: str) -> str:
         return f"{self.job}:{label}" if self.job else label
@@ -155,20 +171,32 @@ class RoundAccountant:
         return self._count(self.cluster.charge_dfs_roundtrip(
             nbytes, label=self._label(label), share=self.slot_share))
 
+    def _speculate(self):
+        """Speculation setting forwarded to every scheduled phase
+        (``DriverConfig.speculate``; ``None`` when off or configless)."""
+        spec = getattr(self.config, "speculate", False)
+        return spec if spec else None
+
+    def _phase_stats(self, result) -> float:
+        self.backups_launched += result.backups
+        self.backups_won += result.backups_won
+        self.wasted_seconds += result.wasted_seconds
+        return result.makespan
+
     def run_map_phase(self, task_costs: Sequence[float], *, label: str) -> float:
         """Schedule map tasks; returns the phase makespan."""
         if self.cluster is None:
             return 0.0
-        return self._count(self.cluster.run_map_phase(
+        return self._count(self._phase_stats(self.cluster.run_map_phase(
             task_costs, label=self._label(label),
-            slot_share=self.slot_share).makespan)
+            slot_share=self.slot_share, speculate=self._speculate())))
 
     def run_reduce_phase(self, task_costs: Sequence[float], *, label: str) -> float:
         if self.cluster is None:
             return 0.0
-        return self._count(self.cluster.run_reduce_phase(
+        return self._count(self._phase_stats(self.cluster.run_reduce_phase(
             task_costs, label=self._label(label),
-            slot_share=self.slot_share).makespan)
+            slot_share=self.slot_share, speculate=self._speculate())))
 
     def charge_fixed(self, label: str, seconds: float) -> float:
         if self.cluster is None:

@@ -27,7 +27,54 @@ from repro.cluster.dfs import SimDFS
 from repro.cluster.node import SimNode, ec2_nodes
 from repro.cluster.trace import Event, Trace
 
-__all__ = ["PhaseResult", "SimCluster"]
+__all__ = ["PhaseResult", "SimCluster", "SpeculationConfig", "late_threshold"]
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Tuning knobs for LATE-style speculative execution.
+
+    Shared by the real engine (:class:`~repro.engine.MapReduceRuntime`
+    races actual task attempts) and the simulated cluster
+    (:class:`SimCluster` schedules projected backups): a task is *late*
+    when its (projected) completion exceeds ``slowdown_threshold`` times
+    the phase's ``percentile`` completion estimate.
+    """
+
+    #: Late = completion > threshold x the percentile estimate.
+    slowdown_threshold: float = 1.5
+    #: Which percentile of observed completions estimates the phase
+    #: (0.5 = median, the LATE paper's robust choice).
+    percentile: float = 0.5
+    #: Engine only: no backups until this fraction of tasks finished
+    #: (the estimate is noise before that).
+    min_completed_fraction: float = 0.25
+    #: Engine only: seconds between progress checks of in-flight tasks.
+    check_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.slowdown_threshold <= 1.0:
+            raise ValueError("slowdown_threshold must be > 1")
+        if not 0.0 < self.percentile <= 1.0:
+            raise ValueError("percentile must be in (0, 1]")
+        if not 0.0 <= self.min_completed_fraction <= 1.0:
+            raise ValueError("min_completed_fraction must be in [0, 1]")
+        if self.check_interval <= 0.0:
+            raise ValueError("check_interval must be > 0")
+
+
+def late_threshold(values: Sequence[float], *, slowdown_threshold: float,
+                   percentile: "float | None" = 0.5) -> float:
+    """The LATE cut-off: ``slowdown_threshold`` x a percentile estimate
+    of ``values`` (``percentile=None`` uses the mean)."""
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        return 0.0
+    if percentile is None:
+        estimate = sum(vals) / len(vals)
+    else:
+        estimate = vals[min(len(vals) - 1, int(percentile * len(vals)))]
+    return slowdown_threshold * estimate
 
 
 @dataclass(frozen=True)
@@ -38,6 +85,12 @@ class PhaseResult:
     makespan: float
     total_work: float
     num_tasks: int
+    #: Speculative backup attempts launched for this phase.
+    backups: int = 0
+    #: Backups that finished before their primary (the wins).
+    backups_won: int = 0
+    #: Seconds of duplicate work thrown away (every losing attempt).
+    wasted_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.makespan < 0 or self.total_work < 0:
@@ -53,6 +106,12 @@ class SimCluster:
         Machines; defaults to the Table I testbed (8 EC2 XL instances).
     cost_model:
         Constants for overhead charges; defaults to EC2-like values.
+    stragglers:
+        Optional straggler injection (duck-typed
+        :class:`~repro.engine.StragglerPlan`): per-node slowdown
+        multipliers and deterministic transient stalls applied to every
+        scheduled task, so phase charges reflect per-task slowdowns
+        instead of uniform node speed.
 
     Attributes
     ----------
@@ -66,7 +125,8 @@ class SimCluster:
 
     def __init__(self, nodes: Sequence[SimNode] | None = None,
                  cost_model: CostModel = EC2_DEFAULTS,
-                 online_model: "OnlineStoreModel | None" = None) -> None:
+                 online_model: "OnlineStoreModel | None" = None,
+                 stragglers=None) -> None:
         from repro.cluster.kvstore import OnlineStoreModel
 
         self.nodes: list[SimNode] = list(nodes) if nodes is not None else ec2_nodes()
@@ -75,6 +135,7 @@ class SimCluster:
         self.cost_model = cost_model
         self.online_model = (online_model if online_model is not None
                              else OnlineStoreModel())
+        self.stragglers = stragglers
         self.clock: float = 0.0
         self.trace = Trace()
         self.dfs = SimDFS(cost_model)
@@ -98,23 +159,30 @@ class SimCluster:
     # ------------------------------------------------------------------
     def run_map_phase(self, task_costs: Sequence[float], *,
                       label: str = "map",
-                      slot_share: float = 1.0) -> PhaseResult:
+                      slot_share: float = 1.0,
+                      speculate: "SpeculationConfig | bool | None" = None,
+                      ) -> PhaseResult:
         """Schedule map tasks (compute seconds each) onto map slots.
 
         ``slot_share`` caps the phase to a fraction of the cluster's
         slots (at least one) — how a multi-job scheduler models a job
         holding only its share of the cluster while other jobs run
         concurrently on the rest (see :mod:`repro.core.jobsched`).
+        ``speculate`` enables LATE-style backup attempts for tasks whose
+        projected completion runs past the phase estimate (``True`` for
+        defaults, or a :class:`SpeculationConfig`).
         """
         return self._run_phase(task_costs, kind="map", label=label,
-                               slot_share=slot_share)
+                               slot_share=slot_share, speculate=speculate)
 
     def run_reduce_phase(self, task_costs: Sequence[float], *,
                          label: str = "reduce",
-                         slot_share: float = 1.0) -> PhaseResult:
+                         slot_share: float = 1.0,
+                         speculate: "SpeculationConfig | bool | None" = None,
+                         ) -> PhaseResult:
         """Schedule reduce tasks onto reduce slots."""
         return self._run_phase(task_costs, kind="reduce", label=label,
-                               slot_share=slot_share)
+                               slot_share=slot_share, speculate=speculate)
 
     def _slots(self, kind: str) -> list[tuple[int, int, float]]:
         """(node_id, slot_index, speed) for every slot of the given kind."""
@@ -125,13 +193,31 @@ class SimCluster:
                 out.append((node.node_id, s, node.speed))
         return out
 
+    def _effective_speed(self, node_id: int, speed: float) -> float:
+        """Slot speed after the straggler plan's per-node slowdown."""
+        if self.stragglers is None:
+            return speed
+        return speed / self.stragglers.node_factor(node_id)
+
+    def _task_stall(self, kind: str, task_index: int) -> float:
+        """Deterministic transient stall for one task (0 without a plan)."""
+        if self.stragglers is None:
+            return 0.0
+        return self.stragglers.transient_stall(kind, task_index)
+
     def _run_phase(self, task_costs: Sequence[float], *, kind: str,
-                   label: str, slot_share: float = 1.0) -> PhaseResult:
+                   label: str, slot_share: float = 1.0,
+                   speculate: "SpeculationConfig | bool | None" = None,
+                   ) -> PhaseResult:
         costs = [float(c) for c in task_costs]
         if any(c < 0 for c in costs):
             raise ValueError("task costs must be >= 0")
         if not 0.0 < slot_share <= 1.0:
             raise ValueError(f"slot_share must be in (0, 1], got {slot_share}")
+        spec: "SpeculationConfig | None" = None
+        if speculate:
+            spec = (speculate if isinstance(speculate, SpeculationConfig)
+                    else SpeculationConfig())
         slots = self._slots(kind)
         if not slots:
             raise ValueError(f"cluster has no {kind} slots")
@@ -143,26 +229,108 @@ class SimCluster:
             return PhaseResult(phase=label, makespan=0.0, total_work=0.0, num_tasks=0)
 
         # LPT greedy: longest task first, onto the slot that can finish it
-        # earliest (accounts for heterogeneous node speeds).
+        # earliest (accounts for heterogeneous node speeds, including the
+        # straggler plan's per-node slowdowns and transient stalls).
         order = sorted(range(len(costs)), key=lambda i: -costs[i])
-        # Heap of (available_time, node_id, slot_idx, speed).
+        # Heap of (available_time, slot_idx, node_id, effective_speed):
+        # the slot index outranks the node id so ties at equal
+        # availability spread one task per node (a heartbeat scheduler's
+        # wave) instead of stacking the first node's slots.
         heap: list[tuple[float, int, int, float]] = [
-            (start_clock, nid, sidx, speed) for nid, sidx, speed in slots
+            (start_clock, sidx, nid, self._effective_speed(nid, speed))
+            for nid, sidx, speed in slots
         ]
         heapq.heapify(heap)
-        end_max = start_clock
+        completion: list[float] = [start_clock] * len(costs)
+        durations: list[float] = [0.0] * len(costs)
         for i in order:
-            avail, nid, sidx, speed = heapq.heappop(heap)
-            dur = dispatch + costs[i] / speed
+            avail, sidx, nid, speed = heapq.heappop(heap)
+            dur = dispatch + self._task_stall(kind, i) + costs[i] / speed
             end = avail + dur
             self.trace.add(Event(phase=label, label=f"{label}:{i}", node_id=nid,
                                  slot=sidx, start=avail, end=end))
-            end_max = max(end_max, end)
-            heapq.heappush(heap, (end, nid, sidx, speed))
-        makespan = end_max - start_clock
-        self.clock = end_max
+            completion[i] = end
+            durations[i] = dur
+            heapq.heappush(heap, (end, sidx, nid, speed))
+
+        backups = backups_won = 0
+        wasted = 0.0
+        if spec is not None and len(costs) > 1:
+            backups, backups_won, wasted = self._speculate(
+                costs, completion, durations, kind=kind, label=label,
+                slots=slots, order=order, start_clock=start_clock, spec=spec)
+        makespan = max(completion) - start_clock
+        self.clock = start_clock + makespan
         return PhaseResult(phase=label, makespan=makespan,
-                           total_work=sum(costs), num_tasks=len(costs))
+                           total_work=sum(costs), num_tasks=len(costs),
+                           backups=backups, backups_won=backups_won,
+                           wasted_seconds=wasted)
+
+    def _speculate(self, costs: "list[float]", completion: "list[float]",
+                   durations: "list[float]", *,
+                   kind: str, label: str, slots, order, start_clock: float,
+                   spec: "SpeculationConfig") -> "tuple[int, int, float]":
+        """Launch backup attempts for late tasks; mutates ``completion``
+        to first-result-wins and returns (backups, wins, wasted seconds).
+        """
+        cut = late_threshold(
+            [c - start_clock for c in completion],
+            slowdown_threshold=spec.slowdown_threshold,
+            percentile=spec.percentile)
+        threshold = start_clock + cut
+        # LATE watches progress rates continuously, so a task projected
+        # past the cut is *detected* as soon as the phase estimate
+        # stabilises — one typical task time into the phase — not only
+        # after the whole cut has elapsed.
+        detect = start_clock + cut / spec.slowdown_threshold
+        late = [i for i, c in enumerate(completion) if c > threshold]
+        if not late:
+            return 0, 0, 0.0
+        # Rebuild slot availability from the primary schedule minus the
+        # late tasks' occupancy: replay the non-late load in LPT order,
+        # then back each late task up on the slot that finishes it
+        # earliest — but no earlier than the moment it was *detected*
+        # late, as in Hadoop's speculative execution.
+        dispatch = self.cost_model.task_dispatch_seconds
+        heap: list[tuple[float, int, int, float]] = [
+            (start_clock, sidx, nid, self._effective_speed(nid, speed))
+            for nid, sidx, speed in slots
+        ]
+        heapq.heapify(heap)
+        late_set = set(late)
+        for i in order:
+            if i in late_set:
+                continue
+            avail, sidx, nid, speed = heapq.heappop(heap)
+            end = avail + dispatch + self._task_stall(kind, i) + costs[i] / speed
+            heapq.heappush(heap, (end, sidx, nid, speed))
+        backups = backups_won = 0
+        wasted = 0.0
+        # Backup placement minimises *finish* time, not queue time: the
+        # earliest-available slot is usually the idle straggler that made
+        # the task late in the first place — LATE explicitly re-runs the
+        # tail on fast nodes, accepting a queue wait to finish sooner.
+        free: "list[list]" = [list(entry) for entry in heap]
+        for i in sorted(late, key=lambda i: -costs[i]):
+            best = min(free, key=lambda e: max(e[0], threshold)
+                       + dispatch + costs[i] / e[3])
+            avail, sidx, nid, speed = best
+            bstart = max(avail, detect)
+            # Backups skip the transient stall: stalls are transient and
+            # the backup is a fresh attempt.
+            bend = bstart + dispatch + costs[i] / speed
+            self.trace.add(Event(phase=label, label=f"{label}:{i}:backup",
+                                 node_id=nid, slot=sidx, start=bstart,
+                                 end=bend))
+            backups += 1
+            if bend < completion[i]:
+                backups_won += 1
+                wasted += durations[i]  # primary's work discarded
+                completion[i] = bend
+            else:
+                wasted += bend - bstart  # backup discarded
+            best[0] = bend
+        return backups, backups_won, wasted
 
     # ------------------------------------------------------------------
     # Global synchronization accounting

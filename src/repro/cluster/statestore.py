@@ -39,6 +39,7 @@ directly and gets the partitioned behaviour.
 from __future__ import annotations
 
 import abc
+import bisect
 from typing import Sequence, TYPE_CHECKING
 
 from repro.cluster.costmodel import CostModel
@@ -189,13 +190,15 @@ class OnlineStateStore(StateStore):
 
     The state key space ``[0, 1)`` is covered twice over by contiguous
     ranges: partition ``p`` of ``P`` owns ``[p/P, (p+1)/P)`` and tablet
-    ``t`` of ``T`` serves ``[t/T, (t+1)/T)``.  A partition's round bytes
-    spread uniformly over its key range, so tablet ``t`` receives every
-    overlapping partition's proportional share.  Tablets serve requests
-    in parallel, each at the :class:`OnlineStoreModel` throughput, and a
-    round's write (or read) costs the **slowest tablet** — the hot
-    tablet is the round's bottleneck, and raising ``num_tablets``
-    shards a hot partition's range across more tablets.
+    ``t`` serves ``[boundaries[t], boundaries[t+1])``.  Tablets start
+    equal-width (``num_tablets`` of them); with a ``split_threshold``
+    the map is *versioned and mutable* — Bigtable's auto-splitting.  A
+    partition's round bytes spread uniformly over its key range, so a
+    tablet receives every overlapping partition's proportional share.
+    Tablets serve requests in parallel, each at the
+    :class:`OnlineStoreModel` throughput, and a round's write (or read)
+    costs the **slowest tablet** — the hot tablet is the round's
+    bottleneck, and splitting the hot range shards it thinner.
 
     A uniform byte vector keeps every tablet at ``total/T``; with
     ``num_tablets=1`` the single tablet receives the aggregate, making
@@ -208,23 +211,31 @@ class OnlineStateStore(StateStore):
 
     Attributes
     ----------
+    boundaries:
+        The live tablet map: ``num_tablets + 1`` ascending key-space
+        cut points from 0.0 to 1.0.
     tablets:
         One :class:`~repro.cluster.kvstore.SimKVStore` per tablet; rows
         can be stored/retrieved for real (engine-path state), and each
         tablet's ``time_spent`` accumulates its served load.
     tablet_bytes:
         Cumulative bytes served per tablet (all jobs of a session) —
-        the observable load-skew profile.
+        the observable load-skew profile, and the trigger for
+        auto-splitting.
     last_round_tablet_seconds:
         Per-tablet write+read seconds of the most recent round trip;
         ``max`` of it is exactly what the round was charged.
     versions:
         Latest published version per partition (the no-barrier
         :meth:`publish` path; empty for round-trip-only usage).
+        Partition-keyed, so the ledger survives tablet splits intact.
     stale_reads / tablet_stale_reads / max_staleness_served:
         Staleness accounting for the :meth:`consume` path: how many
         slice reads were served from a non-latest version, which
         tablets served them, and the largest version lag ever served.
+    tablet_map_version / split_events:
+        Version of the tablet map (bumped once per split) and the split
+        log: ``(map_version, tablet_index, midpoint, round)`` tuples.
     """
 
     name = "online"
@@ -232,20 +243,36 @@ class OnlineStateStore(StateStore):
 
     def __init__(self, num_tablets: int = 8, *,
                  model: "OnlineStoreModel | None" = None,
-                 cost_model: "CostModel | None" = None) -> None:
+                 cost_model: "CostModel | None" = None,
+                 split_threshold: "float | None" = None,
+                 max_tablets: int = 64) -> None:
         super().__init__()
         if num_tablets < 1:
             raise ValueError("num_tablets must be >= 1")
-        self.num_tablets = int(num_tablets)
+        if split_threshold is not None and split_threshold <= 0:
+            raise ValueError("split_threshold must be > 0 (or None)")
+        if max_tablets < num_tablets:
+            raise ValueError("max_tablets must be >= num_tablets")
+        self.boundaries: "list[float]" = [
+            t / num_tablets for t in range(num_tablets)] + [1.0]
+        self.split_threshold = split_threshold
+        self.max_tablets = int(max_tablets)
         self.model = model
         self.cost_model = cost_model
         self._tablets: "list[SimKVStore] | None" = None
-        self.tablet_bytes: "list[int]" = [0] * self.num_tablets
-        self.last_round_tablet_seconds: "list[float]" = [0.0] * self.num_tablets
+        self.tablet_bytes: "list[int]" = [0] * num_tablets
+        self.last_round_tablet_seconds: "list[float]" = [0.0] * num_tablets
         self.versions: "dict[int, int]" = {}
         self.stale_reads: int = 0
-        self.tablet_stale_reads: "list[int]" = [0] * self.num_tablets
+        self.tablet_stale_reads: "list[int]" = [0] * num_tablets
         self.max_staleness_served: int = 0
+        self.tablet_map_version: int = 0
+        self.split_events: "list[tuple[int, int, float, int]]" = []
+
+    @property
+    def num_tablets(self) -> int:
+        """Live tablet count (grows as auto-splitting fires)."""
+        return len(self.boundaries) - 1
 
     def bind(self, cluster: "SimCluster | None") -> "OnlineStateStore":
         if cluster is not None:
@@ -275,11 +302,19 @@ class OnlineStateStore(StateStore):
         return self._tablets
 
     # -- sharding -------------------------------------------------------
+    def _range_tablets(self, lo: float, hi: float) -> "tuple[int, int]":
+        """Inclusive tablet index range overlapping key range [lo, hi)."""
+        bounds = self.boundaries
+        T = len(bounds) - 1
+        t_first = min(T - 1, max(0, bisect.bisect_right(bounds, lo) - 1))
+        t_last = min(T - 1, max(0, bisect.bisect_left(bounds, hi - 1e-12) - 1))
+        return t_first, t_last
+
     def shard_bytes(self, partition_bytes: Sequence[float]) -> "list[float]":
         """Per-tablet byte load of one round's partition byte vector."""
         pb = _validated(partition_bytes)
-        T = self.num_tablets
-        out = [0.0] * T
+        bounds = self.boundaries
+        out = [0.0] * self.num_tablets
         P = len(pb)
         if P == 0:
             return out
@@ -287,13 +322,12 @@ class OnlineStateStore(StateStore):
             if b == 0:
                 continue
             lo, hi = p / P, (p + 1) / P
-            t_first = int(lo * T)
-            t_last = min(T - 1, int(hi * T - 1e-12))
+            t_first, t_last = self._range_tablets(lo, hi)
             if t_first == t_last:          # partition inside one tablet
                 out[t_first] += b
                 continue
             for t in range(t_first, t_last + 1):
-                overlap = min(hi, (t + 1) / T) - max(lo, t / T)
+                overlap = min(hi, bounds[t + 1]) - max(lo, bounds[t])
                 out[t] += b * (overlap * P)   # overlap / (hi - lo)
         return out
 
@@ -321,8 +355,52 @@ class OnlineStateStore(StateStore):
             self.bytes_written += int(sum(tb))
         return max(secs)
 
+    # -- auto-splitting -------------------------------------------------
+    def _split(self, t: int) -> None:
+        """Split tablet ``t`` at its key-range midpoint.
+
+        The two children each inherit half the parent's cumulative
+        statistics (bytes, served seconds, stale reads), so the load
+        profile and the split trigger stay meaningful across the split.
+        """
+        mid = (self.boundaries[t] + self.boundaries[t + 1]) / 2.0
+        self.boundaries.insert(t + 1, mid)
+        b = self.tablet_bytes[t]
+        self.tablet_bytes[t:t + 1] = [b - b // 2, b // 2]
+        s = self.last_round_tablet_seconds[t]
+        self.last_round_tablet_seconds[t:t + 1] = [s / 2.0, s / 2.0]
+        r = self.tablet_stale_reads[t]
+        self.tablet_stale_reads[t:t + 1] = [r - r // 2, r // 2]
+        if self._tablets is not None:
+            child = SimKVStore(model=self._model())
+            parent = self._tablets[t]
+            child.time_spent = parent.time_spent / 2.0
+            parent.time_spent -= child.time_spent
+            self._tablets.insert(t + 1, child)
+        self.tablet_map_version += 1
+        self.split_events.append((self.tablet_map_version, t, mid, self.rounds))
+
+    def _maybe_split(self) -> int:
+        """Split every tablet whose cumulative bytes crossed the
+        threshold (children are re-examined, so a very hot tablet can
+        split more than once); returns the number of splits."""
+        if self.split_threshold is None:
+            return 0
+        before = self.tablet_map_version
+        t = 0
+        while t < self.num_tablets:
+            if (self.num_tablets < self.max_tablets
+                    and self.tablet_bytes[t] >= self.split_threshold):
+                self._split(t)
+            else:
+                t += 1
+        return self.tablet_map_version - before
+
     def write_round(self, partition_bytes: Sequence[float], *,
                     share: float = 1.0) -> float:
+        # Splits take effect at round boundaries so the write and the
+        # read-back of one round trip see the same tablet map.
+        self._maybe_split()
         self.last_round_tablet_seconds = [0.0] * self.num_tablets
         return self._serve(
             partition_bytes,
@@ -348,9 +426,8 @@ class OnlineStateStore(StateStore):
     def _partition_tablets(self, partition: int,
                            num_partitions: int) -> "tuple[int, int]":
         """Inclusive tablet index range partition ``partition`` overlaps."""
-        T = self.num_tablets
-        lo, hi = partition / num_partitions, (partition + 1) / num_partitions
-        return int(lo * T), min(T - 1, int(hi * T - 1e-12))
+        return self._range_tablets(partition / num_partitions,
+                                   (partition + 1) / num_partitions)
 
     def publish(self, partition: int, nbytes: float, *, version: int,
                 num_partitions: int, share: float = 1.0) -> float:
@@ -384,6 +461,10 @@ class OnlineStateStore(StateStore):
             secs = max(secs, s)
         self.bytes_written += int(nbytes)
         self.versions[partition] = max(version, self.versions.get(partition, 0))
+        # No-barrier path has no round boundary; split as soon as the
+        # publish that crossed the threshold lands.  Version ledgers are
+        # partition-keyed, so they survive the remap untouched.
+        self._maybe_split()
         return secs
 
     def consume(self, partition_bytes: Sequence[float], *,
@@ -422,6 +503,7 @@ class OnlineStateStore(StateStore):
                     t_first, t_last = self._partition_tablets(q, len(pb))
                     for t in range(t_first, t_last + 1):
                         self.tablet_stale_reads[t] += 1
+        self._maybe_split()
         return secs
 
 

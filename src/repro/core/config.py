@@ -17,6 +17,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Union
 
+from repro.cluster.cluster import SpeculationConfig
 from repro.cluster.statestore import StateStore
 
 __all__ = ["DriverConfig", "GENERAL", "EAGER"]
@@ -112,6 +113,15 @@ class DriverConfig:
         :class:`~repro.analysis.LintWarning` per finding), ``"strict"``
         (raise :class:`~repro.analysis.LintError` on error-severity
         findings before any task runs).
+    speculate:
+        Speculative re-execution of straggling tasks (Hadoop's backup
+        tasks, LATE-style).  ``False`` (default) disables; ``True``
+        enables with :class:`~repro.cluster.SpeculationConfig` defaults;
+        a :class:`~repro.cluster.SpeculationConfig` instance tunes the
+        threshold/percentile.  Every phase the accountant schedules —
+        and, in the engine backend, real task execution — launches
+        backup copies of tasks running past the LATE threshold and takes
+        the first result.
     """
 
     mode: str = "eager"
@@ -126,6 +136,9 @@ class DriverConfig:
     #: (:mod:`repro.analysis`): ``"off"`` / ``"warn"`` / ``"strict"``.
     #: ``Session.submit(lint=...)`` overrides per submission.
     lint: str = "off"
+    #: Speculative re-execution of stragglers: ``False`` / ``True`` /
+    #: a :class:`~repro.cluster.SpeculationConfig`.
+    speculate: "Union[bool, SpeculationConfig]" = False
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -168,6 +181,11 @@ class DriverConfig:
                     "checkpoint_every must be >= 1 "
                     "(pass checkpoint_every=None to disable checkpointing)"
                 )
+        if not isinstance(self.speculate, (bool, SpeculationConfig)):
+            raise ValueError(
+                f"speculate must be a bool or a SpeculationConfig, "
+                f"got {self.speculate!r}"
+            )
 
     @property
     def effective_local_iters(self) -> int:

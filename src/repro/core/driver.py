@@ -35,11 +35,19 @@ from repro.engine import MapReduceRuntime
 __all__ = ["RoundRecord", "IterativeResult", "run_iterative_kv", "run_iterative_block"]
 
 
-def _deprecated(old: str) -> None:
+def _deprecated(old: str, *, stacklevel: int = 2) -> None:
+    """Emit the shim deprecation warning, blaming the shim's caller.
+
+    ``stacklevel`` counts from the *shim's* frame, exactly as if the
+    shim itself called ``warnings.warn(..., stacklevel=2)``: the default
+    of 2 attributes the warning to the line that called the shim — not
+    to this helper and not to ``driver.py``.  The helper adds one level
+    for its own frame.
+    """
     warnings.warn(
         f"{old} is deprecated; submit the job to a "
         f"repro.core.session.Session instead (Session.submit)",
-        DeprecationWarning, stacklevel=3,
+        DeprecationWarning, stacklevel=stacklevel + 1,
     )
 
 

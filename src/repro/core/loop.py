@@ -97,6 +97,20 @@ class RoundRecord:
     #: consumed this round (== the previous iteration number under a
     #: barrier; lower when a staleness bound let reads lag behind).
     version_vector: tuple = ()
+    #: Speculative backup copies launched in this round's phases
+    #: (``DriverConfig.speculate``; 0 when speculation is off).
+    backups: int = 0
+    #: Backups that finished before their primary (the round's phases
+    #: took the backup's result).
+    backups_won: int = 0
+    #: Duplicate seconds speculation burned this round: the discarded
+    #: copy's work, whether the backup won or lost.
+    wasted_seconds: float = 0.0
+    #: Tablet splits the state store performed during this round
+    #: (load-triggered auto-splitting; 0 for static tablet maps).
+    tablet_splits: int = 0
+    #: State-store tablet-map version after this round (0 = never split).
+    tablet_map_version: int = 0
 
     @property
     def max_staleness(self) -> int:
@@ -695,21 +709,31 @@ class IterationLoop:
         if hooked is not None:
             self._state = hooked
         budget = self._round_budget()
-        round_start = backend.accountant.clock
+        acct = backend.accountant
+        round_start = acct.clock
+        backups0 = acct.backups_launched
+        won0 = acct.backups_won
+        wasted0 = acct.wasted_seconds
+        splits0 = acct.tablet_splits
         outcome = backend.run_round(it, self._state, max_local_iters=budget)
         done, residual = backend.global_converged(self._state, outcome.state)
         self._iters = it + 1
-        self._busy += backend.accountant.clock - round_start
+        self._busy += acct.clock - round_start
         if config.record_history:
             self._history.append(RoundRecord(
                 iteration=it,
                 residual=residual,
                 local_iters=outcome.local_iters,
-                sim_seconds=backend.accountant.clock - round_start,
+                sim_seconds=acct.clock - round_start,
                 shuffle_bytes=outcome.shuffle_bytes,
                 state_partition_bytes=outcome.state_partition_bytes,
                 partition_clocks=outcome.partition_clocks,
                 version_vector=outcome.version_vector,
+                backups=acct.backups_launched - backups0,
+                backups_won=acct.backups_won - won0,
+                wasted_seconds=acct.wasted_seconds - wasted0,
+                tablet_splits=acct.tablet_splits - splits0,
+                tablet_map_version=acct.tablet_map_version,
             ))
         if policy is not None:
             policy.observe(residual, local_iters=outcome.local_iters,

@@ -28,7 +28,7 @@ from repro.engine.shm import (
     ShmPickleRef,
 )
 from repro.engine.counters import Counters
-from repro.engine.faults import FaultPlan, SimulatedTaskFailure
+from repro.engine.faults import FaultPlan, SimulatedTaskFailure, StragglerPlan
 from repro.engine.job import Job, JobConf
 from repro.engine.partitioner import HashPartitioner, RangePartitioner, stable_hash
 from repro.engine.runtime import JobFailedError, JobResult, MapReduceRuntime
@@ -65,6 +65,7 @@ __all__ = [
     "Counters",
     "FaultPlan",
     "SimulatedTaskFailure",
+    "StragglerPlan",
     "HashPartitioner",
     "RangePartitioner",
     "stable_hash",

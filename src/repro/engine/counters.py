@@ -26,6 +26,9 @@ __all__ = [
     "MAP_OPS",
     "REDUCE_OPS",
     "TASK_RETRIES",
+    "SPECULATIVE_BACKUPS",
+    "SPECULATIVE_WINS",
+    "SPECULATIVE_WASTED_TASKS",
 ]
 
 # Built-in counter names (namespaced like Hadoop's "FileSystemCounters").
@@ -40,6 +43,9 @@ SHUFFLE_BYTES = "job.shuffle.bytes"
 MAP_OPS = "task.map.ops"
 REDUCE_OPS = "task.reduce.ops"
 TASK_RETRIES = "job.task.retries"
+SPECULATIVE_BACKUPS = "job.speculative.backups"
+SPECULATIVE_WINS = "job.speculative.wins"
+SPECULATIVE_WASTED_TASKS = "job.speculative.wasted"
 
 
 @dataclass

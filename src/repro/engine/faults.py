@@ -11,6 +11,13 @@ without failures), this module injects controlled task failures:
   from a counter-based deterministic hash, modelling the "real-life
   transient failures" of a production cloud (§VI) while staying fully
   reproducible and picklable (safe to ship to process-pool workers).
+
+Failures are not the only heterogeneity a production cloud injects:
+tasks also *straggle* — they run, just slowly.  :class:`StragglerPlan`
+is the deterministic source of that slowness for the simulated cluster
+(per-node slowdown multipliers plus hash-decided transient stalls), and
+:attr:`FaultPlan.stalls` injects real wall-clock stalls into engine
+task attempts so speculative re-execution has something to race.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.partitioner import stable_hash
 
-__all__ = ["SimulatedTaskFailure", "FaultPlan"]
+__all__ = ["SimulatedTaskFailure", "FaultPlan", "StragglerPlan"]
 
 
 class SimulatedTaskFailure(RuntimeError):
@@ -41,6 +48,11 @@ class FaultPlan:
     seed: int = 0
     #: Attempts >= this index never fail (guarantees eventual success).
     always_succeed_from: int = 1_000_000
+    #: Wall-clock stalls: (phase, task_index) -> seconds the task's
+    #: *first* attempt sleeps before running.  Stalls model transient
+    #: slowness, so retries and speculative backups run at full speed —
+    #: which is exactly what gives a backup attempt its edge.
+    stalls: "dict[tuple[str, int], float]" = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability < 1.0:
@@ -50,6 +62,11 @@ class FaultPlan:
                 raise ValueError(f"unknown phase {phase!r}")
             if idx < 0 or n < 0:
                 raise ValueError("scripted entries must be non-negative")
+        for (phase, idx), secs in self.stalls.items():
+            if phase not in ("map", "reduce"):
+                raise ValueError(f"unknown phase {phase!r}")
+            if idx < 0 or secs < 0:
+                raise ValueError("stall entries must be non-negative")
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -77,6 +94,24 @@ class FaultPlan:
         return cls(probability=probability, seed=seed,
                    always_succeed_from=max_failures_per_task)
 
+    @classmethod
+    def stall(cls, stalls: "dict[tuple[str, int], float]") -> "FaultPlan":
+        """Stall the first attempt of specific tasks by wall-clock seconds.
+
+        ``stalls[("map", 3)] = 0.5`` makes map task 3's attempt 0 sleep
+        half a second before doing its work; retries and speculative
+        backups of the same task run unstalled.
+        """
+        return cls(stalls=dict(stalls))
+
+    def stall_seconds_for(self, phase: str, task_index: int,
+                          attempt: int) -> float:
+        """Seconds this attempt should sleep before running (0 for
+        retries/backups: stalls are transient, tied to attempt 0)."""
+        if attempt != 0:
+            return 0.0
+        return self.stalls.get((phase, task_index), 0.0)
+
     def maybe_fail(self, phase: str, task_index: int, attempt: int) -> None:
         """Raise :class:`SimulatedTaskFailure` if this attempt should fail."""
         if attempt >= self.always_succeed_from:
@@ -95,4 +130,82 @@ class FaultPlan:
 
     @property
     def is_empty(self) -> bool:
-        return not self.scripted and self.probability == 0.0
+        return (not self.scripted and self.probability == 0.0
+                and not self.stalls)
+
+
+@dataclass(frozen=True)
+class StragglerPlan:
+    """Deterministic heterogeneity for the simulated cluster.
+
+    Two ingredients, mirroring what the paper's production cloud does to
+    task durations:
+
+    * ``node_slowdown`` — per-node multipliers on task duration (a node
+      mapped to 4.0 runs every task four times slower: a failing disk,
+      a noisy neighbour VM).
+    * transient stalls — any individual task, on any node, loses
+      ``stall_seconds`` with probability ``stall_probability``, decided
+      by a counter-based hash so runs replay bit-identically.
+
+    The plan is consumed by :class:`~repro.cluster.SimCluster` phase
+    scheduling (duck-typed — the cluster package never imports the
+    engine), making simulated phase charges reflect per-task slowdowns
+    instead of uniform node speed.
+    """
+
+    #: node_id -> duration multiplier (> 1 is slower). Missing ids run
+    #: at full speed.
+    node_slowdown: "dict[int, float]" = field(default_factory=dict)
+    #: Probability any given task suffers a transient stall.
+    stall_probability: float = 0.0
+    #: Seconds a stalled task loses before making progress.
+    stall_seconds: float = 0.0
+    #: Seed folded into the stall decision hash.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.stall_probability <= 1.0:
+            raise ValueError("stall_probability must be in [0, 1]")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
+        for nid, factor in self.node_slowdown.items():
+            if nid < 0:
+                raise ValueError("node ids must be >= 0")
+            if factor < 1.0:
+                raise ValueError(
+                    f"slowdown for node {nid} must be >= 1 (got {factor}); "
+                    "fast nodes belong in SimNode.speed")
+
+    @classmethod
+    def none(cls) -> "StragglerPlan":
+        """A plan with no stragglers."""
+        return cls()
+
+    @classmethod
+    def slow_nodes(cls, node_slowdown: "dict[int, float]", *,
+                   stall_probability: float = 0.0,
+                   stall_seconds: float = 0.0,
+                   seed: int = 0) -> "StragglerPlan":
+        """Slow specific nodes down, optionally with transient stalls."""
+        return cls(node_slowdown=dict(node_slowdown),
+                   stall_probability=stall_probability,
+                   stall_seconds=stall_seconds, seed=seed)
+
+    def node_factor(self, node_id: int) -> float:
+        """Duration multiplier for tasks scheduled on ``node_id``."""
+        return self.node_slowdown.get(node_id, 1.0)
+
+    def transient_stall(self, phase: str, task_index: int) -> float:
+        """Deterministic stall seconds for one task of one phase."""
+        if self.stall_probability <= 0.0 or self.stall_seconds <= 0.0:
+            return 0.0
+        h = stable_hash((self.seed, "stall", phase, task_index))
+        if (h % 10_000_000) / 10_000_000.0 < self.stall_probability:
+            return self.stall_seconds
+        return 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.node_slowdown and (
+            self.stall_probability == 0.0 or self.stall_seconds == 0.0)

@@ -43,17 +43,27 @@ that.
 from __future__ import annotations
 
 import concurrent.futures
+import math
+import time
 from typing import Any, Callable, Sequence
 
-from repro.cluster import SimCluster
+from repro.cluster import SimCluster, SpeculationConfig, late_threshold
 from repro.engine.columnar import ColumnarBlock, MergeScratch
-from repro.engine.counters import Counters, SHUFFLE_BYTES, TASK_RETRIES
+from repro.engine.counters import (
+    Counters,
+    SHUFFLE_BYTES,
+    SPECULATIVE_BACKUPS,
+    SPECULATIVE_WASTED_TASKS,
+    SPECULATIVE_WINS,
+    TASK_RETRIES,
+)
 from repro.engine.faults import FaultPlan, SimulatedTaskFailure
 from repro.engine.job import Job
 from repro.engine.shm import (
     SHM_MIN_BYTES,
     SegmentRegistry,
     ShmBlockRef,
+    _unlink_quietly,
     export_groups,
     export_pickled,
 )
@@ -138,6 +148,18 @@ class MapReduceRuntime:
     shm_min_bytes:
         Minimum payload bytes before a block rides shared memory;
         smaller blocks stay on the pickle path.
+    speculate:
+        LATE-style speculative re-execution (``True`` for defaults, or a
+        :class:`~repro.cluster.SpeculationConfig`).  Once enough tasks
+        of a phase have finished to estimate its completion percentile,
+        any in-flight task running past ``slowdown_threshold`` x that
+        estimate gets a *backup* attempt submitted to the pool; the
+        first attempt to finish wins and the loser is cancelled (or its
+        result — and any shared-memory segments it parked — discarded).
+        Tasks are pure functions of their split, so both attempts
+        produce identical output and first-result-wins is safe; the
+        serial executor has no idle workers to race on and ignores the
+        flag.
     """
 
     def __init__(
@@ -150,6 +172,7 @@ class MapReduceRuntime:
         reuse_pool: bool = True,
         shm_transport: "bool | None" = None,
         shm_min_bytes: int = SHM_MIN_BYTES,
+        speculate: "SpeculationConfig | bool | None" = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
@@ -157,6 +180,11 @@ class MapReduceRuntime:
             raise ValueError("workers must be >= 1")
         if shm_min_bytes < 0:
             raise ValueError("shm_min_bytes must be >= 0")
+        self.speculation: "SpeculationConfig | None" = None
+        if speculate:
+            self.speculation = (speculate
+                                if isinstance(speculate, SpeculationConfig)
+                                else SpeculationConfig())
         self.executor = executor
         self.workers = workers
         self.cluster = cluster
@@ -240,10 +268,17 @@ class MapReduceRuntime:
     def _abort_batch(self, futures: "dict[concurrent.futures.Future, int]",
                      pool: "concurrent.futures.Executor", transient: bool,
                      exc: BaseException) -> None:
-        """Common error-path cleanup: cancel what hasn't started, drop a
-        pool the error has broken (the caller re-raises)."""
+        """Common error-path cleanup: cancel what hasn't started, wait
+        out what has, drop a pool the error has broken (the caller
+        re-raises)."""
         for fut in futures:
             fut.cancel()
+        # A running attempt (e.g. a stalled primary whose backup is
+        # racing) cannot be cancelled and keeps parking segments; the
+        # abort sweep must not run until no task of this job can still
+        # write.  Cancelled futures complete immediately.
+        if futures:
+            concurrent.futures.wait(list(futures))
         self._discard_if_broken(pool, transient, exc)
 
     # ------------------------------------------------------------------
@@ -289,10 +324,14 @@ class MapReduceRuntime:
             if reduce_fn is not job.reduce_fn:
                 self.segments.adopt(f"{shm_prefix}rf")
         # Event-driven pipeline only helps when there is a pool to keep
-        # busy; the serial executor runs the classic batch loop either way.
+        # busy; the serial executor runs the classic batch loop either
+        # way.  Speculation needs the event loop too (backups launch
+        # from progress checks between completions), so it forces the
+        # streaming path on pool executors even without eager_reduce.
         run_phase = (
             self._run_tasks_streaming
-            if conf.eager_reduce and self.executor != "serial"
+            if (conf.eager_reduce or self.speculation is not None)
+            and self.executor != "serial"
             else self._run_tasks
         )
 
@@ -377,9 +416,14 @@ class MapReduceRuntime:
                 # have parked segments whose refs never reached us; the
                 # deterministic name sweep reclaims every segment this
                 # job could possibly have created.
-                self.segments.sweep(shm_prefix, num_maps=len(splits),
-                                    num_reducers=conf.num_reducers,
-                                    max_attempts=conf.max_attempts)
+                self.segments.sweep(
+                    shm_prefix, num_maps=len(splits),
+                    num_reducers=conf.num_reducers,
+                    max_attempts=conf.max_attempts,
+                    # Backup attempts park under attempt numbers offset
+                    # by max_attempts; widen the probe when racing.
+                    backup_attempts=(conf.max_attempts
+                                     if self.speculation is not None else 0))
             raise
         finally:
             if shm:
@@ -428,6 +472,16 @@ class MapReduceRuntime:
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
+    @staticmethod
+    def _discard_result(res: TaskResult) -> None:
+        """Throw away a losing attempt's output, unlinking any segments
+        it parked (nobody will ever take them)."""
+        data = res.data
+        refs = data if isinstance(data, (list, tuple)) else [data]
+        for ref in refs:
+            if isinstance(ref, ShmBlockRef):
+                _unlink_quietly(ref.name)
+
     def _run_tasks_streaming(self, *, phase: str, count: int, make_args,
                              runner, max_attempts: int, counters: Counters,
                              consume: "Callable[[int, TaskResult], None] | None" = None,
@@ -439,35 +493,109 @@ class MapReduceRuntime:
         siblings keep running.  Successful results are handed to
         ``consume`` in completion order (the shuffle buffer restores map
         order internally).
+
+        With speculation enabled, the wait loop doubles as the LATE
+        progress monitor: completed attempts feed a per-phase duration
+        estimate, and an in-flight task whose elapsed time exceeds
+        ``slowdown_threshold`` x the ``percentile`` estimate gets one
+        backup attempt (attempt number offset by ``max_attempts`` so its
+        retry namespace — fault-plan decisions, shm segment names — is
+        disjoint from the primary's).  The first attempt to succeed
+        wins; the twin is cancelled if still queued, or its completed
+        result discarded and its segments unlinked.  Task runners are
+        pure functions of their split, so the winner's bytes are the
+        same either way.
         """
         results: "list[TaskResult | None]" = [None] * count
         if count == 0:
             return []
+        spec = self.speculation
         attempts = [0] * count
+        exhausted = [False] * count  # primary retries used up, twin in flight
+        has_backup = [False] * count
+        task_futs: "list[set[concurrent.futures.Future]]" = [
+            set() for _ in range(count)]
+        is_backup: "dict[concurrent.futures.Future, bool]" = {}
+        submit_time: "dict[concurrent.futures.Future, float]" = {}
+        durations: "list[float]" = []
         pool, transient = self._acquire_pool()
         futures: "dict[concurrent.futures.Future, int]" = {}
+
+        def submit(i: int, attempt: int, *, backup: bool = False) -> None:
+            fut = pool.submit(runner, *make_args(i, attempt))
+            futures[fut] = i
+            task_futs[i].add(fut)
+            is_backup[fut] = backup
+            submit_time[fut] = time.monotonic()
+
+        def forget(fut: "concurrent.futures.Future", i: int) -> None:
+            task_futs[i].discard(fut)
+            is_backup.pop(fut, None)
+            submit_time.pop(fut, None)
+
         try:
             for i in range(count):
-                futures[pool.submit(runner, *make_args(i, 0))] = i
+                submit(i, 0)
             while futures:
                 done, _ = concurrent.futures.wait(
-                    futures, return_when=concurrent.futures.FIRST_COMPLETED)
+                    futures,
+                    timeout=spec.check_interval if spec is not None else None,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
                 for fut in done:
                     i = futures.pop(fut)
+                    backup = is_backup.get(fut, False)
+                    started = submit_time.get(fut, 0.0)
+                    forget(fut, i)
                     try:
                         res = fut.result()
+                    except concurrent.futures.CancelledError:
+                        continue  # the loser never started; nothing to undo
                     except SimulatedTaskFailure:
+                        if results[i] is not None:
+                            continue  # the twin already won
+                        if backup:
+                            # A failed backup just leaves the primary
+                            # racing alone; a fresh backup may relaunch.
+                            has_backup[i] = False
+                            if exhausted[i] and not task_futs[i]:
+                                raise JobFailedError(
+                                    f"{phase} task {i} failed "
+                                    f"{max_attempts} attempts")
+                            continue
                         counters.incr(TASK_RETRIES)
                         attempts[i] += 1
                         if attempts[i] >= max_attempts:
+                            if task_futs[i]:
+                                exhausted[i] = True  # backup may still win
+                                continue
                             raise JobFailedError(
                                 f"{phase} task {i} failed {max_attempts} attempts"
                             )
-                        futures[pool.submit(runner, *make_args(i, attempts[i]))] = i
+                        submit(i, attempts[i])
                     else:
+                        if results[i] is not None:
+                            # Completed loser: identical bytes, but its
+                            # segments are orphans — reclaim them.
+                            self._discard_result(res)
+                            counters.incr(SPECULATIVE_WASTED_TASKS)
+                            continue
                         results[i] = res
+                        durations.append(time.monotonic() - started)
+                        if backup:
+                            counters.incr(SPECULATIVE_WINS)
                         if consume is not None:
                             consume(i, res)
+                        for twin in list(task_futs[i]):
+                            if twin.cancel():
+                                futures.pop(twin, None)
+                                forget(twin, i)
+                            # else: it runs to completion and its result
+                            # is discarded above.
+                if spec is not None and futures:
+                    self._launch_late_backups(
+                        spec, futures, results, attempts, has_backup,
+                        is_backup, submit_time, durations, count,
+                        max_attempts, counters, submit)
         except BaseException as exc:
             self._abort_batch(futures, pool, transient, exc)
             raise
@@ -476,6 +604,30 @@ class MapReduceRuntime:
                 pool.shutdown(wait=True)
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _launch_late_backups(spec, futures, results, attempts, has_backup,
+                             is_backup, submit_time, durations, count,
+                             max_attempts, counters, submit) -> None:
+        """The LATE check: back up in-flight tasks running past the
+        percentile estimate of completed-attempt durations."""
+        min_done = max(1, math.ceil(spec.min_completed_fraction * count))
+        if len(durations) < min_done:
+            return
+        cut = late_threshold(durations,
+                             slowdown_threshold=spec.slowdown_threshold,
+                             percentile=spec.percentile)
+        now = time.monotonic()
+        for fut, i in list(futures.items()):
+            if is_backup.get(fut) or has_backup[i] or results[i] is not None:
+                continue
+            if now - submit_time.get(fut, now) > cut:
+                has_backup[i] = True
+                counters.incr(SPECULATIVE_BACKUPS)
+                # Disjoint attempt namespace: fault plans script attempts
+                # below max_attempts, and shm names embed the attempt, so
+                # a backup never collides with primary retries.
+                submit(i, max_attempts + attempts[i], backup=True)
 
     def _execute_batch(self, indexed_args: "list[tuple[int, tuple]]", runner,
                        consume: "Callable[[int, TaskResult], None] | None" = None):

@@ -34,6 +34,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.cluster.cluster import late_threshold
 from repro.cluster.node import SimNode
 
 __all__ = ["ScheduleOutcome", "lpt_schedule", "submission_order_schedule",
@@ -183,15 +184,21 @@ def locality_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode],
 
 def speculative_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode], *,
                          kind: str = "map",
-                         slowdown_threshold: float = 1.5) -> ScheduleOutcome:
+                         slowdown_threshold: float = 1.5,
+                         percentile: "float | None" = None) -> ScheduleOutcome:
     """LPT scheduling plus Hadoop-style speculative backups.
 
     After the initial assignment, any task whose projected completion
-    exceeds ``slowdown_threshold`` x (average completion) gets a backup
+    exceeds ``slowdown_threshold`` x a phase estimate gets a backup
     attempt on the slot that can finish it earliest; the task completes
-    at the earlier of the two attempts.  This models Hadoop 0.20's
-    speculative execution closely enough for the invariants that matter:
-    makespan never increases, and a straggler node's impact is bounded.
+    at the earlier of the two attempts.  The estimate is the mean
+    completion by default (Hadoop 0.20's heuristic); ``percentile``
+    switches it to a percentile of the completions (0.5 = the LATE
+    paper's robust median, shared with
+    :meth:`~repro.cluster.SimCluster.run_map_phase` speculation).  This
+    models speculative execution closely enough for the invariants that
+    matter: makespan never increases, and a straggler node's impact is
+    bounded.
     """
     if slowdown_threshold <= 1.0:
         raise ValueError("slowdown_threshold must be > 1")
@@ -200,9 +207,10 @@ def speculative_schedule(task_costs: Sequence[float], nodes: Sequence[SimNode], 
     if not costs:
         return base
 
-    avg = sum(base.completion) / len(base.completion)
-    stragglers = [i for i, c in enumerate(base.completion)
-                  if c > slowdown_threshold * avg]
+    cut = late_threshold(base.completion,
+                         slowdown_threshold=slowdown_threshold,
+                         percentile=percentile)
+    stragglers = [i for i, c in enumerate(base.completion) if c > cut]
     if not stragglers:
         return base
 

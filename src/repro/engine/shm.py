@@ -308,17 +308,20 @@ class SegmentRegistry:
             self.release(self._live.pop())
 
     def sweep(self, prefix: str, *, num_maps: int, num_reducers: int,
-              max_attempts: int) -> int:
+              max_attempts: int, backup_attempts: int = 0) -> int:
         """Unlink every segment a job under ``prefix`` could have made.
 
         Used on the abort path only: probes are cheap (one failed open
         each) but per-job sweeps would still be pure overhead on the
         happy path, where take()/release have already emptied the
-        namespace.  Returns the number of segments actually reclaimed.
+        namespace.  ``backup_attempts`` widens the probe for speculative
+        re-execution, whose backup attempts park segments under attempt
+        numbers ``max_attempts .. max_attempts + backup_attempts - 1``.
+        Returns the number of segments actually reclaimed.
         """
         reclaimed = 0
         names = []
-        for a in range(max_attempts):
+        for a in range(max_attempts + backup_attempts):
             for i in range(num_maps):
                 names.extend(f"{prefix}m{i}a{a}p{r}"
                              for r in range(num_reducers))

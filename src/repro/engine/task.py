@@ -26,6 +26,7 @@ the same inputs and a bumped attempt number.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -162,6 +163,15 @@ class TaskResult:
     nbytes: int = 0
 
 
+def _stall(fault_plan: FaultPlan, phase: str, task_index: int,
+           attempt: int) -> None:
+    """Sleep out the plan's wall-clock stall for this attempt (the
+    heterogeneity speculative re-execution races against)."""
+    delay = fault_plan.stall_seconds_for(phase, task_index, attempt)
+    if delay > 0.0:
+        time.sleep(delay)
+
+
 def run_map_task(
     task_index: int,
     attempt: int,
@@ -196,6 +206,7 @@ def run_map_task(
     """
     task_id = f"m{task_index}"
     if fault_plan is not None:
+        _stall(fault_plan, "map", task_index, attempt)
         fault_plan.maybe_fail("map", task_index, attempt)
     if isinstance(map_fn, ShmPickleRef):
         map_fn = map_fn.load()  # parked once per run, cached per worker
@@ -326,6 +337,7 @@ def run_reduce_task(
     """
     task_id = f"r{task_index}"
     if fault_plan is not None:
+        _stall(fault_plan, "reduce", task_index, attempt)
         fault_plan.maybe_fail("reduce", task_index, attempt)
     if isinstance(reduce_fn, ShmPickleRef):
         reduce_fn = reduce_fn.load()  # parked once per run, cached

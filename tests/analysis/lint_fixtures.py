@@ -257,6 +257,56 @@ def copying_state_combine(state, reports, ctx):
 
 
 # ---------------------------------------------------------------------
+# RPR061 — captured mutable accumulators (double-count when the engine
+# re-executes the task: retry after a fault, or a speculative backup)
+# ---------------------------------------------------------------------
+
+_HITS = {}
+
+
+def counting_map(key, value, ctx):
+    _HITS[key] = _HITS.get(key, 0) + 1
+    ctx.emit(key, value)
+
+
+def make_audit_map():
+    seen = []
+
+    def audit_map(key, value, ctx):
+        seen.append(key)
+        ctx.emit(key, value)
+
+    return audit_map
+
+
+def make_tally_reduce():
+    totals = {}
+
+    def tally_reduce(key, values, ctx):
+        totals[key] = totals.get(key, 0.0) + sum(values)
+        ctx.emit(key, totals[key])
+
+    return tally_reduce
+
+
+def local_tally_reduce(key, values, ctx):
+    # Near-miss: the accumulator is born and dies inside the attempt,
+    # so a backup copy's accumulator is independent.
+    totals = {}
+    for v in values:
+        totals[key] = totals.get(key, 0.0) + v
+    ctx.emit(key, totals[key])
+
+
+def make_lookup_map(weights):
+    # Near-miss: *reading* captured plain data is re-execution safe.
+    def lookup_map(key, value, ctx):
+        ctx.emit(key, value * weights.get(key, 1.0))
+
+    return lookup_map
+
+
+# ---------------------------------------------------------------------
 # RPR031 — process-executor hazards (runtime-object rules: exercised
 # through lint_callable, not the static file path)
 # ---------------------------------------------------------------------
@@ -314,6 +364,8 @@ TRIGGERS = {
     "RPR022": [(joining_combine, "combine")],
     "RPR051": [(overwriting_state_combine, "combine"),
                (accumulating_state_combine, "combine")],
+    "RPR061": [(counting_map, "map"), (make_audit_map(), "map"),
+               (make_tally_reduce(), "reduce")],
 }
 
 #: rule code -> [(function, role)] the rule must NOT flag.
@@ -329,4 +381,6 @@ NEAR_MISSES = {
     "RPR022": [(sorted_join_combine, "combine")],
     "RPR051": [(copying_state_combine, "combine"),
                (overwriting_state_combine, "reduce")],
+    "RPR061": [(local_tally_reduce, "reduce"),
+               (make_lookup_map({}), "map")],
 }

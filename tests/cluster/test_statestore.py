@@ -540,3 +540,113 @@ class TestDeprecation:
     def test_state_store_is_a_statestore(self):
         assert isinstance(DFSStateStore(), StateStore)
         assert isinstance(OnlineStateStore(), StateStore)
+
+
+class TestAutoSplit:
+    """Load-triggered tablet splitting: hot key ranges subdivide mid-run
+    while the versioned tablet map keeps every ledger consistent."""
+
+    #: 8 partitions, everything concentrated in partition 0's key range.
+    SKEW = [8000.0, 10, 10, 10, 10, 10, 10, 10]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="split_threshold"):
+            OnlineStateStore(4, split_threshold=0)
+        with pytest.raises(ValueError, match="max_tablets"):
+            OnlineStateStore(8, split_threshold=100, max_tablets=4)
+
+    def test_no_threshold_never_splits(self):
+        store = OnlineStateStore(4)
+        for _ in range(5):
+            store.round_trip(self.SKEW)
+        assert store.tablet_map_version == 0
+        assert store.split_events == []
+        assert store.num_tablets == 4
+
+    def test_hot_tablet_splits_and_map_stays_consistent(self):
+        store = OnlineStateStore(4, split_threshold=4000)
+        for _ in range(4):
+            store.round_trip(self.SKEW)
+        assert store.num_tablets > 4
+        assert store.tablet_map_version == len(store.split_events)
+        # boundaries stay a strictly increasing 0..1 cover, and every
+        # per-tablet ledger tracks the new map's width
+        assert store.boundaries[0] == 0.0 and store.boundaries[-1] == 1.0
+        assert all(a < b for a, b in
+                   zip(store.boundaries, store.boundaries[1:]))
+        assert len(store.boundaries) == store.num_tablets + 1
+        assert len(store.tablet_bytes) == store.num_tablets
+        assert len(store.tablet_stale_reads) == store.num_tablets
+        assert len(store.tablets) == store.num_tablets
+        for version, tablet, midpoint, rnd in store.split_events:
+            assert 0.0 < midpoint < 1.0
+
+    def test_max_tablets_caps_growth(self):
+        store = OnlineStateStore(2, split_threshold=100, max_tablets=8)
+        for _ in range(10):
+            store.round_trip(self.SKEW)
+        assert store.num_tablets == 8
+
+    def test_sharding_conserves_bytes_across_splits(self):
+        store = OnlineStateStore(4, split_threshold=2000)
+        for _ in range(6):
+            store.round_trip(self.SKEW)
+        assert store.num_tablets > 4
+        assert sum(store.shard_bytes(self.SKEW)) == pytest.approx(
+            sum(self.SKEW))
+
+    def test_splitting_shrinks_the_hot_round_time(self):
+        """Subdividing the hot range spreads its bytes over more
+        tablets, so the slowest-tablet round time drops."""
+        frozen = OnlineStateStore(4)
+        split = OnlineStateStore(4, split_threshold=4000)
+        for _ in range(6):
+            t_frozen = frozen.round_trip(self.SKEW)
+            t_split = split.round_trip(self.SKEW)
+        assert split.num_tablets > frozen.num_tablets
+        assert t_split < t_frozen
+
+    def test_uniform_load_unaffected_by_headroom_threshold(self):
+        """With a threshold the uniform load never reaches, charges are
+        identical to the never-splitting store."""
+        uniform = [1000.0] * 8
+        plain = OnlineStateStore(4)
+        armed = OnlineStateStore(4, split_threshold=10**9)
+        for _ in range(3):
+            assert armed.round_trip(uniform) == pytest.approx(
+                plain.round_trip(uniform))
+        assert armed.tablet_map_version == 0
+
+    def test_publish_consume_ledgers_survive_splits(self):
+        """The async path: version ledgers are partition-keyed, so a
+        split mid-stream neither loses versions nor corrupts staleness
+        accounting."""
+        store = OnlineStateStore(2, split_threshold=3000, max_tablets=16)
+        for v in range(1, 5):
+            for p in range(4):
+                store.publish(p, 2000 if p == 0 else 50, version=v,
+                              num_partitions=4)
+        assert store.num_tablets > 2
+        assert store.versions == {p: 4 for p in range(4)}
+        # a stale read against the *new* map still lands on the hot
+        # partition's (now multiple) tablets
+        before = store.stale_reads
+        store.consume((1000, 0, 0, 0), read_versions=(2, 4, 4, 4))
+        assert store.stale_reads == before + 1
+        assert sum(store.tablet_stale_reads) >= 1
+        # publishing after the split keeps versions monotone
+        store.publish(0, 10, version=5, num_partitions=4)
+        assert store.versions[0] == 5
+
+    def test_split_store_round_accounting_through_accountant(self):
+        """RoundAccountant surfaces the live tablet map version and the
+        split count for RoundRecord consumption."""
+        cluster = SimCluster()
+        store = OnlineStateStore(2, split_threshold=3000).bind(cluster)
+        acct = RoundAccountant(cluster, DriverConfig(), job="t",
+                               state_store=store)
+        assert acct.tablet_map_version == 0
+        for _ in range(4):
+            acct.charge_state_round(self.SKEW)
+        assert acct.tablet_splits == len(store.split_events) > 0
+        assert acct.tablet_map_version == store.tablet_map_version

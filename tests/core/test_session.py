@@ -438,6 +438,58 @@ class TestDeprecatedShims:
         assert _history_key(old) == _history_key(new)
         assert old.sim_time == pytest.approx(new.sim_time)
 
+    def test_shim_warning_blames_the_caller_line(self, workload):
+        """stacklevel: the warning points at the *calling* line in this
+        file, never at driver.py (where the shim and its helper live)."""
+        import inspect
+
+        g, part = workload
+        cfg = DriverConfig(mode="eager", max_global_iters=2)
+        spec = PageRankBlockSpec(g, part)
+        with pytest.warns(DeprecationWarning,
+                          match="run_iterative_block is deprecated") as rec:
+            expected = inspect.currentframe().f_lineno + 1
+            run_iterative_block(spec, cfg)
+        w = [m for m in rec.list
+             if issubclass(m.category, DeprecationWarning)][0]
+        assert w.filename == __file__
+        assert w.lineno == expected
+        assert "driver.py" not in w.filename
+
+    def test_hierarchical_shim_warning_blames_the_caller_line(self, workload):
+        """The hierarchy.py shim imports driver's helper; the warning
+        must still land on the caller, not on hierarchy.py."""
+        import inspect
+
+        g, part = workload
+        cfg = DriverConfig(mode="eager", max_global_iters=2)
+        spec = PageRankBlockSpec(g, part)
+        racks = make_racks(part.k, 2)
+        with pytest.warns(
+                DeprecationWarning,
+                match="run_iterative_hierarchical is deprecated") as rec:
+            expected = inspect.currentframe().f_lineno + 1
+            run_iterative_hierarchical(spec, cfg, racks)
+        w = [m for m in rec.list
+             if issubclass(m.category, DeprecationWarning)][0]
+        assert w.filename == __file__
+        assert w.lineno == expected
+
+    def test_kv_shim_warning_blames_the_caller_line(self, workload):
+        import inspect
+
+        g, part = workload
+        cfg = DriverConfig(mode="eager", max_global_iters=1)
+        spec = PageRankKVSpec(g, part)
+        with pytest.warns(DeprecationWarning,
+                          match="run_iterative_kv is deprecated") as rec:
+            expected = inspect.currentframe().f_lineno + 1
+            run_iterative_kv(spec, cfg, num_reducers=2)
+        w = [m for m in rec.list
+             if issubclass(m.category, DeprecationWarning)][0]
+        assert w.filename == __file__
+        assert w.lineno == expected
+
     def test_shims_accept_sync_policy(self, workload):
         g, part = workload
         policy = AdaptiveSyncPolicy()

@@ -22,6 +22,8 @@ from repro.engine import (
     MapReduceRuntime,
     ShmPickleRef,
 )
+from repro.cluster import SpeculationConfig
+from repro.engine.counters import SPECULATIVE_BACKUPS
 from repro.engine.shm import export_pickled
 
 VOCAB = [f"word{i:03d}" for i in range(40)]
@@ -140,6 +142,55 @@ class TestSegmentLifecycle:
                 rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
                            conf=JobConf(num_reducers=3, max_attempts=2)),
                        _splits())
+            assert rt.segments.live_count == 0
+        assert _live_segments() <= before
+
+
+class TestSpeculativeCancellation:
+    """Racing twins park segments under disjoint attempt names; whoever
+    loses — cancelled in the queue, or completed and discarded — must
+    leave /dev/shm exactly as a speculation-free run would."""
+
+    #: Aggressive LATE knobs so a stalled task is backed up within a few
+    #: check intervals of the fast siblings finishing.
+    SPEC = SpeculationConfig(slowdown_threshold=1.05, percentile=0.5,
+                             min_completed_fraction=0.25,
+                             check_interval=0.01)
+
+    def test_losing_twin_segments_swept(self):
+        """One map task stalls; its unstalled backup wins, and the
+        stalled primary completes later into the discard path."""
+        splits = _splits()
+        before = _live_segments()
+        plan = FaultPlan(stalls={("map", 1): 0.6})
+        with MapReduceRuntime("processes", workers=3, fault_plan=plan,
+                              shm_min_bytes=1024,
+                              speculate=self.SPEC) as rt:
+            res = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                             conf=JobConf(num_reducers=3)), splits)
+            assert res.counters.get(SPECULATIVE_BACKUPS) >= 1
+            assert rt.segments.live_count == 0
+        assert _live_segments() <= before
+        with MapReduceRuntime("serial") as rt:
+            oracle = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                                conf=JobConf(num_reducers=3)), splits)
+        assert res.output == oracle.output
+
+    def test_job_abort_with_backups_in_flight(self):
+        """A task exhausts its attempts while a stalled sibling (and
+        possibly its backup twin) is still racing: the abort sweep must
+        reclaim primary *and* backup attempt namespaces."""
+        splits = _splits()
+        before = _live_segments()
+        plan = FaultPlan(scripted={("map", 2): 99},
+                         stalls={("map", 1): 0.8})
+        with MapReduceRuntime("processes", workers=3, fault_plan=plan,
+                              shm_min_bytes=1024,
+                              speculate=self.SPEC) as rt:
+            with pytest.raises(JobFailedError):
+                rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                           conf=JobConf(num_reducers=3, max_attempts=2)),
+                       splits)
             assert rt.segments.live_count == 0
         assert _live_segments() <= before
 
