@@ -28,6 +28,7 @@ _BENCH_JSON_DEFAULT = "BENCH_state_store.json"
 _HOT_PATHS_JSON_DEFAULT = "BENCH_hot_paths.json"
 _STALENESS_JSON_DEFAULT = "BENCH_staleness.json"
 _STRAGGLERS_JSON_DEFAULT = "BENCH_stragglers.json"
+_RECOVERY_JSON_DEFAULT = "BENCH_recovery.json"
 
 
 def _merge_json(path: str, section: str, values: "dict[str, float]") -> str:
@@ -74,6 +75,14 @@ def record_stragglers_json(section: str, values: "dict[str, float]") -> str:
     without speculation / tablet auto-splitting)."""
     return _merge_json(
         os.environ.get("BENCH_STRAGGLERS_JSON", _STRAGGLERS_JSON_DEFAULT),
+        section, values)
+
+
+def record_recovery_json(section: str, values: "dict[str, float]") -> str:
+    """Correlated-failure artifact (recovery bills per checkpoint
+    cadence, kill time, and failure-domain size)."""
+    return _merge_json(
+        os.environ.get("BENCH_RECOVERY_JSON", _RECOVERY_JSON_DEFAULT),
         section, values)
 
 

@@ -217,4 +217,15 @@ RULES: "dict[str, Rule]" = _catalog(
              "list/dict/set accumulated into by the task double-counts; "
              "accumulate in a local and emit through ctx instead",
     ),
+    Rule(
+        code="RPR071",
+        title="cluster/store handle cached outside the task attempt",
+        severity=Severity.WARNING,
+        hint="a cluster/runtime/store handle cached in a module global "
+             "(or closure) outlives failure recovery: after a node death "
+             "the worker is revived under a new incarnation and tablets "
+             "remap, but the cached handle still points at pre-failure "
+             "state; construct handles per attempt or take them from "
+             "the framework each call",
+    ),
 )

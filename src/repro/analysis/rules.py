@@ -16,7 +16,8 @@ Which rules run depends on the function's *role*:
 role      rules
 ========  ==========================================================
 map       RPR001, RPR002, RPR003, RPR011, RPR061 (captured
-          accumulators double-count under re-execution)
+          accumulators double-count under re-execution), RPR071
+          (cached cluster/store handles go stale across recovery)
 reduce    the above + RPR012 (mutation of the aliased ``values``)
 combine   the above + RPR021/RPR022 (commutativity/associativity)
           + RPR051 (in-place state writes, unsafe without the barrier)
@@ -587,17 +588,120 @@ def _check_reexecution_safety(info: FunctionLint) -> "Iterator[tuple[str, str, a
 
 
 # ----------------------------------------------------------------------
+# RPR071 — cached cluster/store handles (stale across failure recovery)
+# ----------------------------------------------------------------------
+
+#: Constructors whose result is a live execution-substrate handle.
+_HANDLE_FACTORIES = frozenset({
+    "SimCluster", "MapReduceRuntime", "Session", "WorkerPool",
+    "OnlineStateStore", "DFSStateStore", "SimKVStore", "SimDFS",
+})
+
+#: Name fragments that mark an identifier as handle-like.  Deliberately
+#: narrow: a free name must *look like* infrastructure before its use
+#: is flagged, so captured plain data stays clean.
+_HANDLE_FRAGMENTS = ("cluster", "runtime", "session", "kvstore",
+                     "statestore", "state_store", "worker_pool", "store")
+
+
+def _handleish_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(frag in lowered for frag in _HANDLE_FRAGMENTS)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_handle_expr(node: ast.AST) -> bool:
+    """True when an expression evaluates to a cluster/store handle:
+    a known constructor call, or a name/attribute that reads like one."""
+    if isinstance(node, ast.Call):
+        name = _terminal_name(node.func)
+        return name in _HANDLE_FACTORIES or (
+            name is not None and _handleish_name(name))
+    name = _terminal_name(node)
+    return name is not None and _handleish_name(name)
+
+
+def _check_handle_caching(info: FunctionLint) -> "Iterator[tuple[str, str, ast.AST]]":
+    """Cluster/store handles cached across task attempts.
+
+    Failure recovery makes a cached handle silently wrong: a node death
+    revives the worker under a new incarnation, tablet maps remap on
+    splits/merges, and the process executor gives every worker its own
+    divergent copy.  Two shapes are flagged: *storing* a handle where
+    it outlives the attempt (assignment through a ``global``/
+    ``nonlocal`` name, or a store into a captured container), and
+    *using* a handle-named free name (the read side of the same cache).
+    """
+    fn = info.node
+    bound = _bound_names(fn)
+    declared: "set[str]" = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared.update(node.names)
+
+    def _free(name: "Optional[str]") -> bool:
+        return name is not None and name not in bound \
+            and name not in _MODULE_ROOTS
+
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            value = node.value
+            if not _is_handle_expr(value):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id in declared:
+                    yield ("RPR071",
+                           f"handle cached in global {t.id}: a replayed "
+                           f"attempt after a node death reuses the "
+                           f"pre-failure handle",
+                           t)
+                elif isinstance(t, (ast.Subscript, ast.Attribute)):
+                    root = t
+                    while isinstance(root, (ast.Subscript, ast.Attribute)):
+                        root = root.value
+                    if _free(_terminal_name(root)):
+                        yield ("RPR071",
+                               f"handle stored into captured "
+                               f"{_terminal_name(root)}: the cache "
+                               f"outlives the attempt and failure "
+                               f"recovery",
+                               t)
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and isinstance(node.func.value, ast.Name)):
+            root = node.func.value.id
+            if _free(root) and _handleish_name(root):
+                yield ("RPR071",
+                       f"call through cached handle {root}: after a node "
+                       f"death the revived worker (new incarnation) no "
+                       f"longer matches this handle's state",
+                       node)
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
 _CHECKS_BY_ROLE = {
     "map": (_check_nondeterminism, _check_set_iteration, _check_purity,
-            _check_reexecution_safety),
+            _check_reexecution_safety, _check_handle_caching),
     "reduce": (_check_nondeterminism, _check_set_iteration, _check_purity,
-               _check_values_mutation, _check_reexecution_safety),
+               _check_values_mutation, _check_reexecution_safety,
+               _check_handle_caching),
     "combine": (_check_nondeterminism, _check_set_iteration, _check_purity,
                 _check_values_mutation, _check_combiner_algebra,
-                _check_async_safety, _check_reexecution_safety),
+                _check_async_safety, _check_reexecution_safety,
+                _check_handle_caching),
 }
 
 

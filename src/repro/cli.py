@@ -158,6 +158,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="auto-split a tablet of the shared online store "
                            "once its cumulative bytes cross this threshold "
                            "(--state-store online; default: no splitting)")
+    p_sc.add_argument("--merge-threshold", type=float, default=None,
+                      metavar="BYTES",
+                      help="merge adjacent tablets of the shared online "
+                           "store while their combined cumulative bytes "
+                           "stay under this threshold (--state-store "
+                           "online; default: no merging)")
+    p_sc.add_argument("--kill-node", type=int, default=None, metavar="N",
+                      help="kill worker node N mid-run (correlated-failure "
+                           "injection; see --kill-round/--kill-at)")
+    p_sc.add_argument("--kill-rack", type=int, default=None, metavar="R",
+                      help="kill every node of rack R mid-run (mutually "
+                           "exclusive with --kill-node)")
+    p_sc.add_argument("--kill-round", type=int, default=0, metavar="I",
+                      help="global iteration the kill fires in (default 0)")
+    p_sc.add_argument("--kill-at", type=float, default=0.0, metavar="S",
+                      help="simulated seconds into the kill round the "
+                           "domain dies (default 0.0)")
+    p_sc.add_argument("--heartbeat", type=float, default=3.0, metavar="S",
+                      help="heartbeat interval pricing death *detection* "
+                           "latency (default 3.0 simulated s)")
     add_speculate(p_sc)
 
     p_sw = sub.add_parser("sweep", help="regenerate one figure's sweep")
@@ -349,6 +369,7 @@ def _cmd_schedule(args) -> int:
                             sssp_spec)
     from repro.cluster import DFSStateStore, OnlineStateStore, SimCluster
     from repro.core import Session
+    from repro.engine import NodeFaultPlan
     from repro.data import census_sample
     from repro.graph import attach_random_weights
     from repro.util import ascii_table
@@ -386,17 +407,32 @@ def _cmd_schedule(args) -> int:
                            num_partitions=args.partitions, seed=args.seed,
                            name=label)
 
-    if args.split_threshold is not None and args.state_store != "online":
-        raise ValueError("--split-threshold applies to the online store "
-                         "only; add --state-store online")
+    for flag, name in ((args.split_threshold, "--split-threshold"),
+                       (args.merge_threshold, "--merge-threshold")):
+        if flag is not None and args.state_store != "online":
+            raise ValueError(f"{name} applies to the online store "
+                             f"only; add --state-store online")
+    if args.kill_node is not None and args.kill_rack is not None:
+        raise ValueError("--kill-node and --kill-rack are mutually "
+                         "exclusive (one failure domain per run)")
+    node_faults = None
+    if args.kill_node is not None:
+        node_faults = NodeFaultPlan.kill_node(
+            args.kill_node, round=args.kill_round, at_seconds=args.kill_at,
+            heartbeat_seconds=args.heartbeat)
+    elif args.kill_rack is not None:
+        node_faults = NodeFaultPlan.kill_rack(
+            args.kill_rack, round=args.kill_round, at_seconds=args.kill_at,
+            heartbeat_seconds=args.heartbeat)
 
     # One store shared by every job: multi-job runs contend on the same
     # tablets (an --state-store online run reports the tablet skew).
     store = (OnlineStateStore(num_tablets=args.tablets,
-                              split_threshold=args.split_threshold)
+                              split_threshold=args.split_threshold,
+                              merge_threshold=args.merge_threshold)
              if args.state_store == "online" else DFSStateStore())
-    with Session(cluster=SimCluster(), policy=args.policy,
-                 state_store=store) as session:
+    with Session(cluster=SimCluster(node_faults=node_faults),
+                 policy=args.policy, state_store=store) as session:
         handles = []
         for i, job in enumerate(job_names):
             spec = spec_for(job, i)
@@ -436,10 +472,26 @@ def _cmd_schedule(args) -> int:
                 ["job", "backups", "backups won", "wasted (s)",
                  "tablet splits"],
                 srows, title="Speculation / auto-split"))
+        if node_faults is not None:
+            frows = []
+            for h in handles:
+                hist = h.result.history
+                frows.append([
+                    h.name,
+                    sum(r.node_deaths for r in hist),
+                    sum(r.lost_map_outputs for r in hist),
+                    sum(r.rounds_replayed for r in hist),
+                    f"{sum(r.recovery_seconds for r in hist):,.1f}",
+                ])
+            print(ascii_table(
+                ["job", "node deaths", "lost map outputs",
+                 "rounds replayed", "recovery (s)"],
+                frows, title="Correlated-failure recovery"))
         if args.state_store == "online":
             print(f"shared online store: {store.num_tablets} tablets, "
                   f"hottest-tablet load {store.imbalance():.2f}x the mean, "
-                  f"{len(store.split_events)} splits "
+                  f"{len(store.split_events)} splits, "
+                  f"{len(store.merge_events)} merges "
                   f"(tablet map v{store.tablet_map_version})")
     return 0
 

@@ -45,6 +45,7 @@ from repro.cluster.statestore import (
     resolve_state_store,
 )
 from repro.cluster.trace import Event, Trace
+from repro.cluster.workerpool import WorkerInfo, WorkerPool
 
 __all__ = [
     "SimCluster",
@@ -74,4 +75,6 @@ __all__ = [
     "ec2_nodes",
     "Event",
     "Trace",
+    "WorkerInfo",
+    "WorkerPool",
 ]

@@ -83,6 +83,13 @@ class RoundAccountant:
         self.backups_launched: int = 0
         self.backups_won: int = 0
         self.wasted_seconds: float = 0.0
+        # Cumulative correlated-failure / recovery stats, fed by the sim
+        # scheduler's PhaseResults and by the engine's recovery charge.
+        self.node_deaths: int = 0
+        self.lost_map_outputs: int = 0
+        self.lost_seconds: float = 0.0
+        self.recovery_seconds: float = 0.0
+        self.rounds_replayed: int = 0
 
     @property
     def state_store(self) -> "StateStore":
@@ -114,6 +121,25 @@ class RoundAccountant:
     def tablet_splits(self) -> int:
         """Total tablet splits the attached state store performed."""
         return len(getattr(self._state_store, "split_events", ()))
+
+    @property
+    def tablet_merges(self) -> int:
+        """Total tablet merges the attached state store performed."""
+        return len(getattr(self._state_store, "merge_events", ()))
+
+    def begin_round(self, iteration: int) -> None:
+        """Open one global iteration: arm the cluster's worker pool.
+
+        The pool replaces workers lost in earlier rounds and converts
+        the fault plan's scripted deaths for this round into absolute
+        death clocks.  A checkpoint-rollback *replay* of a round must
+        not call this — replays run on the surviving fleet.
+        """
+        if self.cluster is None:
+            return
+        pool = getattr(self.cluster, "worker_pool", None)
+        if pool is not None:
+            pool.begin_round(iteration, self.cluster.clock)
 
     def _label(self, label: str) -> str:
         return f"{self.job}:{label}" if self.job else label
@@ -181,6 +207,10 @@ class RoundAccountant:
         self.backups_launched += result.backups
         self.backups_won += result.backups_won
         self.wasted_seconds += result.wasted_seconds
+        self.node_deaths += result.node_deaths
+        self.lost_map_outputs += result.lost_map_outputs
+        self.lost_seconds += result.lost_seconds
+        self.recovery_seconds += result.recovery_seconds
         return result.makespan
 
     def run_map_phase(self, task_costs: Sequence[float], *, label: str) -> float:
@@ -202,6 +232,46 @@ class RoundAccountant:
         if self.cluster is None:
             return 0.0
         return self._count(self.cluster.charge_fixed(self._label(label), seconds))
+
+    def charge_recovery(self, seconds: float, *, node_deaths: int = 0,
+                        lost_map_outputs: int = 0,
+                        label: str = "recovery") -> float:
+        """Charge an engine-observed recovery timeline (heartbeat
+        detection + re-executing the dead domain's lost work) and record
+        the correlated-failure stats.
+
+        The sim path never calls this — its scheduler prices deaths
+        inside the phase makespan and reports them via PhaseResult; the
+        real engine's wall clock is meaningless in simulated seconds, so
+        its runtime converts lost op counts into this explicit charge.
+        Stats are recorded even without a cluster (a cluster-less
+        engine run still surfaces ``lost_map_outputs``).
+        """
+        self.node_deaths += node_deaths
+        self.lost_map_outputs += lost_map_outputs
+        if self.cluster is None:
+            return 0.0
+        t = self.charge_fixed(label, seconds)
+        self.recovery_seconds += t
+        return t
+
+    def charge_state_restore(self, partition_bytes: Sequence[float], *,
+                             label: str = "restore") -> float:
+        """Charge reloading state from the last durability checkpoint
+        (a full replicated-DFS read), the first step of a rollback."""
+        if self.cluster is None:
+            return 0.0
+        cm = self.cluster.cost_model
+        t = cm.dfs_read_seconds(float(sum(partition_bytes)),
+                                share=self.slot_share)
+        t = self.charge_fixed(label, t)
+        self.recovery_seconds += t
+        return t
+
+    def record_replay(self, rounds: int) -> None:
+        """Record that a rollback replayed ``rounds`` global iterations
+        (their phase charges re-accrue through the normal paths)."""
+        self.rounds_replayed += rounds
 
     def charge_state_round(self, partition_bytes: Sequence[float], *,
                            label: str = "state") -> float:

@@ -91,6 +91,17 @@ class PhaseResult:
     backups_won: int = 0
     #: Seconds of duplicate work thrown away (every losing attempt).
     wasted_seconds: float = 0.0
+    #: Correlated failures that fired during this phase.
+    node_deaths: int = 0
+    #: In-flight attempts a node death truncated.
+    killed_tasks: int = 0
+    #: Completed map outputs orphaned by a death (re-executed).
+    lost_map_outputs: int = 0
+    #: Work thrown away by deaths: truncated partial attempts plus the
+    #: full durations of invalidated completed tasks.
+    lost_seconds: float = 0.0
+    #: Death-to-last-rerun span: detection latency plus re-execution.
+    recovery_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.makespan < 0 or self.total_work < 0:
@@ -112,6 +123,15 @@ class SimCluster:
         multipliers and deterministic transient stalls applied to every
         scheduled task, so phase charges reflect per-task slowdowns
         instead of uniform node speed.
+    node_faults:
+        Optional correlated-failure injection (duck-typed
+        :class:`~repro.engine.NodeFaultPlan`).  Creates a
+        :class:`~repro.cluster.WorkerPool` whose scripted deaths the
+        phase scheduler plays out mid-phase: dead slots disappear, the
+        attempts running on them are truncated at the death clock,
+        completed map outputs on the domain are invalidated, and the
+        lost work is re-queued on the survivors no earlier than the
+        heartbeat-priced detection point.
 
     Attributes
     ----------
@@ -126,8 +146,9 @@ class SimCluster:
     def __init__(self, nodes: Sequence[SimNode] | None = None,
                  cost_model: CostModel = EC2_DEFAULTS,
                  online_model: "OnlineStoreModel | None" = None,
-                 stragglers=None) -> None:
+                 stragglers=None, node_faults=None) -> None:
         from repro.cluster.kvstore import OnlineStoreModel
+        from repro.cluster.workerpool import WorkerPool
 
         self.nodes: list[SimNode] = list(nodes) if nodes is not None else ec2_nodes()
         if not self.nodes:
@@ -136,6 +157,10 @@ class SimCluster:
         self.online_model = (online_model if online_model is not None
                              else OnlineStoreModel())
         self.stragglers = stragglers
+        self.node_faults = node_faults
+        self.worker_pool: "WorkerPool | None" = (
+            WorkerPool(self.nodes, node_faults)
+            if node_faults is not None else None)
         self.clock: float = 0.0
         self.trace = Trace()
         self.dfs = SimDFS(cost_model)
@@ -221,6 +246,18 @@ class SimCluster:
         slots = self._slots(kind)
         if not slots:
             raise ValueError(f"cluster has no {kind} slots")
+        pool = self.worker_pool
+        deaths: "dict[int, float]" = {}
+        if pool is not None:
+            # Nodes that died in an earlier phase of this round offer no
+            # slots; nodes with a pending scripted death offer theirs
+            # only until the death clock.
+            alive = pool.alive_nodes
+            slots = [s for s in slots if s[0] in alive]
+            if not slots:
+                raise RuntimeError(
+                    "every node is dead; the job cannot make progress")
+            deaths = pool.pending_deaths()
         if slot_share < 1.0:
             slots = slots[:max(1, round(len(slots) * slot_share))]
         dispatch = self.cost_model.task_dispatch_seconds
@@ -243,19 +280,97 @@ class SimCluster:
         heapq.heapify(heap)
         completion: list[float] = [start_clock] * len(costs)
         durations: list[float] = [0.0] * len(costs)
+        lost: "list[int]" = []       # in-flight attempts a death truncated
+        doomed_done: "list[int]" = []  # completed on a node that later dies
+        killer: "dict[int, int]" = {}  # task -> the dying node it ran on
+        lost_seconds = 0.0
         for i in order:
             avail, sidx, nid, speed = heapq.heappop(heap)
+            # Slots already past their node's death clock are gone for
+            # good (the scheduler stops hearing the node's heartbeat).
+            while nid in deaths and avail >= deaths[nid]:
+                if not heap:
+                    raise RuntimeError(
+                        "every slot died mid-phase; nothing can finish "
+                        f"{label}")
+                avail, sidx, nid, speed = heapq.heappop(heap)
             dur = dispatch + self._task_stall(kind, i) + costs[i] / speed
             end = avail + dur
+            death_clock = deaths.get(nid)
+            if death_clock is not None and end > death_clock:
+                # The attempt dies with its machine, mid-flight: the
+                # trace keeps the truncated attempt, the slot is never
+                # returned, and the task re-runs in the recovery pass.
+                self.trace.add(Event(phase=label, label=f"{label}:{i}:killed",
+                                     node_id=nid, slot=sidx, start=avail,
+                                     end=death_clock))
+                lost.append(i)
+                killer[i] = nid
+                lost_seconds += death_clock - avail
+                continue
             self.trace.add(Event(phase=label, label=f"{label}:{i}", node_id=nid,
                                  slot=sidx, start=avail, end=end))
             completion[i] = end
             durations[i] = dur
             heapq.heappush(heap, (end, sidx, nid, speed))
+            if death_clock is not None:
+                # Completed before the death — but a map output lives on
+                # its node's local disk until shuffled, so it is lost if
+                # the death lands inside this phase.
+                killer[i] = nid
+                if kind == "map":
+                    doomed_done.append(i)
+
+        # A death fires this phase if it truncated an attempt or its
+        # clock falls inside the phase window; later deaths stay pending
+        # (e.g. a map-round death scripted past the map phase's end).
+        phase_end = max(completion)
+        killed_nodes = {killer[i] for i in lost}
+        fired = {n: d for n, d in deaths.items()
+                 if n in killed_nodes or d <= phase_end}
+
+        node_deaths = killed_tasks = lost_outputs = 0
+        recovery = 0.0
+        if fired:
+            assert pool is not None
+            for n, d in fired.items():
+                pool.fire(n, d)
+            node_deaths = len(fired)
+            killed_tasks = len(lost)
+            doomed_fired = [i for i in doomed_done if killer[i] in fired]
+            lost_outputs = len(doomed_fired)
+            for i in doomed_fired:
+                lost_seconds += durations[i]  # the whole attempt re-runs
+            # Recovery pass: re-queue the lost work on the survivors.
+            # Nothing restarts before the master *detects* the death —
+            # one heartbeat interval of silence after the death clock.
+            rerun = lost + doomed_fired
+            survivors = [e for e in heap if e[2] not in fired]
+            if rerun and not survivors:
+                raise RuntimeError(
+                    f"no surviving slots to re-run {len(rerun)} lost "
+                    f"{kind} tasks")
+            heapq.heapify(survivors)
+            first_death = min(fired.values())
+            last_rerun = first_death
+            for i in sorted(rerun, key=lambda i: -costs[i]):
+                avail, sidx, nid, speed = heapq.heappop(survivors)
+                restart = max(avail, pool.detection_clock(fired[killer[i]]))
+                end = restart + dispatch + costs[i] / speed
+                self.trace.add(Event(phase=label, label=f"{label}:{i}:replay",
+                                     node_id=nid, slot=sidx, start=restart,
+                                     end=end))
+                completion[i] = end
+                heapq.heappush(survivors, (end, sidx, nid, speed))
+                last_rerun = max(last_rerun, end)
+            recovery = last_rerun - first_death
 
         backups = backups_won = 0
         wasted = 0.0
-        if spec is not None and len(costs) > 1:
+        # LATE projections assume the primary schedule survives; a fired
+        # death already rewrote it, so the two mechanisms compose across
+        # rounds (speculate in healthy rounds) rather than within one.
+        if spec is not None and len(costs) > 1 and not fired:
             backups, backups_won, wasted = self._speculate(
                 costs, completion, durations, kind=kind, label=label,
                 slots=slots, order=order, start_clock=start_clock, spec=spec)
@@ -264,7 +379,11 @@ class SimCluster:
         return PhaseResult(phase=label, makespan=makespan,
                            total_work=sum(costs), num_tasks=len(costs),
                            backups=backups, backups_won=backups_won,
-                           wasted_seconds=wasted)
+                           wasted_seconds=wasted,
+                           node_deaths=node_deaths, killed_tasks=killed_tasks,
+                           lost_map_outputs=lost_outputs,
+                           lost_seconds=lost_seconds,
+                           recovery_seconds=recovery)
 
     def _speculate(self, costs: "list[float]", completion: "list[float]",
                    durations: "list[float]", *,

@@ -21,7 +21,7 @@ __all__ = ["PhaseShare", "phase_breakdown", "format_breakdown",
 #: Phase-name fragments classified as synchronization overhead (the
 #: paper's "global synchronization" cost) rather than useful compute.
 _OVERHEAD_MARKERS = ("startup", "shuffle", "barrier", "dfs", "state",
-                     "checkpoint", "racks")
+                     "checkpoint", "racks", "recovery", "restore")
 _COMPUTE_MARKERS = ("map", "reduce")
 
 

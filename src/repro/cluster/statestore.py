@@ -234,8 +234,13 @@ class OnlineStateStore(StateStore):
         slice reads were served from a non-latest version, which
         tablets served them, and the largest version lag ever served.
     tablet_map_version / split_events:
-        Version of the tablet map (bumped once per split) and the split
-        log: ``(map_version, tablet_index, midpoint, round)`` tuples.
+        Version of the tablet map (bumped once per split or merge) and
+        the split log: ``(map_version, tablet_index, split_key, round)``
+        tuples.
+    merge_events:
+        The merge log: ``(map_version, tablet_index, removed_boundary,
+        round)`` tuples — tablet ``tablet_index`` absorbed its right
+        neighbour and the boundary between them disappeared.
     """
 
     name = "online"
@@ -245,17 +250,26 @@ class OnlineStateStore(StateStore):
                  model: "OnlineStoreModel | None" = None,
                  cost_model: "CostModel | None" = None,
                  split_threshold: "float | None" = None,
+                 merge_threshold: "float | None" = None,
                  max_tablets: int = 64) -> None:
         super().__init__()
         if num_tablets < 1:
             raise ValueError("num_tablets must be >= 1")
         if split_threshold is not None and split_threshold <= 0:
             raise ValueError("split_threshold must be > 0 (or None)")
+        if merge_threshold is not None and merge_threshold <= 0:
+            raise ValueError("merge_threshold must be > 0 (or None)")
+        if (split_threshold is not None and merge_threshold is not None
+                and merge_threshold > split_threshold):
+            raise ValueError(
+                "merge_threshold must be <= split_threshold (a merged "
+                "tablet above the split trigger would oscillate)")
         if max_tablets < num_tablets:
             raise ValueError("max_tablets must be >= num_tablets")
         self.boundaries: "list[float]" = [
             t / num_tablets for t in range(num_tablets)] + [1.0]
         self.split_threshold = split_threshold
+        self.merge_threshold = merge_threshold
         self.max_tablets = int(max_tablets)
         self.model = model
         self.cost_model = cost_model
@@ -268,6 +282,12 @@ class OnlineStateStore(StateStore):
         self.max_staleness_served: int = 0
         self.tablet_map_version: int = 0
         self.split_events: "list[tuple[int, int, float, int]]" = []
+        self.merge_events: "list[tuple[int, int, float, int]]" = []
+        # Observed per-partition byte profile — the per-key load model
+        # behind load-aware split points.  Reset whenever the partition
+        # count of the served vectors changes (a different job shape).
+        self._profile: "dict[int, float]" = {}
+        self._profile_parts: int = 0
 
     @property
     def num_tablets(self) -> int:
@@ -339,10 +359,24 @@ class OnlineStateStore(StateStore):
             return 1.0
         return max(self.tablet_bytes) * self.num_tablets / total
 
+    def _note_profile(self, partition_bytes: "list[float]") -> None:
+        """Fold one served byte vector into the per-partition load
+        profile the load-aware split point is computed from."""
+        P = len(partition_bytes)
+        if P == 0:
+            return
+        if P != self._profile_parts:
+            self._profile = {}
+            self._profile_parts = P
+        for p, b in enumerate(partition_bytes):
+            if b:
+                self._profile[p] = self._profile.get(p, 0.0) + b
+
     # -- charges --------------------------------------------------------
     def _serve(self, partition_bytes: Sequence[float], seconds_of, *,
                share: float, read: bool) -> float:
         model = self._model()
+        self._note_profile(_validated(partition_bytes))
         tb = self.shard_bytes(partition_bytes)
         secs = [seconds_of(model, b, share) for b in tb]
         for t, (b, s) in enumerate(zip(tb, secs)):
@@ -356,14 +390,55 @@ class OnlineStateStore(StateStore):
         return max(secs)
 
     # -- auto-splitting -------------------------------------------------
+    def _split_point(self, t: int) -> float:
+        """Load-aware split key for tablet ``t``.
+
+        Bigtable splits a tablet where the *data* says to, not where
+        the key range's midpoint happens to fall: the chosen key is the
+        byte-weighted median of the observed per-partition load profile
+        restricted to the tablet's range (each partition's bytes spread
+        uniformly over its own key range, so the profile is a
+        piecewise-constant density).  With no observations in range the
+        midpoint is the fallback; either way the point is clamped
+        strictly inside the range so both children are non-empty.
+        """
+        lo, hi = self.boundaries[t], self.boundaries[t + 1]
+        mid = (lo + hi) / 2.0
+        P = self._profile_parts
+        point = mid
+        if P and self._profile:
+            # Segments of the piecewise-constant density inside [lo, hi).
+            segs: "list[tuple[float, float, float]]" = []
+            total = 0.0
+            for p in range(max(0, int(lo * P)), min(P, int(hi * P) + 1)):
+                b = self._profile.get(p, 0.0)
+                if b <= 0:
+                    continue
+                olo = max(lo, p / P)
+                ohi = min(hi, (p + 1) / P)
+                if ohi <= olo:
+                    continue
+                w = b * (ohi - olo) * P   # bytes falling inside [olo, ohi)
+                segs.append((olo, ohi, w))
+                total += w
+            if total > 0:
+                half, acc = total / 2.0, 0.0
+                for olo, ohi, w in segs:
+                    if acc + w >= half:
+                        point = olo + (half - acc) / w * (ohi - olo)
+                        break
+                    acc += w
+        eps = (hi - lo) * 1e-6
+        return min(hi - eps, max(lo + eps, point))
+
     def _split(self, t: int) -> None:
-        """Split tablet ``t`` at its key-range midpoint.
+        """Split tablet ``t`` at its load-aware split key.
 
         The two children each inherit half the parent's cumulative
         statistics (bytes, served seconds, stale reads), so the load
         profile and the split trigger stay meaningful across the split.
         """
-        mid = (self.boundaries[t] + self.boundaries[t + 1]) / 2.0
+        mid = self._split_point(t)
         self.boundaries.insert(t + 1, mid)
         b = self.tablet_bytes[t]
         self.tablet_bytes[t:t + 1] = [b - b // 2, b // 2]
@@ -396,11 +471,57 @@ class OnlineStateStore(StateStore):
                 t += 1
         return self.tablet_map_version - before
 
+    # -- merging --------------------------------------------------------
+    def _merge(self, t: int) -> None:
+        """Tablet ``t`` absorbs its right neighbour: the boundary
+        between them disappears and the survivor inherits the absorbed
+        tablet's cumulative statistics and rows."""
+        removed = self.boundaries[t + 1]
+        del self.boundaries[t + 1]
+        self.tablet_bytes[t:t + 2] = [
+            self.tablet_bytes[t] + self.tablet_bytes[t + 1]]
+        self.last_round_tablet_seconds[t:t + 2] = [
+            self.last_round_tablet_seconds[t]
+            + self.last_round_tablet_seconds[t + 1]]
+        self.tablet_stale_reads[t:t + 2] = [
+            self.tablet_stale_reads[t] + self.tablet_stale_reads[t + 1]]
+        if self._tablets is not None:
+            absorbed = self._tablets.pop(t + 1)
+            survivor = self._tablets[t]
+            survivor.time_spent += absorbed.time_spent
+            # Key ranges are disjoint, so row moves cannot collide.
+            survivor._store.update(absorbed._store)
+            survivor._sizes.update(absorbed._sizes)
+        self.tablet_map_version += 1
+        self.merge_events.append(
+            (self.tablet_map_version, t, removed, self.rounds))
+
+    def _maybe_merge(self) -> int:
+        """Merge adjacent cold tablet pairs whose combined cumulative
+        bytes stay under the threshold (a merged tablet is re-examined
+        against its next neighbour, so a run of cold tablets collapses
+        in one pass); returns the number of merges.  The map never
+        shrinks below one tablet."""
+        if self.merge_threshold is None or not any(self.tablet_bytes):
+            # A never-loaded map is not "cold", it is unobserved — the
+            # first round must see the configured tablet count.
+            return 0
+        before = self.tablet_map_version
+        t = 0
+        while t < self.num_tablets - 1:
+            if (self.tablet_bytes[t] + self.tablet_bytes[t + 1]
+                    < self.merge_threshold):
+                self._merge(t)
+            else:
+                t += 1
+        return self.tablet_map_version - before
+
     def write_round(self, partition_bytes: Sequence[float], *,
                     share: float = 1.0) -> float:
-        # Splits take effect at round boundaries so the write and the
-        # read-back of one round trip see the same tablet map.
+        # Splits and merges take effect at round boundaries so the write
+        # and the read-back of one round trip see the same tablet map.
         self._maybe_split()
+        self._maybe_merge()
         self.last_round_tablet_seconds = [0.0] * self.num_tablets
         return self._serve(
             partition_bytes,
@@ -450,6 +571,7 @@ class OnlineStateStore(StateStore):
         vec = [0.0] * num_partitions
         vec[partition] = float(nbytes)
         model = self._model()
+        self._note_profile(vec)
         tb = self.shard_bytes(vec)
         secs = 0.0
         for t, b in enumerate(tb):
@@ -481,6 +603,7 @@ class OnlineStateStore(StateStore):
         """
         pb = _validated(partition_bytes)
         model = self._model()
+        self._note_profile(pb)
         tb = self.shard_bytes(pb)
         secs = 0.0
         for t, b in enumerate(tb):

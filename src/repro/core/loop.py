@@ -45,6 +45,7 @@ single-job session (see :mod:`repro.core.driver` and
 from __future__ import annotations
 
 import abc
+import copy
 import math
 from dataclasses import dataclass, field
 from typing import Any, Sequence
@@ -111,6 +112,21 @@ class RoundRecord:
     tablet_splits: int = 0
     #: State-store tablet-map version after this round (0 = never split).
     tablet_map_version: int = 0
+    #: Adjacent cold tablets the state store merged during this round.
+    tablet_merges: int = 0
+    #: Worker deaths that fired during this round (correlated-failure
+    #: injection via a :class:`~repro.engine.NodeFaultPlan`).
+    node_deaths: int = 0
+    #: Completed map outputs invalidated by this round's deaths and
+    #: recomputed through lineage-based replay.
+    lost_map_outputs: int = 0
+    #: Simulated seconds this round spent recovering: heartbeat
+    #: detection, re-executing the dead domain's work, and (after a
+    #: rollback) re-reading the last durability checkpoint.
+    recovery_seconds: float = 0.0
+    #: Global iterations re-executed by this round's checkpoint
+    #: rollback (0 when no state was lost).
+    rounds_replayed: int = 0
 
     @property
     def max_staleness(self) -> int:
@@ -309,7 +325,11 @@ class EngineBackend(IterationBackend):
                          name=f"iter{iteration}",
                          eager_reduce=self.eager_reduce),
         )
-        res = self.runtime.run(job, splits, accountant=self.accountant)
+        # round_index keys the runtime's NodeFaultPlan: scripted deaths
+        # fire in their scripted global iteration, at most once — a
+        # checkpoint-rollback replay of the same round runs clean.
+        res = self.runtime.run(job, splits, accountant=self.accountant,
+                               round_index=iteration)
         if res.columnar_output is not None:
             out_bytes = res.columnar_output.nbytes
             new_state = spec.state_from_columnar(res.columnar_output, state)
@@ -656,6 +676,14 @@ class IterationLoop:
         self._busy = 0.0
         self._state: Any = None
         self._history: "list[RoundRecord]" = []
+        #: Budget actually handed to the backend each round — a rollback
+        #: replays past rounds with the budgets they originally used, so
+        #: recovery is bitwise-faithful even under an adaptive policy.
+        self._budgets_used: "list[int]" = []
+        #: Last durable state snapshot as ``(iteration, state, bytes)``;
+        #: ``iteration`` is -1 for the pre-round-0 initial state.  Only
+        #: maintained when a fault plan makes a rollback reachable.
+        self._checkpoint: "tuple[int, Any, tuple] | None" = None
 
     def _round_budget(self) -> int:
         if self.sync_policy is None:
@@ -674,7 +702,20 @@ class IterationLoop:
         if self.sync_policy is not None:
             self.sync_policy.reset()
         self._state = self.backend.initial_state()
+        if self._faults_possible():
+            self._checkpoint = (-1, copy.deepcopy(self._state), ())
         self._started = True
+
+    def _faults_possible(self) -> bool:
+        """Whether any layer of this run can lose a worker mid-round
+        (an engine runtime with a non-empty fault plan, or a simulated
+        cluster with a worker pool) — only then is the per-checkpoint
+        state snapshot worth its deepcopy."""
+        plan = getattr(getattr(self.backend, "runtime", None),
+                       "node_faults", None)
+        if plan is not None and not getattr(plan, "is_empty", True):
+            return True
+        return getattr(self.backend.cluster, "worker_pool", None) is not None
 
     @property
     def started(self) -> bool:
@@ -709,13 +750,22 @@ class IterationLoop:
         if hooked is not None:
             self._state = hooked
         budget = self._round_budget()
+        self._budgets_used.append(budget)
         acct = backend.accountant
+        acct.begin_round(it)
         round_start = acct.clock
         backups0 = acct.backups_launched
         won0 = acct.backups_won
         wasted0 = acct.wasted_seconds
         splits0 = acct.tablet_splits
+        merges0 = acct.tablet_merges
+        deaths0 = acct.node_deaths
+        lost0 = acct.lost_map_outputs
+        recovery0 = acct.recovery_seconds
+        replayed0 = acct.rounds_replayed
         outcome = backend.run_round(it, self._state, max_local_iters=budget)
+        if acct.node_deaths > deaths0:
+            outcome = self._recover(it, outcome)
         done, residual = backend.global_converged(self._state, outcome.state)
         self._iters = it + 1
         self._busy += acct.clock - round_start
@@ -734,7 +784,16 @@ class IterationLoop:
                 wasted_seconds=acct.wasted_seconds - wasted0,
                 tablet_splits=acct.tablet_splits - splits0,
                 tablet_map_version=acct.tablet_map_version,
+                tablet_merges=acct.tablet_merges - merges0,
+                node_deaths=acct.node_deaths - deaths0,
+                lost_map_outputs=acct.lost_map_outputs - lost0,
+                recovery_seconds=acct.recovery_seconds - recovery0,
+                rounds_replayed=acct.rounds_replayed - replayed0,
             ))
+        if (self._checkpoint is not None and config.checkpoint_every
+                and (it + 1) % config.checkpoint_every == 0):
+            self._checkpoint = (it, copy.deepcopy(outcome.state),
+                                outcome.state_partition_bytes)
         if policy is not None:
             policy.observe(residual, local_iters=outcome.local_iters,
                            budget=budget)
@@ -742,6 +801,49 @@ class IterationLoop:
         if done:
             self._converged = True
         return self.finished
+
+    def _recover(self, it: int, outcome: RoundOutcome) -> RoundOutcome:
+        """Checkpoint rollback after a round lost workers.
+
+        When the inter-round state store is not durable, the tablets a
+        dead worker hosted take every round since the last periodic
+        durability checkpoint with them (§II's deterministic-replay
+        argument, applied to iterate state): re-read the checkpoint from
+        the replicated DFS, then replay the lost rounds forward on the
+        surviving fleet.  Replay is deterministic — each round re-runs
+        with the local-iteration budget it originally used, and fired
+        deaths never re-fire — so the recovered round is bitwise
+        identical to the failure-free one.  The replayed rounds' charges
+        re-accrue through the normal accounting paths; that re-execution
+        plus the restore read is exactly the recovery cost a tighter
+        ``checkpoint_every`` cadence shrinks.
+        """
+        backend = self.backend
+        acct = backend.accountant
+        if (self._checkpoint is None or not acct.active
+                or acct.state_store.durable):
+            # Nothing simulated was lost: a durable store persists every
+            # round, and without a cluster the iterate state lives in
+            # driver memory (the engine already replayed lost map
+            # outputs inside the round).
+            return outcome
+        ck_it, ck_state, ck_bytes = self._checkpoint
+        acct.charge_state_restore(ck_bytes, label=f"iter{it}:restore")
+        replay_start = acct.clock
+        state = copy.deepcopy(ck_state)
+        for r in range(ck_it + 1, it + 1):
+            hooked = backend.on_global_iteration(r, state)
+            if hooked is not None:
+                state = hooked
+            outcome = backend.run_round(
+                r, state, max_local_iters=self._budgets_used[r])
+            state = outcome.state
+        # The replay's re-execution time is recovery time: it re-accrues
+        # through the normal charge paths (so the trace stays honest)
+        # and is mirrored into the recovery ledger here.
+        acct.recovery_seconds += acct.clock - replay_start
+        acct.record_replay(it - ck_it)
+        return outcome
 
     def close(self) -> None:
         """Close the backend exactly once (idempotent)."""

@@ -28,7 +28,13 @@ from repro.engine.shm import (
     ShmPickleRef,
 )
 from repro.engine.counters import Counters
-from repro.engine.faults import FaultPlan, SimulatedTaskFailure, StragglerPlan
+from repro.engine.faults import (
+    FaultPlan,
+    NodeDeath,
+    NodeFaultPlan,
+    SimulatedTaskFailure,
+    StragglerPlan,
+)
 from repro.engine.job import Job, JobConf
 from repro.engine.partitioner import HashPartitioner, RangePartitioner, stable_hash
 from repro.engine.runtime import JobFailedError, JobResult, MapReduceRuntime
@@ -64,6 +70,8 @@ __all__ = [
     "MapReduceRuntime",
     "Counters",
     "FaultPlan",
+    "NodeDeath",
+    "NodeFaultPlan",
     "SimulatedTaskFailure",
     "StragglerPlan",
     "HashPartitioner",

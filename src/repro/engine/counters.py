@@ -29,6 +29,8 @@ __all__ = [
     "SPECULATIVE_BACKUPS",
     "SPECULATIVE_WINS",
     "SPECULATIVE_WASTED_TASKS",
+    "NODE_DEATHS",
+    "LOST_MAP_OUTPUTS",
 ]
 
 # Built-in counter names (namespaced like Hadoop's "FileSystemCounters").
@@ -46,6 +48,8 @@ TASK_RETRIES = "job.task.retries"
 SPECULATIVE_BACKUPS = "job.speculative.backups"
 SPECULATIVE_WINS = "job.speculative.wins"
 SPECULATIVE_WASTED_TASKS = "job.speculative.wasted"
+NODE_DEATHS = "job.node.deaths"
+LOST_MAP_OUTPUTS = "job.node.lost.map.outputs"
 
 
 @dataclass

@@ -18,6 +18,16 @@ is the deterministic source of that slowness for the simulated cluster
 (per-node slowdown multipliers plus hash-decided transient stalls), and
 :attr:`FaultPlan.stalls` injects real wall-clock stalls into engine
 task attempts so speculative re-execution has something to race.
+
+Independent task failures miss the correlated case: a whole machine (or
+a whole rack) goes down mid-round, taking every in-flight attempt on it
+*and* its already-produced map outputs.  :class:`NodeFaultPlan` scripts
+exactly that — failure *domains* (node → tasks, rack → nodes) with
+deterministic death times — and both execution layers consume it: the
+real runtime kills/invalidates by task placement, the simulated cluster
+by slot placement through its ``WorkerPool``.  Recovery is the paper's
+deterministic replay, extended with lineage: lost map outputs are
+re-executed, not merely retried.
 """
 
 from __future__ import annotations
@@ -26,7 +36,8 @@ from dataclasses import dataclass, field
 
 from repro.engine.partitioner import stable_hash
 
-__all__ = ["SimulatedTaskFailure", "FaultPlan", "StragglerPlan"]
+__all__ = ["SimulatedTaskFailure", "FaultPlan", "StragglerPlan",
+           "NodeDeath", "NodeFaultPlan"]
 
 
 class SimulatedTaskFailure(RuntimeError):
@@ -209,3 +220,183 @@ class StragglerPlan:
     def is_empty(self) -> bool:
         return not self.node_slowdown and (
             self.stall_probability == 0.0 or self.stall_seconds == 0.0)
+
+
+@dataclass(frozen=True)
+class NodeDeath:
+    """One scripted correlated failure: a node (or its rack) dies.
+
+    The two triggers serve the two execution layers.  The simulated
+    cluster kills the node ``at_seconds`` into the named round's map
+    phase — simulated time is its native clock.  The real runtime has no
+    useful wall clock (task durations are microseconds and
+    nondeterministic), so it fires the death once ``after_completions``
+    map tasks of the round have completed — a deterministic progress
+    point on every executor.
+    """
+
+    #: The node that dies (with ``rack=True``: any node of the rack,
+    #: expanded to the whole rack by the plan).
+    node: int
+    #: Global iteration index (round) the death occurs in.
+    round: int = 0
+    #: Simulated seconds into the round's map phase (SimCluster path).
+    at_seconds: float = 0.0
+    #: Kill the node's entire rack, not just the node.
+    rack: bool = False
+    #: Completed-map-task count that triggers the death (engine path).
+    after_completions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.round < 0:
+            raise ValueError("round must be >= 0")
+        if self.at_seconds < 0:
+            raise ValueError("at_seconds must be >= 0")
+        if self.after_completions < 0:
+            raise ValueError("after_completions must be >= 0")
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """Correlated-failure domains: which nodes die, when, and together.
+
+    Failure domains compose node → tasks and rack → nodes: killing a
+    node kills every in-flight attempt placed on it and invalidates its
+    completed map outputs; killing a rack does that to
+    ``nodes_per_rack`` adjacent nodes at once (node ``n`` lives in rack
+    ``n // nodes_per_rack``).  Deaths are scripted
+    (:meth:`kill_node` / :meth:`kill_rack`) or drawn per (round, node)
+    from a counter-based hash (:meth:`random`) — either way fully
+    deterministic and picklable.
+
+    Detection is not free: a death is only *noticed* after
+    ``heartbeat_seconds`` of silence, which the simulated cluster prices
+    into the recovery timeline (the real runtime notices via in-process
+    callbacks, so the charge is applied by the accountant instead).
+
+    Consumed duck-typed by :class:`~repro.cluster.WorkerPool` and
+    :class:`~repro.cluster.SimCluster` (the cluster package never
+    imports the engine) and natively by
+    :class:`~repro.engine.MapReduceRuntime`.
+    """
+
+    #: Cluster size the domains are defined over.
+    num_nodes: int = 8
+    #: Rack width; node n belongs to rack n // nodes_per_rack.
+    nodes_per_rack: int = 4
+    #: Scripted deaths (rack deaths expand at query time).
+    deaths: "tuple[NodeDeath, ...]" = ()
+    #: Per (round, node) random death probability.
+    probability: float = 0.0
+    #: Seed folded into the random-death hash.
+    seed: int = 0
+    #: Heartbeat interval: silence longer than this marks a node dead.
+    heartbeat_seconds: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if not 1 <= self.nodes_per_rack <= self.num_nodes:
+            raise ValueError("nodes_per_rack must be in [1, num_nodes]")
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        if self.heartbeat_seconds < 0:
+            raise ValueError("heartbeat_seconds must be >= 0")
+        for d in self.deaths:
+            if d.node >= self.num_nodes:
+                raise ValueError(
+                    f"death names node {d.node} but the plan has "
+                    f"{self.num_nodes} nodes")
+
+    @classmethod
+    def none(cls) -> "NodeFaultPlan":
+        """A plan under which every node survives."""
+        return cls()
+
+    @classmethod
+    def kill_node(cls, node: int, *, round: int = 0,
+                  at_seconds: float = 0.0, after_completions: int = 1,
+                  num_nodes: int = 8, nodes_per_rack: int = 4,
+                  heartbeat_seconds: float = 3.0) -> "NodeFaultPlan":
+        """Script one node's death ("node 3 dies at t=12s of round 4")."""
+        return cls(num_nodes=num_nodes,
+                   nodes_per_rack=min(nodes_per_rack, num_nodes),
+                   heartbeat_seconds=heartbeat_seconds,
+                   deaths=(NodeDeath(node, round=round,
+                                     at_seconds=at_seconds,
+                                     after_completions=after_completions),))
+
+    @classmethod
+    def kill_rack(cls, rack: int, *, round: int = 0,
+                  at_seconds: float = 0.0, after_completions: int = 1,
+                  num_nodes: int = 8, nodes_per_rack: int = 4,
+                  heartbeat_seconds: float = 3.0) -> "NodeFaultPlan":
+        """Script a whole rack's death (correlated: a switch, a PDU)."""
+        nodes_per_rack = min(nodes_per_rack, num_nodes)
+        first = rack * nodes_per_rack
+        if first >= num_nodes:
+            raise ValueError(f"rack {rack} is beyond a {num_nodes}-node "
+                             f"cluster with {nodes_per_rack}-node racks")
+        return cls(num_nodes=num_nodes, nodes_per_rack=nodes_per_rack,
+                   heartbeat_seconds=heartbeat_seconds,
+                   deaths=(NodeDeath(first, round=round,
+                                     at_seconds=at_seconds, rack=True,
+                                     after_completions=after_completions),))
+
+    @classmethod
+    def random(cls, probability: float, *, seed: int = 0,
+               num_nodes: int = 8, nodes_per_rack: int = 4,
+               heartbeat_seconds: float = 3.0) -> "NodeFaultPlan":
+        """Kill each node each round with ``probability``, hash-decided.
+
+        Which nodes die in which rounds varies deterministically in
+        ``seed``; random deaths fire at round start (``at_seconds=0``,
+        ``after_completions=1``) so both layers trigger them the same
+        way.
+        """
+        return cls(num_nodes=num_nodes,
+                   nodes_per_rack=min(nodes_per_rack, num_nodes),
+                   probability=probability, seed=seed,
+                   heartbeat_seconds=heartbeat_seconds)
+
+    def node_rack(self, node: int) -> int:
+        """Rack id of ``node``."""
+        return node // self.nodes_per_rack
+
+    def rack_nodes(self, rack: int) -> "tuple[int, ...]":
+        """All node ids of ``rack`` that exist in this cluster."""
+        first = rack * self.nodes_per_rack
+        return tuple(n for n in range(first, first + self.nodes_per_rack)
+                     if n < self.num_nodes)
+
+    def deaths_in_round(self, round: int) -> "dict[int, NodeDeath]":
+        """Expanded node → death map for one round.
+
+        Rack deaths expand to every node of the rack (each expanded
+        death keeps the trigger of the scripted one).  Random deaths are
+        decided per (round, node) by a counter-based hash.
+        """
+        out: "dict[int, NodeDeath]" = {}
+        for d in self.deaths:
+            if d.round != round:
+                continue
+            targets = (self.rack_nodes(self.node_rack(d.node))
+                       if d.rack else (d.node,))
+            for n in targets:
+                out.setdefault(n, NodeDeath(
+                    n, round=round, at_seconds=d.at_seconds, rack=d.rack,
+                    after_completions=d.after_completions))
+        if self.probability > 0.0:
+            for n in range(self.num_nodes):
+                if n in out:
+                    continue
+                h = stable_hash((self.seed, "death", round, n))
+                if (h % 10_000_000) / 10_000_000.0 < self.probability:
+                    out[n] = NodeDeath(n, round=round)
+        return out
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.deaths and self.probability == 0.0

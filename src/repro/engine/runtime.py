@@ -51,13 +51,15 @@ from repro.cluster import SimCluster, SpeculationConfig, late_threshold
 from repro.engine.columnar import ColumnarBlock, MergeScratch
 from repro.engine.counters import (
     Counters,
+    LOST_MAP_OUTPUTS,
+    NODE_DEATHS,
     SHUFFLE_BYTES,
     SPECULATIVE_BACKUPS,
     SPECULATIVE_WASTED_TASKS,
     SPECULATIVE_WINS,
     TASK_RETRIES,
 )
-from repro.engine.faults import FaultPlan, SimulatedTaskFailure
+from repro.engine.faults import FaultPlan, NodeFaultPlan, SimulatedTaskFailure
 from repro.engine.job import Job
 from repro.engine.shm import (
     SHM_MIN_BYTES,
@@ -73,6 +75,11 @@ from repro.engine.task import TaskResult, run_map_task, run_reduce_task
 __all__ = ["JobResult", "MapReduceRuntime", "JobFailedError"]
 
 _EXECUTORS = ("serial", "threads", "processes")
+
+#: Replay attempts a single map task may take in one round (bounds the
+#: abort sweep's attempt-name probe; one per fire event, and a round
+#: has at most a handful of scripted deaths).
+_REPLAY_ATTEMPT_CAP = 8
 
 
 class JobFailedError(RuntimeError):
@@ -160,6 +167,21 @@ class MapReduceRuntime:
         produce identical output and first-result-wins is safe; the
         serial executor has no idle workers to race on and ignores the
         flag.
+    node_faults:
+        Correlated-failure injection
+        (:class:`~repro.engine.NodeFaultPlan`).  Map tasks are placed on
+        notional nodes round-robin (task ``i`` on node ``i %
+        num_nodes``); a scripted node death fires once the round's
+        completed-map count reaches the death's ``after_completions``
+        and atomically (1) cancels every in-flight attempt placed on the
+        dead domain — un-cancellable ones run to completion and their
+        results are discarded, shm segments unlinked — and (2)
+        *invalidates* the domain's completed map outputs in the shuffle
+        buffer, re-running the lost tasks: lineage-based replay, not
+        just retry.  Replay attempts take the namespace ``2 *
+        max_attempts + k`` so fault scripting, speculation backups, and
+        shm segment names never collide.  Needs a pool executor (the
+        serial path has no in-flight set to kill).
     """
 
     def __init__(
@@ -173,6 +195,7 @@ class MapReduceRuntime:
         shm_transport: "bool | None" = None,
         shm_min_bytes: int = SHM_MIN_BYTES,
         speculate: "SpeculationConfig | bool | None" = None,
+        node_faults: "NodeFaultPlan | None" = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
@@ -180,6 +203,11 @@ class MapReduceRuntime:
             raise ValueError("workers must be >= 1")
         if shm_min_bytes < 0:
             raise ValueError("shm_min_bytes must be >= 0")
+        if (node_faults is not None and not node_faults.is_empty
+                and executor == "serial"):
+            raise ValueError(
+                "node_faults needs a pool executor: the serial path has "
+                "no in-flight attempts for a node death to kill")
         self.speculation: "SpeculationConfig | None" = None
         if speculate:
             self.speculation = (speculate
@@ -193,6 +221,12 @@ class MapReduceRuntime:
         self.shm_transport = (executor == "processes" if shm_transport is None
                               else bool(shm_transport))
         self.shm_min_bytes = int(shm_min_bytes)
+        self.node_faults = (node_faults if node_faults is not None
+                            else NodeFaultPlan.none())
+        #: (round, node) deaths already fired: a checkpoint-rollback
+        #: replay of a round must not re-kill the node (the machine died
+        #: once; the replay runs on the survivors).
+        self._fired_deaths: "set[tuple[int, int]]" = set()
         #: Driver-side ledger of live shared-memory segments (see
         #: :class:`~repro.engine.shm.SegmentRegistry`): reduce-input
         #: segments are registered here and unlinked in ``run``'s
@@ -283,7 +317,7 @@ class MapReduceRuntime:
 
     # ------------------------------------------------------------------
     def run(self, job: Job, splits: "Sequence[Sequence[tuple[Any, Any]]]", *,
-            accountant=None) -> JobResult:
+            accountant=None, round_index: int = 0) -> JobResult:
         """Run ``job`` over ``splits`` (one map task per split).
 
         ``accountant`` optionally routes this job's simulated charges
@@ -292,6 +326,10 @@ class MapReduceRuntime:
         runtime's cluster) instead of a fresh anonymous one — how a
         multi-job session attributes engine-path charges, applies the
         scheduler's slot share, and prefixes trace labels per job.
+
+        ``round_index`` names the global iteration this job implements,
+        which is what the :class:`NodeFaultPlan` keys its scripted
+        deaths on (a standalone job is round 0).
         """
         conf = job.conf
         if conf.lint != "off":
@@ -302,9 +340,16 @@ class MapReduceRuntime:
             enforce(lint_job(job), conf.lint)
         splits = [list(s) for s in splits]
         counters = Counters()
+        # Scripted node deaths for this round: known up front, so only
+        # rounds that actually lose a node pay the defer-merge mode
+        # (invalidation needs contributions to stay retractable).
+        deaths = self.node_faults.deaths_in_round(round_index)
+        deaths = {n: d for n, d in deaths.items()
+                  if (round_index, n) not in self._fired_deaths}
         buffer = ShuffleBuffer(len(splits), conf.num_reducers,
                                sort_keys=conf.sort_keys,
-                               merge_scratch=self._merge_scratch)
+                               merge_scratch=self._merge_scratch,
+                               defer_merge=bool(deaths))
         # Shared-memory transport: large columnar payloads ride named
         # segments; only refs (names + metadata) cross the result pipe.
         shm = self.shm_transport and conf.columnar
@@ -327,13 +372,17 @@ class MapReduceRuntime:
         # busy; the serial executor runs the classic batch loop either
         # way.  Speculation needs the event loop too (backups launch
         # from progress checks between completions), so it forces the
-        # streaming path on pool executors even without eager_reduce.
+        # streaming path on pool executors even without eager_reduce —
+        # and so does a round with scripted node deaths (the kill /
+        # invalidate / replay machinery lives in the event loop).
         run_phase = (
             self._run_tasks_streaming
-            if (conf.eager_reduce or self.speculation is not None)
+            if (conf.eager_reduce or self.speculation is not None or deaths)
             and self.executor != "serial"
             else self._run_tasks
         )
+        death_stats = {"node_deaths": 0, "lost_map_outputs": 0,
+                       "killed_in_flight": 0, "lost_ops": 0}
 
         def consume_map(i: int, res: TaskResult) -> None:
             if shm:
@@ -357,6 +406,10 @@ class MapReduceRuntime:
                 max_attempts=conf.max_attempts,
                 counters=counters,
                 consume=consume_map,
+                deaths=deaths or None,
+                round_index=round_index,
+                buffer=buffer,
+                death_stats=death_stats,
             )
             for res in map_results:
                 counters.merge(res.counters)
@@ -416,21 +469,25 @@ class MapReduceRuntime:
                 # have parked segments whose refs never reached us; the
                 # deterministic name sweep reclaims every segment this
                 # job could possibly have created.
+                # Backup attempts park under attempt numbers offset by
+                # max_attempts, node-death replays under 2*max_attempts;
+                # widen the probe to whatever namespaces were live.
+                extra = conf.max_attempts if self.speculation is not None else 0
+                if deaths:
+                    extra = conf.max_attempts + _REPLAY_ATTEMPT_CAP
                 self.segments.sweep(
                     shm_prefix, num_maps=len(splits),
                     num_reducers=conf.num_reducers,
                     max_attempts=conf.max_attempts,
-                    # Backup attempts park under attempt numbers offset
-                    # by max_attempts; widen the probe when racing.
-                    backup_attempts=(conf.max_attempts
-                                     if self.speculation is not None else 0))
+                    backup_attempts=extra)
             raise
         finally:
             if shm:
                 self.segments.release_all()
 
         sim_times = self._account(job, map_results, reduce_results, sbytes,
-                                  out_nbytes, accountant=accountant)
+                                  out_nbytes, accountant=accountant,
+                                  death_stats=death_stats)
         return JobResult(output=output, counters=counters,
                          sim_times=sim_times, columnar_output=columnar_output,
                          output_nbytes=out_nbytes)
@@ -439,13 +496,17 @@ class MapReduceRuntime:
     def _run_tasks(self, *, phase: str, count: int, make_args, runner,
                    max_attempts: int, counters: Counters,
                    consume: "Callable[[int, TaskResult], None] | None" = None,
-                   ) -> "list[TaskResult]":
+                   deaths=None, round_index: int = 0, buffer=None,
+                   death_stats=None) -> "list[TaskResult]":
         """Run ``count`` tasks with round-based retries; preserves order.
 
         ``consume`` is invoked with each successful result *as it
         completes* (not after the batch), so shuffle grouping overlaps
-        the map phase even on this barrier path.
+        the map phase even on this barrier path.  Node deaths always
+        route through the streaming path, so the death kwargs are
+        accepted (uniform call sites) but must be empty here.
         """
+        assert not deaths, "node deaths require the streaming path"
         results: "list[TaskResult | None]" = [None] * count
         pending = list(range(count))
         attempt = 0
@@ -485,7 +546,8 @@ class MapReduceRuntime:
     def _run_tasks_streaming(self, *, phase: str, count: int, make_args,
                              runner, max_attempts: int, counters: Counters,
                              consume: "Callable[[int, TaskResult], None] | None" = None,
-                             ) -> "list[TaskResult]":
+                             deaths=None, round_index: int = 0, buffer=None,
+                             death_stats=None) -> "list[TaskResult]":
         """Event-driven task execution: no per-attempt barrier.
 
         All tasks are submitted to the persistent pool at once; a failed
@@ -505,6 +567,18 @@ class MapReduceRuntime:
         result discarded and its segments unlinked.  Task runners are
         pure functions of their split, so the winner's bytes are the
         same either way.
+
+        With a ``deaths`` map (node -> :class:`NodeDeath`, map phase
+        only) the loop additionally plays the correlated-failure
+        scenario: task ``i`` lives on notional node ``i % num_nodes``;
+        once the completed count reaches a death's ``after_completions``
+        the node's whole domain dies at once — in-flight attempts are
+        cancelled (un-cancellable ones become *doomed*: they finish and
+        are discarded), completed outputs are invalidated in the
+        defer-merge shuffle ``buffer``, and every affected task is
+        resubmitted as a replay attempt in the ``2 * max_attempts + k``
+        namespace, notionally placed on a surviving node (replays are
+        never re-killed).
         """
         results: "list[TaskResult | None]" = [None] * count
         if count == 0:
@@ -520,6 +594,15 @@ class MapReduceRuntime:
         durations: "list[float]" = []
         pool, transient = self._acquire_pool()
         futures: "dict[concurrent.futures.Future, int]" = {}
+        # Correlated-failure state: deaths pending this round, attempts
+        # condemned by a fired death (completing only to be discarded),
+        # per-task replay sequence numbers, and the completion tally the
+        # triggers watch.
+        pending_deaths = dict(deaths) if deaths else {}
+        num_nodes = self.node_faults.num_nodes
+        doomed: "set[concurrent.futures.Future]" = set()
+        replay_seq = [0] * count
+        completed = 0
 
         def submit(i: int, attempt: int, *, backup: bool = False) -> None:
             fut = pool.submit(runner, *make_args(i, attempt))
@@ -533,10 +616,56 @@ class MapReduceRuntime:
             is_backup.pop(fut, None)
             submit_time.pop(fut, None)
 
+        def fire_deaths() -> None:
+            """Kill every node whose completion trigger has been met."""
+            due = [d for d in pending_deaths.values()
+                   if completed >= d.after_completions]
+            if not due:
+                return
+            dead_nodes = set()
+            for d in due:
+                pending_deaths.pop(d.node, None)
+                self._fired_deaths.add((round_index, d.node))
+                dead_nodes.add(d.node)
+                counters.incr(NODE_DEATHS)
+                death_stats["node_deaths"] += 1
+            for i in range(count):
+                if i % num_nodes not in dead_nodes:
+                    continue
+                if results[i] is not None:
+                    # Lineage loss: the node's completed map outputs
+                    # (shuffle partitions) died with it.  Retract the
+                    # contribution and re-run the task.
+                    buffer.invalidate(i)
+                    death_stats["lost_ops"] += results[i].ops
+                    death_stats["lost_map_outputs"] += 1
+                    counters.incr(LOST_MAP_OUTPUTS)
+                    results[i] = None
+                for fut in list(task_futs[i]):
+                    # In-flight attempts on the domain die with it.
+                    if fut.cancel():
+                        futures.pop(fut, None)
+                        forget(fut, i)
+                    else:
+                        doomed.add(fut)
+                    death_stats["killed_in_flight"] += 1
+                has_backup[i] = False
+                replay = 2 * max_attempts + replay_seq[i]
+                replay_seq[i] += 1
+                if replay_seq[i] > _REPLAY_ATTEMPT_CAP:
+                    raise JobFailedError(
+                        f"{phase} task {i} replayed {replay_seq[i]} times")
+                submit(i, replay)
+
         try:
             for i in range(count):
                 submit(i, 0)
+            if pending_deaths:
+                fire_deaths()  # after_completions=0: die at phase start
             while futures:
+                # Completion-count death triggers only advance when a
+                # completion arrives, and completions wake the wait —
+                # so no extra polling beyond the LATE monitor's.
                 done, _ = concurrent.futures.wait(
                     futures,
                     timeout=spec.check_interval if spec is not None else None,
@@ -546,6 +675,18 @@ class MapReduceRuntime:
                     backup = is_backup.get(fut, False)
                     started = submit_time.get(fut, 0.0)
                     forget(fut, i)
+                    if fut in doomed:
+                        # Condemned by a node death that could not
+                        # cancel it: whatever it produced is orphaned.
+                        doomed.discard(fut)
+                        try:
+                            res = fut.result()
+                        except (concurrent.futures.CancelledError,
+                                SimulatedTaskFailure):
+                            pass
+                        else:
+                            self._discard_result(res)
+                        continue
                     try:
                         res = fut.result()
                     except concurrent.futures.CancelledError:
@@ -580,6 +721,7 @@ class MapReduceRuntime:
                             counters.incr(SPECULATIVE_WASTED_TASKS)
                             continue
                         results[i] = res
+                        completed += 1
                         durations.append(time.monotonic() - started)
                         if backup:
                             counters.incr(SPECULATIVE_WINS)
@@ -591,6 +733,8 @@ class MapReduceRuntime:
                                 forget(twin, i)
                             # else: it runs to completion and its result
                             # is discarded above.
+                if pending_deaths:
+                    fire_deaths()
                 if spec is not None and futures:
                     self._launch_late_backups(
                         spec, futures, results, attempts, has_backup,
@@ -670,7 +814,8 @@ class MapReduceRuntime:
     # ------------------------------------------------------------------
     def _account(self, job: Job, map_results: "list[TaskResult]",
                  reduce_results: "list[TaskResult]", sbytes: int,
-                 out_nbytes: int, *, accountant=None) -> dict:
+                 out_nbytes: int, *, accountant=None,
+                 death_stats: "dict | None" = None) -> dict:
         """Charge the simulated cluster for this job; returns the breakdown.
 
         All charges flow through the shared
@@ -679,6 +824,14 @@ class MapReduceRuntime:
         (per-job attribution) or a fresh anonymous one.
         """
         if self.cluster is None:
+            # No simulated time to charge, but correlated-failure stats
+            # still surface on the caller's ledger (a clusterless engine
+            # run should still report its deaths and lost outputs).
+            if accountant is not None and death_stats \
+                    and death_stats["node_deaths"]:
+                accountant.charge_recovery(
+                    0.0, node_deaths=death_stats["node_deaths"],
+                    lost_map_outputs=death_stats["lost_map_outputs"])
             return {}
         from repro.cluster.accountant import RoundAccountant
 
@@ -705,6 +858,18 @@ class MapReduceRuntime:
             label=f"{job.conf.name}:reduce")
         times["barrier"] = acct.charge_barrier(
             label=f"{job.conf.name}:barrier")
+        if death_stats and death_stats["node_deaths"]:
+            # The recovery timeline the real executor cannot measure in
+            # wall-clock terms: heartbeat silence until the death is
+            # *detected*, plus re-executing the work the domain took
+            # with it (the map-phase charge above only prices the
+            # surviving attempts' final ops).
+            times["recovery"] = acct.charge_recovery(
+                self.node_faults.heartbeat_seconds
+                + cm.map_compute_seconds(death_stats["lost_ops"]),
+                node_deaths=death_stats["node_deaths"],
+                lost_map_outputs=death_stats["lost_map_outputs"],
+                label=f"{job.conf.name}:recovery")
         if acct.config is None:
             # Standalone job: its output round-trips the DFS, charged
             # from the bytes the reduce tasks measured worker-side

@@ -68,11 +68,20 @@ class ShuffleBuffer:
         Optional :class:`~repro.engine.columnar.MergeScratch` recycling
         the columnar seal's transient concat buffers across reducers
         and rounds (an iterative runtime passes its own).
+    defer_merge:
+        Park *every* contribution and fold only at seal time.  The
+        eager in-order merge is irreversible (object buckets dissolve
+        into shared dict tables), so a runtime that may have to
+        *invalidate* a map task's output after the fact — a node died
+        and took its shuffle partitions with it — runs the buffer
+        deferred: :meth:`invalidate` simply drops the parked buckets and
+        the task's replay :meth:`add`\\ s a fresh copy.
     """
 
     def __init__(self, num_maps: int, num_reducers: int, *,
                  sort_keys: bool = True,
-                 merge_scratch: "MergeScratch | None" = None) -> None:
+                 merge_scratch: "MergeScratch | None" = None,
+                 defer_merge: bool = False) -> None:
         if num_maps < 0:
             raise ValueError("num_maps must be >= 0")
         if num_reducers < 1:
@@ -81,6 +90,7 @@ class ShuffleBuffer:
         self.num_reducers = num_reducers
         self.sort_keys = sort_keys
         self.merge_scratch = merge_scratch
+        self.defer_merge = defer_merge
         self._tables: list[dict[Any, list]] = [{} for _ in range(num_reducers)]
         #: Columnar mode: per-reducer blocks, merged in map-index order.
         self._blocks: list[list[ColumnarBlock]] = [[] for _ in range(num_reducers)]
@@ -93,13 +103,18 @@ class ShuffleBuffer:
 
     @property
     def consumed(self) -> int:
-        """Map tasks merged into the tables so far (a prefix of 0..M)."""
+        """Map tasks merged into the tables so far (a prefix of 0..M).
+
+        Under ``defer_merge`` nothing merges until seal time, so this
+        stays 0 while the buffer fills; :attr:`complete` is the
+        mode-independent progress signal.
+        """
         return self._next
 
     @property
     def complete(self) -> bool:
-        """True once every map task's buckets have been merged."""
-        return self._next == self.num_maps
+        """True once every map task's buckets are merged or parked."""
+        return self._next + len(self._parked) == self.num_maps
 
     @property
     def columnar(self) -> bool:
@@ -138,7 +153,7 @@ class ShuffleBuffer:
                 raise ValueError(
                     "cannot mix columnar and object map outputs in one "
                     "shuffle")
-        if map_index == self._next:
+        if not self.defer_merge and map_index == self._next:
             self._merge(buckets)
             self._next += 1
             while self._next in self._parked:
@@ -146,6 +161,24 @@ class ShuffleBuffer:
                 self._next += 1
         else:
             self._parked[map_index] = buckets
+
+    def invalidate(self, map_index: int) -> bool:
+        """Drop one map task's parked contribution (lineage replay).
+
+        A node death orphans the shuffle partitions its completed map
+        tasks produced; the runtime invalidates them here and re-runs
+        the tasks, whose replay attempts :meth:`add` fresh buckets.
+        Only a ``defer_merge`` buffer can take contributions back —
+        the eager merge dissolves them irreversibly.
+
+        Returns whether the task had contributed (False is a no-op:
+        the task was still in flight when its node died).
+        """
+        if not self.defer_merge:
+            raise RuntimeError(
+                "invalidate() needs a defer_merge buffer: eagerly merged "
+                "contributions cannot be taken back")
+        return self._parked.pop(map_index, None) is not None
 
     def _merge(self, buckets: Sequence) -> None:
         """Fold one map task's buckets into the per-reducer state."""
@@ -169,9 +202,14 @@ class ShuffleBuffer:
     def _check_complete(self) -> None:
         if not self.complete:
             raise RuntimeError(
-                f"shuffle incomplete: {self._next}/{self.num_maps} "
-                "map tasks consumed"
+                f"shuffle incomplete: {self._next + len(self._parked)}"
+                f"/{self.num_maps} map tasks consumed"
             )
+        # Seal a deferred buffer: fold the parked contributions in map
+        # index order, reproducing the eager path's merge order exactly.
+        while self._next in self._parked:
+            self._merge(self._parked.pop(self._next))
+            self._next += 1
 
     def columnar_groups(self) -> "list[ColumnarGroups]":
         """Seal a columnar shuffle and return per-reducer grouped arrays.

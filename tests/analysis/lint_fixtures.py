@@ -307,6 +307,53 @@ def make_lookup_map(weights):
 
 
 # ---------------------------------------------------------------------
+# RPR071 — cluster/store handles cached across attempts (stale after
+# a node death revives the worker under a new incarnation)
+# ---------------------------------------------------------------------
+
+_CLUSTER = None
+_HANDLES = {}
+
+
+def cached_cluster_map(key, value, ctx):
+    global _CLUSTER
+    if _CLUSTER is None:
+        _CLUSTER = SimCluster()  # noqa: F821 - linted, never called
+    ctx.emit(key, value)
+
+
+def handle_stashing_reduce(key, values, ctx):
+    _HANDLES["store"] = OnlineStateStore(1)  # noqa: F821
+    ctx.emit(key, sum(values))
+
+
+def stale_store_read_map(key, value, ctx):
+    row, _ = _TABLET_STORE.get(str(key))  # noqa: F821
+    ctx.emit(key, value + row)
+
+
+def local_cluster_map(key, value, ctx):
+    # Near-miss: the handle is born and dies inside the attempt.
+    cluster = SimCluster()  # noqa: F821
+    ctx.emit(key, cluster.run_map_phase([value]).makespan)
+
+
+def fresh_store_reduce(key, values, ctx):
+    # Near-miss: handle-like *name*, but a plain local container.
+    store = {}
+    store[key] = sum(values)
+    ctx.emit(key, store[key])
+
+
+def global_round_counter_map(key, value, ctx):
+    # Near-miss for RPR071 (RPR011's business): the escaping write is
+    # plain data, not an execution-substrate handle.
+    global _ROUND
+    _ROUND = value
+    ctx.emit(key, value)
+
+
+# ---------------------------------------------------------------------
 # RPR031 — process-executor hazards (runtime-object rules: exercised
 # through lint_callable, not the static file path)
 # ---------------------------------------------------------------------
@@ -366,6 +413,9 @@ TRIGGERS = {
                (accumulating_state_combine, "combine")],
     "RPR061": [(counting_map, "map"), (make_audit_map(), "map"),
                (make_tally_reduce(), "reduce")],
+    "RPR071": [(cached_cluster_map, "map"),
+               (handle_stashing_reduce, "reduce"),
+               (stale_store_read_map, "map")],
 }
 
 #: rule code -> [(function, role)] the rule must NOT flag.
@@ -383,4 +433,7 @@ NEAR_MISSES = {
                (overwriting_state_combine, "reduce")],
     "RPR061": [(local_tally_reduce, "reduce"),
                (make_lookup_map({}), "map")],
+    "RPR071": [(local_cluster_map, "map"),
+               (fresh_store_reduce, "reduce"),
+               (global_round_counter_map, "map")],
 }

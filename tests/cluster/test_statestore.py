@@ -650,3 +650,131 @@ class TestAutoSplit:
             acct.charge_state_round(self.SKEW)
         assert acct.tablet_splits == len(store.split_events) > 0
         assert acct.tablet_map_version == store.tablet_map_version
+
+
+class TestTabletMerge:
+    """Load-triggered tablet merging: adjacent cold ranges collapse so a
+    receding workload doesn't strand a wide tablet map."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="merge_threshold"):
+            OnlineStateStore(4, merge_threshold=0)
+        with pytest.raises(ValueError, match="oscillate"):
+            OnlineStateStore(4, split_threshold=100, merge_threshold=200)
+
+    def test_unobserved_map_never_merges(self):
+        """The cold-start guard: a map that has served nothing is
+        unobserved, not cold — the first round must see the configured
+        tablet count."""
+        store = OnlineStateStore(8, merge_threshold=10 ** 9)
+        store.round_trip([100.0] * 8)
+        assert store.num_tablets == 8
+        assert store.merge_events == []
+
+    def test_cold_run_collapses_in_one_pass(self):
+        """A run of adjacent cold tablets merges down at the next round
+        boundary, floored at one tablet."""
+        store = OnlineStateStore(8, merge_threshold=10 ** 9)
+        store.round_trip([100.0] * 8)
+        store.round_trip([100.0] * 8)
+        assert store.num_tablets == 1
+        assert store.boundaries == [0.0, 1.0]
+        assert len(store.merge_events) == 7
+        assert store.tablet_map_version == 7
+        for version, tablet, removed, rnd in store.merge_events:
+            assert 0.0 < removed < 1.0
+
+    def test_partial_merge_keeps_hot_tablet(self):
+        """Only the cold tail merges; the hot tablet and its boundaries
+        survive untouched."""
+        skew = [8000.0] + [10.0] * 7
+        store = OnlineStateStore(8, merge_threshold=1000)
+        store.round_trip(skew)
+        store.round_trip(skew)
+        assert store.num_tablets == 2
+        assert store.boundaries[0] == 0.0
+        assert store.boundaries[1] == pytest.approx(1 / 8)
+        assert store.boundaries[-1] == 1.0
+
+    def test_merge_conserves_ledgers_and_bytes(self):
+        skew = [8000.0] + [10.0] * 7
+        store = OnlineStateStore(8, merge_threshold=1000)
+        store.round_trip(skew)
+        total_bytes = sum(store.tablet_bytes)
+        total_stale = sum(store.tablet_stale_reads)
+        store.round_trip(skew)
+        assert store.num_tablets == 2
+        assert len(store.tablet_bytes) == 2
+        assert len(store.last_round_tablet_seconds) == 2
+        assert len(store.tablet_stale_reads) == 2
+        assert len(store.tablets) == 2
+        assert sum(store.tablet_stale_reads) == total_stale
+        # cumulative bytes only grow (merge moved, round added)
+        assert sum(store.tablet_bytes) > total_bytes
+        assert sum(store.shard_bytes(skew)) == pytest.approx(sum(skew))
+
+    def test_merge_absorbs_rows(self):
+        """The survivor inherits the absorbed tablet's rows: reads keep
+        working across the remap (key ranges are disjoint)."""
+        store = OnlineStateStore(4, merge_threshold=10 ** 9)
+        store.tablets[1].put("row-a", {"x": 1}, nbytes=64)
+        store.tablets[3].put("row-b", {"y": 2}, nbytes=64)
+        spent = sum(t.time_spent for t in store.tablets)
+        store.round_trip([100.0] * 4)
+        store.round_trip([100.0] * 4)
+        assert store.num_tablets == 1
+        survivor = store.tablets[0]
+        assert survivor.get("row-a")[0] == {"x": 1}
+        assert survivor.get("row-b")[0] == {"y": 2}
+        assert survivor.time_spent > spent  # charges carried over
+
+    def test_merge_surfaces_through_accountant(self):
+        cluster = SimCluster()
+        store = OnlineStateStore(4, merge_threshold=10 ** 9).bind(cluster)
+        acct = RoundAccountant(cluster, DriverConfig(), job="t",
+                               state_store=store)
+        assert acct.tablet_merges == 0
+        for _ in range(3):
+            acct.charge_state_round([100.0] * 4)
+        assert acct.tablet_merges == len(store.merge_events) == 3
+        assert acct.tablet_map_version == store.tablet_map_version
+
+
+class TestLoadAwareSplitPoint:
+    """Bigtable splits where the data says to: the split key is the
+    byte-weighted median of the observed load profile, not the range
+    midpoint."""
+
+    def test_flat_profile_splits_at_midpoint(self):
+        store = OnlineStateStore(1, split_threshold=4000, max_tablets=2)
+        store.round_trip([1000.0] * 8)
+        store.round_trip([1000.0] * 8)
+        assert store.num_tablets == 2
+        assert store.split_events[0][2] == pytest.approx(0.5)
+
+    def test_hot_partition_pulls_split_into_its_range(self):
+        """Partition 2 of 8 holds nearly all the bytes, so the weighted
+        median lands inside its key range [2/8, 3/8) — not at 0.5."""
+        skew = [10.0, 10.0, 8000.0, 10.0, 10.0, 10.0, 10.0, 10.0]
+        store = OnlineStateStore(1, split_threshold=4000, max_tablets=2)
+        store.round_trip(skew)
+        store.round_trip(skew)
+        assert store.num_tablets == 2
+        mid = store.split_events[0][2]
+        assert 2 / 8 < mid < 3 / 8
+
+    def test_unobserved_range_falls_back_to_midpoint(self):
+        store = OnlineStateStore(4)
+        assert store._split_point(1) == pytest.approx((0.25 + 0.5) / 2)
+
+    def test_split_point_stays_strictly_inside_range(self):
+        """All the mass at the very start of the range: the clamp keeps
+        both children non-empty."""
+        store = OnlineStateStore(1, split_threshold=100, max_tablets=4)
+        store.round_trip([5000.0, 0.0, 0.0, 0.0])
+        store.round_trip([5000.0, 0.0, 0.0, 0.0])
+        assert store.num_tablets > 1
+        assert all(a < b for a, b in
+                   zip(store.boundaries, store.boundaries[1:]))
+        for _, _, mid, _ in store.split_events:
+            assert 0.0 < mid < 1.0

@@ -1,0 +1,156 @@
+"""Worker lifecycle and correlated mid-phase deaths in the simulator.
+
+Covers the Skywriting-style :class:`WorkerPool` bookkeeping (register /
+heartbeat / mark-dead / reassign) and the scheduler semantics it
+enables: a scripted death truncates in-flight tasks at the death clock,
+invalidates the doomed node's completed map outputs, and re-queues the
+lost work on the survivors no earlier than detection
+(``death_clock + heartbeat_seconds``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.cluster.workerpool import WorkerInfo, WorkerPool
+from repro.engine import NodeDeath, NodeFaultPlan
+
+
+class TestWorkerPoolLifecycle:
+    def test_registration_and_heartbeats(self):
+        pool = WorkerPool(range(4))
+        assert pool.alive_nodes == {0, 1, 2, 3}
+        pool.heartbeat(2, 5.0)
+        assert pool.workers[2].last_heartbeat == 5.0
+        assert all(w.incarnation == 1 for w in pool.workers.values())
+
+    def test_mark_dead_and_zombie_heartbeat(self):
+        pool = WorkerPool(range(4))
+        pool.mark_dead(1, 7.0)
+        assert not pool.is_alive(1)
+        assert pool.workers[1].died_at == 7.0
+        # a partitioned worker's late beat must not resurrect it
+        pool.heartbeat(1, 8.0)
+        assert not pool.is_alive(1)
+        assert pool.alive_nodes == {0, 2, 3}
+
+    def test_expiry_sweep(self):
+        plan = NodeFaultPlan(num_nodes=4, heartbeat_seconds=2.0)
+        pool = WorkerPool(range(4), plan)
+        pool.heartbeat(0, 10.0)
+        pool.heartbeat(1, 10.0)
+        # nodes 2 and 3 have been silent since registration at clock 0
+        assert pool.expired(11.0) == [2, 3]
+        assert WorkerInfo(0, last_heartbeat=3.0).expired(10.0, 2.0)
+
+    def test_begin_round_replaces_dead_workers(self):
+        pool = WorkerPool(range(4))
+        pool.mark_dead(3, 6.0)
+        pool.begin_round(1, 9.0)
+        assert pool.is_alive(3)
+        assert pool.workers[3].incarnation == 2
+        assert pool.workers[3].registered_at == 9.0
+
+    def test_deaths_armed_per_round_and_fire_once(self):
+        plan = NodeFaultPlan.kill_node(2, round=1, at_seconds=4.0,
+                                       num_nodes=4)
+        pool = WorkerPool(range(4), plan)
+        assert pool.pending_deaths() == {}          # round 0: nothing
+        pool.begin_round(1, 10.0)
+        assert pool.pending_deaths() == {2: 14.0}   # armed absolute clock
+        assert pool.detection_clock(14.0) == 14.0 + plan.heartbeat_seconds
+        pool.fire(2, 14.0)
+        assert not pool.is_alive(2)
+        assert (1, 2) in pool.fired
+        assert pool.pending_deaths() == {}
+        # a rollback replay of round 1 must not re-arm the fired death
+        pool.begin_round(1, 20.0)
+        assert pool.pending_deaths() == {}
+        # but the worker was replaced for the (re-begun) round
+        assert pool.is_alive(2)
+
+
+def _plan_node(at=1.5, hb=3.0):
+    return NodeFaultPlan.kill_node(1, at_seconds=at, num_nodes=8,
+                                   heartbeat_seconds=hb)
+
+
+class TestSimClusterDeaths:
+    def test_mid_phase_kill_truncates_and_replays(self):
+        cl = SimCluster(node_faults=_plan_node())
+        healthy = SimCluster().run_map_phase([1.0] * 64, label="m")
+        res = cl.run_map_phase([1.0] * 64, label="m")
+        assert res.node_deaths == 1
+        assert res.killed_tasks >= 1
+        assert res.lost_seconds > 0
+        assert res.recovery_seconds > 0
+        assert res.makespan > healthy.makespan
+        labels = [e.label for e in cl.trace.events]
+        assert any(lab.endswith(":killed") for lab in labels)
+        assert any(lab.endswith(":replay") for lab in labels)
+        assert not cl.worker_pool.is_alive(1)
+
+    def test_detection_latency_prices_recovery(self):
+        """A longer heartbeat interval delays the re-queued work and
+        stretches the phase by exactly that extra silence."""
+        short = SimCluster(node_faults=_plan_node(hb=1.0))
+        long = SimCluster(node_faults=_plan_node(hb=8.0))
+        r_short = short.run_map_phase([1.0] * 64, label="m")
+        r_long = long.run_map_phase([1.0] * 64, label="m")
+        assert r_long.recovery_seconds > r_short.recovery_seconds
+        assert r_long.makespan == pytest.approx(r_short.makespan + 7.0)
+
+    def test_rack_kill_costs_more_than_node_kill(self):
+        node = SimCluster(node_faults=_plan_node())
+        rack = SimCluster(node_faults=NodeFaultPlan.kill_rack(
+            0, at_seconds=1.5, num_nodes=8, nodes_per_rack=4))
+        rn = node.run_map_phase([1.0] * 64, label="m")
+        rr = rack.run_map_phase([1.0] * 64, label="m")
+        assert rr.node_deaths == 4 > rn.node_deaths == 1
+        assert rr.killed_tasks > rn.killed_tasks
+        assert rr.lost_seconds > rn.lost_seconds
+        assert rr.makespan > rn.makespan
+
+    def test_completed_outputs_on_doomed_node_are_invalidated(self):
+        """Kill after the first wave: the dead node's finished map
+        outputs count as lost and are re-executed."""
+        cl = SimCluster(node_faults=_plan_node(at=1.5))
+        res = cl.run_map_phase([1.0] * 128, label="m")  # several waves
+        assert res.node_deaths == 1
+        assert res.lost_map_outputs >= 1
+
+    def test_death_does_not_refire_and_fleet_recovers(self):
+        plan = _plan_node()
+        cl = SimCluster(node_faults=plan)
+        first = cl.run_map_phase([1.0] * 64, label="m")
+        assert first.node_deaths == 1
+        # later phases of the same round run on survivors, death spent
+        second = cl.run_map_phase([1.0] * 64, label="m2")
+        assert second.node_deaths == 0
+        assert not any(e.label.endswith(":killed")
+                       for e in cl.trace.events if "m2" in e.label)
+        # the next round replaces the dead worker
+        cl.worker_pool.begin_round(1, cl.clock)
+        assert cl.worker_pool.alive_nodes == set(range(8))
+
+    def test_every_node_dead_is_an_error(self):
+        cl = SimCluster(node_faults=NodeFaultPlan(num_nodes=8))
+        for n in range(8):
+            cl.worker_pool.fire(n, 0.0)
+        with pytest.raises(RuntimeError, match="dead"):
+            cl.run_map_phase([1.0] * 4, label="m")
+
+    def test_whole_fleet_dying_mid_phase_is_an_error(self):
+        plan = NodeFaultPlan(
+            num_nodes=8,
+            deaths=tuple(NodeDeath(n, at_seconds=0.0) for n in range(8)))
+        cl = SimCluster(node_faults=plan)
+        with pytest.raises(RuntimeError, match="died mid-phase"):
+            cl.run_map_phase([1.0] * 4, label="m")
+
+    def test_immortal_fleet_without_plan(self):
+        cl = SimCluster()
+        assert cl.worker_pool is None
+        res = cl.run_map_phase([1.0] * 16, label="m")
+        assert res.node_deaths == 0 and res.recovery_seconds == 0.0

@@ -20,10 +20,15 @@ from repro.engine import (
     JobConf,
     JobFailedError,
     MapReduceRuntime,
+    NodeFaultPlan,
     ShmPickleRef,
 )
 from repro.cluster import SpeculationConfig
-from repro.engine.counters import SPECULATIVE_BACKUPS
+from repro.engine.counters import (
+    LOST_MAP_OUTPUTS,
+    NODE_DEATHS,
+    SPECULATIVE_BACKUPS,
+)
 from repro.engine.shm import export_pickled
 
 VOCAB = [f"word{i:03d}" for i in range(40)]
@@ -193,6 +198,74 @@ class TestSpeculativeCancellation:
                        splits)
             assert rt.segments.live_count == 0
         assert _live_segments() <= before
+
+
+class TestNodeDeathSweep:
+    """A node death atomically kills every attempt of its failure
+    domain — primaries, LATE backups, and completed outputs alike — and
+    the lineage replay must leave /dev/shm exactly as a failure-free
+    run would, with the output bit for bit identical."""
+
+    SPEC = SpeculationConfig(slowdown_threshold=1.05, percentile=0.5,
+                             min_completed_fraction=0.25,
+                             check_interval=0.01)
+
+    def _oracle(self, splits, num_reducers=3):
+        with MapReduceRuntime("serial") as rt:
+            return rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                              conf=JobConf(num_reducers=num_reducers)),
+                          splits)
+
+    def test_node_kill_with_backups_in_flight(self):
+        """Task 1 stalls long enough for a speculative twin to launch;
+        its node then dies with both attempts in flight.  All domain
+        attempts must be cancelled or discarded, the replay attempt must
+        win, and no segment may survive."""
+        splits = _splits()
+        before = _live_segments()
+        stall = FaultPlan(stalls={("map", 1): 0.5})
+        plan = NodeFaultPlan.kill_node(1, after_completions=1, num_nodes=4)
+        with MapReduceRuntime("processes", workers=3, fault_plan=stall,
+                              node_faults=plan, shm_min_bytes=1024,
+                              speculate=self.SPEC) as rt:
+            res = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                             conf=JobConf(num_reducers=3)), splits)
+            assert rt.segments.live_count == 0
+        assert _live_segments() <= before
+        assert res.counters.get(NODE_DEATHS) == 1
+        assert res.output == self._oracle(splits).output
+
+    def test_completed_outputs_invalidated_and_replayed(self):
+        """The dead node already finished map work: those outputs are
+        invalidated (lineage loss) and recomputed, bitwise identically."""
+        splits = _splits(num_splits=8)
+        before = _live_segments()
+        plan = NodeFaultPlan.kill_node(0, after_completions=6, num_nodes=4)
+        with MapReduceRuntime("processes", workers=3, node_faults=plan,
+                              shm_min_bytes=1024) as rt:
+            res = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                             conf=JobConf(num_reducers=3)), splits)
+            assert rt.segments.live_count == 0
+        assert _live_segments() <= before
+        assert res.counters.get(NODE_DEATHS) == 1
+        assert res.counters.get(LOST_MAP_OUTPUTS) >= 1
+        assert res.output == self._oracle(splits).output
+
+    def test_rack_kill_under_speculation(self):
+        """A whole rack dies: every node's domain is swept in one fire,
+        and the job still completes identically, leak-free."""
+        splits = _splits(num_splits=8)
+        before = _live_segments()
+        plan = NodeFaultPlan.kill_rack(0, after_completions=2,
+                                       num_nodes=4, nodes_per_rack=2)
+        with MapReduceRuntime("processes", workers=3, node_faults=plan,
+                              shm_min_bytes=1024, speculate=self.SPEC) as rt:
+            res = rt.run(Job(_emit_block_map, "sum", combine_fn="sum",
+                             conf=JobConf(num_reducers=3)), splits)
+            assert rt.segments.live_count == 0
+        assert _live_segments() <= before
+        assert res.counters.get(NODE_DEATHS) == 2
+        assert res.output == self._oracle(splits).output
 
 
 class TestPickleRef:
